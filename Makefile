@@ -1,0 +1,49 @@
+# Reproduction entry points. Everything is plain `go` underneath; these
+# targets just name the workflows.
+
+GO ?= go
+
+.PHONY: all build test test-race cover bench sweep figures fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./internal/chord/ ./internal/parallel/
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# Smoke-reproduce every table and figure (reduced trials).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Publication-strength sweep of every experiment (slow; the paper used
+# 100 trials per cell).
+sweep:
+	$(GO) run ./cmd/dhtsweep -exp all -trials 100
+
+# Quick sweep matching sweep_results.txt.
+sweep-quick:
+	$(GO) run ./cmd/dhtsweep -exp all -trials 5 -seed 1
+
+# Regenerate every figure as SVG into ./figures/.
+figures:
+	$(GO) run ./cmd/dhtfig -all figures
+	$(GO) run ./cmd/ringviz -mode sha1 -svg figures/figure02.svg
+	$(GO) run ./cmd/ringviz -mode even -svg figures/figure03.svg
+
+# Exercise the fuzz targets beyond their seed corpora.
+fuzz:
+	$(GO) test -fuzz=FuzzOperationSequences -fuzztime=30s ./internal/ring/
+	$(GO) test -fuzz=FuzzArithmeticLaws -fuzztime=30s ./internal/ids/
+
+clean:
+	$(GO) clean -testcache
+	rm -rf figures

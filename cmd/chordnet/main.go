@@ -1,0 +1,247 @@
+// Command chordnet is an interactive shell over a live Chord overlay —
+// the internal/chord protocol with background maintenance — for poking at
+// the substrate the simulator abstracts: watch lookups route, crash
+// nodes, and see replication keep data alive.
+//
+//	$ go run ./cmd/chordnet
+//	chord> create 16
+//	chord> put alice hello
+//	chord> kill 3
+//	chord> maint 40
+//	chord> get alice
+//	hello
+//
+// Commands also stream from stdin, so it is scriptable:
+//
+//	echo "create 8\nput k v\nget k" | go run ./cmd/chordnet
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"chordbalance/internal/chord"
+	"chordbalance/internal/ids"
+	"chordbalance/internal/keys"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Stdout, isTerminalLike()); err != nil {
+		fmt.Fprintln(os.Stderr, "chordnet:", err)
+		os.Exit(1)
+	}
+}
+
+func isTerminalLike() bool {
+	fi, err := os.Stdin.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+// session holds the shell's overlay state.
+type session struct {
+	d     *chord.Driver
+	gen   *keys.Generator
+	first ids.ID
+	out   io.Writer
+}
+
+func run(in io.Reader, out io.Writer, interactive bool) error {
+	s := &session{out: out, gen: keys.NewGenerator(uint64(0xc0ffee))}
+	sc := bufio.NewScanner(in)
+	for {
+		if interactive {
+			fmt.Fprint(out, "chord> ")
+		}
+		if !sc.Scan() {
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		cmd, args := fields[0], fields[1:]
+		if cmd == "quit" || cmd == "exit" {
+			return nil
+		}
+		if err := s.dispatch(cmd, args); err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+		}
+	}
+}
+
+func (s *session) dispatch(cmd string, args []string) error {
+	switch cmd {
+	case "help":
+		fmt.Fprint(s.out, `commands:
+  create N           build a fresh N-node overlay
+  join               add one node at a SHA-1 identifier
+  kill INDEX         crash the INDEX-th node (see: ring)
+  leave INDEX        graceful departure of the INDEX-th node
+  put KEY VALUE...   store VALUE under SHA1(KEY)
+  get KEY            fetch the value for KEY
+  lookup KEY         resolve the owner of KEY and count hops
+  trace KEY          show the full route a lookup takes
+  dist               primary-key count per node (Table I at protocol level)
+  ring               list live nodes with stored-key counts
+  maint [N]          run N maintenance rounds (default 1)
+  heal               run maintenance until the ring converges
+  stats              message counters
+  quit               leave the shell
+`)
+		return nil
+	case "create":
+		n, err := atoiArg(args, 0, 8)
+		if err != nil || n < 1 {
+			return fmt.Errorf("usage: create N (N >= 1)")
+		}
+		s.d = chord.NewDriver(chord.NewNetwork(chord.Config{}), 0)
+		s.first = s.gen.Next()
+		if _, err := s.d.Create(s.first); err != nil {
+			return err
+		}
+		for i := 1; i < n; i++ {
+			if err := s.d.Join(s.gen.Next(), s.first); err != nil {
+				return err
+			}
+			s.d.RunMaintenance()
+		}
+		s.healRing()
+		fmt.Fprintf(s.out, "overlay up: %d nodes\n", len(s.d.AliveIDs()))
+		return nil
+	}
+
+	if s.d == nil {
+		return fmt.Errorf("no overlay yet: run 'create N' first")
+	}
+	switch cmd {
+	case "join":
+		id := s.gen.Next()
+		boot := s.d.AliveIDs()
+		if len(boot) == 0 {
+			return fmt.Errorf("no live nodes to bootstrap from")
+		}
+		if err := s.d.Join(id, boot[0]); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "joined %s\n", id.Short())
+		return nil
+	case "kill", "leave":
+		i, err := atoiArg(args, 0, -1)
+		alive := s.d.AliveIDs()
+		if err != nil || i < 0 || i >= len(alive) {
+			return fmt.Errorf("usage: %s INDEX (0..%d)", cmd, len(alive)-1)
+		}
+		if cmd == "kill" {
+			s.d.Kill(alive[i])
+			fmt.Fprintf(s.out, "killed %s\n", alive[i].Short())
+			return nil
+		}
+		if err := s.d.Leave(alive[i]); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "left %s\n", alive[i].Short())
+		return nil
+	case "put":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: put KEY VALUE...")
+		}
+		if err := s.d.Put(keys.HashString(args[0]), strings.Join(args[1:], " ")); err != nil {
+			return err
+		}
+		fmt.Fprintln(s.out, "ok")
+		return nil
+	case "get":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: get KEY")
+		}
+		v, err := s.d.Get(keys.HashString(args[0]))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(s.out, v)
+		return nil
+	case "lookup":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: lookup KEY")
+		}
+		owner, hops, err := s.d.Lookup(keys.HashString(args[0]))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "owner %s via %d hops\n", owner.Short(), hops)
+		return nil
+	case "trace":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: trace KEY")
+		}
+		tr, err := s.d.Trace(keys.HashString(args[0]))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(s.out, tr)
+		return nil
+	case "dist":
+		alive := s.d.AliveIDs()
+		for i, c := range s.d.KeyDistribution() {
+			fmt.Fprintf(s.out, "%3d  %s  %d keys\n", i, alive[i].Short(), c)
+		}
+		return nil
+	case "ring":
+		for i, id := range s.d.AliveIDs() {
+			fmt.Fprintf(s.out, "%3d  %s\n", i, id.Short())
+		}
+		return nil
+	case "maint":
+		n, err := atoiArg(args, 0, 1)
+		if err != nil || n < 1 {
+			return fmt.Errorf("usage: maint [N]")
+		}
+		for i := 0; i < n; i++ {
+			s.d.RunMaintenance()
+		}
+		fmt.Fprintf(s.out, "ran %d rounds\n", n)
+		return nil
+	case "heal":
+		rounds := s.healRing()
+		if err := s.d.VerifyRing(); err != nil {
+			return fmt.Errorf("still inconsistent after %d rounds: %w", rounds, err)
+		}
+		fmt.Fprintf(s.out, "converged after %d rounds\n", rounds)
+		return nil
+	case "stats":
+		st := s.d.Stats()
+		fmt.Fprintf(s.out, "nodes=%d dead=%d messages=%d maintenance-rounds=%d\n",
+			st.AliveNodes, st.DeadNodes, st.Messages, s.d.MaintenanceRounds())
+		fmt.Fprintf(s.out, "primary-keys=%d stored-entries=%d mean-replication=%.2f ring-ok=%v\n",
+			st.PrimaryKeys, st.TotalKeys, st.MeanReplication, st.RingConsistent)
+		return nil
+	}
+	return fmt.Errorf("unknown command %q (try: help)", cmd)
+}
+
+// healRing runs maintenance until convergence (bounded) and returns the
+// rounds used.
+func (s *session) healRing() int {
+	for i := 1; i <= 4*len(s.d.AliveIDs())+16; i++ {
+		s.d.RunMaintenance()
+		if s.d.VerifyRing() == nil {
+			return i
+		}
+	}
+	return 4*len(s.d.AliveIDs()) + 16
+}
+
+func atoiArg(args []string, i, def int) (int, error) {
+	if len(args) <= i {
+		if def >= 0 {
+			return def, nil
+		}
+		return 0, fmt.Errorf("missing argument")
+	}
+	return strconv.Atoi(args[i])
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func script(t *testing.T, lines ...string) string {
+	t.Helper()
+	var out strings.Builder
+	in := strings.NewReader(strings.Join(lines, "\n") + "\n")
+	if err := run(in, &out, false); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+func TestCreatePutGet(t *testing.T) {
+	out := script(t,
+		"create 8",
+		"put alice hello world",
+		"get alice",
+		"quit")
+	if !strings.Contains(out, "overlay up: 8 nodes") {
+		t.Errorf("missing create ack:\n%s", out)
+	}
+	if !strings.Contains(out, "hello world") {
+		t.Errorf("missing value:\n%s", out)
+	}
+}
+
+func TestLookupAndRing(t *testing.T) {
+	out := script(t,
+		"create 6",
+		"lookup somekey",
+		"ring",
+		"stats",
+		"quit")
+	if !strings.Contains(out, "owner ") || !strings.Contains(out, "hops") {
+		t.Errorf("lookup output missing:\n%s", out)
+	}
+	if !strings.Contains(out, "  0  ") {
+		t.Errorf("ring listing missing:\n%s", out)
+	}
+	if !strings.Contains(out, "messages=") {
+		t.Errorf("stats missing:\n%s", out)
+	}
+}
+
+func TestKillAndHealKeepsData(t *testing.T) {
+	out := script(t,
+		"create 12",
+		"put k important",
+		"maint 3",
+		"kill 4",
+		"heal",
+		"get k",
+		"quit")
+	if !strings.Contains(out, "killed ") {
+		t.Errorf("kill ack missing:\n%s", out)
+	}
+	if !strings.Contains(out, "converged after ") {
+		t.Errorf("heal ack missing:\n%s", out)
+	}
+	if !strings.Contains(out, "important") {
+		t.Errorf("data lost after crash:\n%s", out)
+	}
+}
+
+func TestJoinAndLeave(t *testing.T) {
+	out := script(t,
+		"create 4",
+		"join",
+		"heal",
+		"leave 2",
+		"heal",
+		"ring",
+		"quit")
+	if !strings.Contains(out, "joined ") || !strings.Contains(out, "left ") {
+		t.Errorf("join/leave missing:\n%s", out)
+	}
+	// 4 + 1 - 1 = 4 nodes: indices 0..3 present, 4 absent.
+	if !strings.Contains(out, "  3  ") || strings.Contains(out, "  4  ") {
+		t.Errorf("ring size wrong:\n%s", out)
+	}
+}
+
+func TestErrorsAreReportedNotFatal(t *testing.T) {
+	out := script(t,
+		"get before-create",
+		"create 3",
+		"bogus",
+		"get missing",
+		"kill 99",
+		"put onlykey",
+		"quit")
+	wants := []string{
+		"no overlay yet",
+		"unknown command",
+		"not found",
+		"usage: kill INDEX",
+		"usage: put KEY VALUE",
+	}
+	for _, w := range wants {
+		if !strings.Contains(out, w) {
+			t.Errorf("missing error %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestTraceAndDist(t *testing.T) {
+	out := script(t,
+		"create 8",
+		"put doc1 x",
+		"put doc2 y",
+		"trace doc1",
+		"dist",
+		"stats",
+		"quit")
+	if !strings.Contains(out, " => ") {
+		t.Errorf("trace output missing:\n%s", out)
+	}
+	if !strings.Contains(out, " keys") {
+		t.Errorf("dist output missing:\n%s", out)
+	}
+	if !strings.Contains(out, "mean-replication=") || !strings.Contains(out, "ring-ok=true") {
+		t.Errorf("stats output missing:\n%s", out)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	out := script(t,
+		"# a comment",
+		"",
+		"create 3",
+		"help",
+		"quit")
+	if !strings.Contains(out, "commands:") {
+		t.Errorf("help missing:\n%s", out)
+	}
+}

@@ -1,0 +1,202 @@
+// Command dhtfig regenerates the paper's figures.
+//
+//	dhtfig -fig 1            # workload probability distribution (Fig. 1)
+//	dhtfig -fig 8            # tick-35 histograms, random vs none (Fig. 8)
+//	dhtfig -fig 8 -csv       # the same as CSV series for plotting
+//
+// Figures 2-3 (the unit-circle diagrams) live in cmd/ringviz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"chordbalance/internal/experiments"
+	"chordbalance/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dhtfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dhtfig", flag.ContinueOnError)
+	var (
+		all     = fs.String("all", "", "write every figure as SVG into this directory and exit")
+		fig     = fs.Int("fig", 0, "figure number (1, 4-14); 0 lists figures")
+		trials  = fs.Int("trials", 0, "trials aggregated per side (0 = default)")
+		seed    = fs.Uint64("seed", 1, "base seed")
+		workers = fs.Int("workers", 0, "parallel workers")
+		csv     = fs.Bool("csv", false, "emit CSV series instead of ASCII bars")
+		svgPath = fs.String("svg", "", "also write the figure as an SVG file")
+		width   = fs.Int("width", 30, "ASCII bar width")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opt := experiments.Options{Trials: *trials, Seed: *seed, Workers: *workers}
+
+	if *all != "" {
+		return writeAllFigures(*all, opt, out)
+	}
+
+	if *fig == 0 {
+		fmt.Fprintln(out, "fig  1: workload probability distribution, 1000 nodes / 1M tasks")
+		nums := make([]int, 0, len(experiments.Figures))
+		for n := range experiments.Figures {
+			nums = append(nums, n)
+		}
+		sort.Ints(nums)
+		for _, n := range nums {
+			f := experiments.Figures[n]
+			fmt.Fprintf(out, "fig %2d: tick %2d, %s vs %s\n", n, f.Tick, f.LabelA, f.LabelB)
+		}
+		fmt.Fprintln(out, "figs 2-3: see cmd/ringviz")
+		return nil
+	}
+
+	if *fig == 1 {
+		h, median, err := experiments.Figure1(opt)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			t := report.NewTable("", "bin", "count", "fraction")
+			fr := h.Fractions()
+			t.AddRowf(h.BinLabel(-1), h.ZeroCount, fr[0])
+			for i, c := range h.Counts {
+				t.AddRowf(h.BinLabel(i), c, fr[i+1])
+			}
+			t.AddRowf(h.BinLabel(len(h.Counts)), h.OverCount, fr[len(fr)-1])
+			return t.WriteCSV(out)
+		}
+		if *svgPath != "" {
+			if err := writeSVG(*svgPath, func(w io.Writer) error {
+				return report.SVGHistogramPair(w,
+					"Figure 1: workload distribution, 1000 nodes / 1M tasks",
+					"nodes per workload bin", h, "", nil)
+			}); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *svgPath)
+		}
+		fmt.Fprintf(out, "Figure 1: workload distribution, 1000 nodes / 1,000,000 tasks\n")
+		fmt.Fprintf(out, "median workload = %.1f (paper: 692.3; mean is 1000)\n\n", median)
+		fmt.Fprint(out, h.ASCII(*width*2))
+		return nil
+	}
+
+	spec, ok := experiments.Figures[*fig]
+	if !ok {
+		return fmt.Errorf("no figure %d (use -fig 0 to list)", *fig)
+	}
+	res, err := experiments.RunWorkloadFigure(spec, opt)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		t := report.NewTable("", "bin",
+			"count:"+spec.LabelA, "count:"+spec.LabelB)
+		t.AddRowf(res.HistA.BinLabel(-1), res.HistA.ZeroCount, res.HistB.ZeroCount)
+		for i := range res.HistA.Counts {
+			t.AddRowf(res.HistA.BinLabel(i), res.HistA.Counts[i], res.HistB.Counts[i])
+		}
+		t.AddRowf(res.HistA.BinLabel(len(res.HistA.Counts)),
+			res.HistA.OverCount, res.HistB.OverCount)
+		return t.WriteCSV(out)
+	}
+	if *svgPath != "" {
+		title := fmt.Sprintf("Figure %d (tick %d)", spec.Number, spec.Tick)
+		if err := writeSVG(*svgPath, func(w io.Writer) error {
+			return report.SVGHistogramPair(w, title,
+				spec.LabelA, res.HistA, spec.LabelB, res.HistB)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *svgPath)
+	}
+	fmt.Fprintln(out, res.Summary())
+	fmt.Fprintln(out)
+	return report.HistogramPair(out, spec.LabelA, res.HistA,
+		spec.LabelB, res.HistB, *width)
+}
+
+// writeAllFigures regenerates figures 1-14 as SVG files in dir.
+func writeAllFigures(dir string, opt experiments.Options, out io.Writer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, render func(io.Writer) error) error {
+		path := filepath.Join(dir, name)
+		if err := writeSVG(path, render); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(out, "wrote %s\n", path)
+		return nil
+	}
+	h, _, err := experiments.Figure1(opt)
+	if err != nil {
+		return err
+	}
+	if err := write("figure01.svg", func(w io.Writer) error {
+		return report.SVGHistogramPair(w,
+			"Figure 1: workload distribution, 1000 nodes / 1M tasks",
+			"nodes per workload bin", h, "", nil)
+	}); err != nil {
+		return err
+	}
+	for i, even := range []bool{false, true} {
+		pts := experiments.RingFigure(even, opt.Seed)
+		mode := "sha1"
+		if even {
+			mode = "even"
+		}
+		name := fmt.Sprintf("figure%02d.svg", i+2)
+		title := fmt.Sprintf("Figure %d: 10 nodes, 100 tasks (%s placement)", i+2, mode)
+		if err := write(name, func(w io.Writer) error {
+			return report.SVGRing(w, title, pts)
+		}); err != nil {
+			return err
+		}
+	}
+	nums := make([]int, 0, len(experiments.Figures))
+	for n := range experiments.Figures {
+		nums = append(nums, n)
+	}
+	sort.Ints(nums)
+	for _, n := range nums {
+		spec := experiments.Figures[n]
+		res, err := experiments.RunWorkloadFigure(spec, opt)
+		if err != nil {
+			return fmt.Errorf("figure %d: %w", n, err)
+		}
+		title := fmt.Sprintf("Figure %d (tick %d)", spec.Number, spec.Tick)
+		if err := write(fmt.Sprintf("figure%02d.svg", n), func(w io.Writer) error {
+			return report.SVGHistogramPair(w, title,
+				spec.LabelA, res.HistA, spec.LabelB, res.HistB)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSVG writes one SVG document to path.
+func writeSVG(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunListsFigures(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"fig  1:", "fig  4:", "fig 14:", "ringviz"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("listing missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunFigure5Ascii(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "5", "-trials", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Figure 5") || !strings.Contains(s, "no strategy") ||
+		!strings.Contains(s, "churn 0.01") {
+		t.Errorf("figure output wrong:\n%s", s)
+	}
+}
+
+func TestRunFigure5CSV(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "5", "-trials", "1", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(out.String(), "\n", 2)[0]
+	if !strings.HasPrefix(first, "bin,count:") {
+		t.Errorf("CSV header = %q", first)
+	}
+}
+
+func TestRunAllWritesSVGs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates every figure")
+	}
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-all", dir, "-trials", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 14 {
+		t.Fatalf("wrote %d files, want 14", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figure08.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg ") {
+		t.Error("figure08.svg is not an SVG")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "99"}, &out); err == nil {
+		t.Error("unknown figure must fail")
+	}
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"chordbalance/internal/ring"
+)
+
+func TestRunBasic(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-nodes", "50", "-tasks", "2500", "-strategy", "random",
+		"-seed", "3", "-snapshots", "0,5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"strategy=random", "ticks=", "runtime-factor=",
+		"completed=true", "-- tick 0:", "-- tick 5:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunVerbose(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-nodes", "20", "-tasks", "400", "-strategy", "smart-neighbor",
+		"-v"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "maintenance-msgs=") {
+		t.Errorf("verbose output missing message detail:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "strategy-msgs[workload-query]") {
+		t.Errorf("verbose output missing strategy messages:\n%s", out.String())
+	}
+}
+
+func TestRunChurnAlias(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-nodes", "30", "-tasks", "600", "-strategy", "churn"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// The churn alias defaults the rate to 0.01.
+	if !strings.Contains(out.String(), "churn=0.01") {
+		t.Errorf("churn alias did not set a rate:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-strategy", "bogus"},
+		{"-consume", "sideways"},
+		{"-snapshots", "1,x"},
+		{"-nodes", "0"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v must fail", args)
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-nodes", "20", "-tasks", "200", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Ticks     int
+		Completed bool
+	}
+	if err := json.Unmarshal([]byte(out.String()), &res); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if !res.Completed || res.Ticks < 10 {
+		t.Errorf("decoded result implausible: %+v", res)
+	}
+}
+
+func TestRunZipfAndStreaming(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-nodes", "30", "-tasks", "300",
+		"-zipf-objects", "50", "-zipf-s", "0.8",
+		"-stream-tasks", "300", "-stream-rate", "30",
+		"-strategy", "random"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "completed=true") {
+		t.Errorf("zipf+streaming run did not complete:\n%s", out.String())
+	}
+}
+
+func TestRunBurstyChurn(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-nodes", "30", "-tasks", "600", "-churn", "0.02",
+		"-bursty-churn", "-burst-period", "10", "-burst-duty", "0.3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "completed=true") {
+		t.Errorf("bursty run failed:\n%s", out.String())
+	}
+}
+
+func TestRunExtensionStrategy(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-nodes", "30", "-tasks", "600",
+		"-strategy", "targeted"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "strategy=targeted") {
+		t.Errorf("targeted run failed:\n%s", out.String())
+	}
+}
+
+func TestParseConsume(t *testing.T) {
+	for s, want := range map[string]ring.ConsumeMode{
+		"front": ring.ConsumeFront, "back": ring.ConsumeBack, "alternate": ring.ConsumeAlternate,
+	} {
+		got, err := parseConsume(s)
+		if err != nil || got != want {
+			t.Errorf("parseConsume(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseConsume("x"); err == nil {
+		t.Error("bad mode must fail")
+	}
+}
+
+func TestParseTicks(t *testing.T) {
+	got, err := parseTicks(" 0, 5 ,35")
+	if err != nil || len(got) != 3 || got[2] != 35 {
+		t.Errorf("parseTicks = %v, %v", got, err)
+	}
+	if got, err := parseTicks(""); err != nil || got != nil {
+		t.Errorf("empty = %v, %v", got, err)
+	}
+}

@@ -1,0 +1,72 @@
+// Command ringviz regenerates the paper's Figures 2 and 3: ten nodes and
+// one hundred tasks placed on the unit circle, with node IDs drawn from
+// SHA-1 (-mode sha1, Figure 2) or spaced evenly (-mode even, Figure 3).
+//
+//	ringviz -mode sha1            # ASCII rendering
+//	ringviz -mode even -csv       # x,y,kind coordinates for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"chordbalance/internal/experiments"
+	"chordbalance/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ringviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ringviz", flag.ContinueOnError)
+	var (
+		mode    = fs.String("mode", "sha1", "node placement: sha1 (Fig. 2) or even (Fig. 3)")
+		seed    = fs.Uint64("seed", 1, "seed for the SHA-1 draws")
+		csv     = fs.Bool("csv", false, "emit x,y,kind CSV instead of ASCII")
+		svgPath = fs.String("svg", "", "also write the figure as an SVG file")
+		size    = fs.Int("size", 41, "ASCII grid size (odd)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var even bool
+	switch *mode {
+	case "sha1":
+	case "even":
+		even = true
+	default:
+		return fmt.Errorf("unknown mode %q (want sha1 or even)", *mode)
+	}
+	pts := experiments.RingFigure(even, *seed)
+	fig := 2
+	if even {
+		fig = 3
+	}
+	if *svgPath != "" {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("Figure %d: 10 nodes, 100 tasks (%s placement)", fig, *mode)
+		if err := report.SVGRing(f, title, pts); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *svgPath)
+	}
+	if *csv {
+		return report.WritePointsCSV(out, pts)
+	}
+	fmt.Fprintf(out, "Figure %d: 10 nodes (O) and 100 tasks (+), %s placement\n\n", fig, *mode)
+	fmt.Fprint(out, report.AsciiRing(pts, *size))
+	return nil
+}

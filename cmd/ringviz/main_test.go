@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSHA1Ascii(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mode", "sha1", "-seed", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Figure 2") || !strings.Contains(s, "O") || !strings.Contains(s, "+") {
+		t.Errorf("ascii output wrong:\n%s", s)
+	}
+}
+
+func TestRunEvenCSV(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mode", "even", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if lines[0] != "x,y,kind" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 111 { // header + 10 nodes + 100 tasks
+		t.Errorf("lines = %d, want 111", len(lines))
+	}
+}
+
+func TestRunBadMode(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mode", "spiral"}, &out); err == nil {
+		t.Error("bad mode must fail")
+	}
+}

@@ -1,0 +1,98 @@
+// Chordreduce runs a MapReduce word count on a real Chord overlay — the
+// ChordReduce substrate the paper builds on — and crashes nodes mid-job
+// to show the computation surviving churn: data lives in the DHT with
+// active replication, and map tasks are re-executed by whichever node
+// inherits a crashed mapper's key range.
+//
+//	go run ./examples/chordreduce
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"chordbalance/internal/chord"
+	"chordbalance/internal/chordreduce"
+	"chordbalance/internal/keys"
+)
+
+func main() {
+	// Build a 24-node overlay.
+	nw := chord.NewNetwork(chord.Config{Replicas: 3})
+	gen := keys.NewGenerator(2024)
+	entry, err := nw.Create(gen.Next())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 1; i < 24; i++ {
+		if _, err := nw.Join(gen.Next(), entry); err != nil {
+			log.Fatal(err)
+		}
+		nw.StabilizeAll()
+	}
+	if _, ok := nw.StabilizeUntilConverged(200); !ok {
+		log.Fatalf("ring did not converge: %v", nw.VerifyRing())
+	}
+	nw.FixAllFingers()
+	fmt.Printf("overlay up: %d nodes, %d protocol messages so far\n",
+		len(nw.AliveIDs()), nw.TotalMessages())
+
+	// A small corpus split into chunks, as ChordReduce would shard a file.
+	corpus := strings.Fields(`the tao of programming states that a well
+	written program is its own heaven and a poorly written program is its
+	own hell the wise programmer brings balance to the network and the
+	network brings work to the idle node`)
+	inputs := map[string]string{}
+	const chunkWords = 12
+	for i := 0; i*chunkWords < len(corpus); i++ {
+		end := (i + 1) * chunkWords
+		if end > len(corpus) {
+			end = len(corpus)
+		}
+		inputs[fmt.Sprintf("chunk-%02d", i)] = strings.Join(corpus[i*chunkWords:end], " ")
+	}
+	fmt.Printf("job: word count over %d chunks\n", len(inputs))
+
+	job := chordreduce.WordCount(inputs)
+	runner := chordreduce.NewRunner(nw, entry, job)
+
+	// Crash two nodes while the map phase runs, plus two simulated
+	// mid-task mapper deaths that force re-execution.
+	runner.FailNextMaps = 2
+	crashed := 0
+	runner.Hook = func(phase string, step int) {
+		if phase == "map" && (step == 1 || step == 3) && crashed < 2 {
+			for _, id := range nw.AliveIDs() {
+				if id != entry.ID() {
+					nw.Kill(id)
+					crashed++
+					fmt.Printf("  !! node %s crashed during the map phase\n", id.Short())
+					break
+				}
+			}
+		}
+	}
+
+	res, err := runner.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("map tasks executed: %d (%d chunks + %d re-executions)\n",
+		res.MapExecutions, len(inputs), res.MapExecutions-len(inputs))
+	fmt.Printf("job consumed ~%d DHT messages; %d nodes still alive\n",
+		res.Messages, len(nw.AliveIDs()))
+
+	// Validate against a sequential run.
+	want := chordreduce.Sequential(job)
+	for k, v := range want {
+		if res.Output[k] != v {
+			log.Fatalf("MISMATCH: %q = %q, want %q", k, res.Output[k], v)
+		}
+	}
+	fmt.Printf("distributed result matches sequential execution (%d distinct words)\n",
+		len(res.Output))
+	for _, w := range []string{"the", "program", "network"} {
+		fmt.Printf("  count[%q] = %s\n", w, res.Output[w])
+	}
+}

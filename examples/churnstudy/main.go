@@ -1,0 +1,80 @@
+// Churnstudy reproduces the paper's §V-C "detailed observations of how
+// the workload is distributed and redistributed throughout the network
+// during the first 50 ticks": it tracks tasks completed per tick under
+// increasing churn rates and renders the series as terminal sparklines,
+// showing how churn keeps more of the network busy for longer.
+//
+//	go run ./examples/churnstudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"chordbalance/internal/sim"
+)
+
+const window = 50
+
+var sparks = []rune(" .:-=+*#%@")
+
+func sparkline(series []int, max int) string {
+	var b strings.Builder
+	for _, v := range series {
+		i := v * (len(sparks) - 1) / max
+		b.WriteRune(sparks[i])
+	}
+	return b.String()
+}
+
+func main() {
+	rates := []float64{0, 0.001, 0.01, 0.05}
+	series := make([][]int, len(rates))
+	maxWork := 1
+	for i, rate := range rates {
+		res, err := sim.Run(sim.Config{
+			Nodes: 1000, Tasks: 100000, ChurnRate: rate, Seed: 21,
+			RecordWorkPerTick: true, MaxTicks: window,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		series[i] = res.WorkPerTick
+		for _, w := range res.WorkPerTick {
+			if w > maxWork {
+				maxWork = w
+			}
+		}
+	}
+
+	fmt.Printf("Tasks completed per tick, first %d ticks (1000 nodes, 100k tasks)\n", window)
+	fmt.Printf("scale: ' '=0 .. '@'=%d tasks/tick; ideal is 1000/tick for 100 ticks\n\n", maxWork)
+	for i, rate := range rates {
+		total := 0
+		for _, w := range series[i] {
+			total += w
+		}
+		fmt.Printf("churn %-6g |%s| %5d tasks done\n", rate, sparkline(series[i], maxWork), total)
+	}
+
+	fmt.Println("\nPer-tick detail (every 5th tick):")
+	fmt.Printf("%6s", "tick")
+	for _, rate := range rates {
+		fmt.Printf("  churn=%-6g", rate)
+	}
+	fmt.Println()
+	for t := 4; t < window; t += 5 {
+		fmt.Printf("%6d", t+1)
+		for i := range rates {
+			fmt.Printf("  %12d", series[i][t])
+		}
+		fmt.Println()
+	}
+	fmt.Println(`
+With no churn the throughput decays steadily: nodes run dry and idle
+while a few overloaded nodes grind on, and the tail (ticks 100+) crawls.
+Churn keeps re-injecting nodes into loaded arcs, so the work rate decays
+more slowly and the job finishes in far fewer ticks — the §VI-A
+mechanism behind Table II.`)
+}

@@ -1,0 +1,67 @@
+// Heterogeneous reproduces the paper's most interesting negative result
+// (§VII): in a heterogeneous network the Sybil strategies still balance
+// the *workload* well, but the *runtime* improves much less — weak nodes
+// pull work away from strong ones. The example measures both axes so the
+// divergence is visible, and shows the maxSybils disparity effect.
+//
+//	go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"chordbalance/internal/report"
+	"chordbalance/internal/sim"
+	"chordbalance/internal/stats"
+	"chordbalance/internal/strategy"
+)
+
+func run(label string, hetero bool, maxSybils int, stratName string) []any {
+	st, ok := strategy.ByName(stratName)
+	if !ok {
+		log.Fatalf("unknown strategy %q", stratName)
+	}
+	res, err := sim.Run(sim.Config{
+		Nodes: 500, Tasks: 100000, Seed: 11,
+		Strategy:       st,
+		Heterogeneous:  hetero,
+		WorkByStrength: hetero, // strength matters only when consumed
+		MaxSybils:      maxSybils,
+		SnapshotTicks:  []int{35},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap := res.Snapshots[0]
+	idle := 0
+	for _, w := range snap.HostWorkloads {
+		if w == 0 {
+			idle++
+		}
+	}
+	return []any{label, res.IdealTicks, res.Ticks, res.RuntimeFactor,
+		stats.GiniInts(snap.HostWorkloads), idle}
+}
+
+func main() {
+	t := report.NewTable(
+		"Heterogeneity study: 500 nodes, 100k tasks (strengths U{1..maxSybils})",
+		"network", "ideal", "ticks", "factor", "gini@35", "idle@35")
+	t.AddRowf(run("homogeneous, none", false, 5, "none")...)
+	t.AddRowf(run("homogeneous, random", false, 5, "random")...)
+	t.AddRowf(run("hetero 1..5, none", true, 5, "none")...)
+	t.AddRowf(run("hetero 1..5, random", true, 5, "random")...)
+	t.AddRowf(run("hetero 1..10, random", true, 10, "random")...)
+	t.AddRowf(run("hetero 1..5, invitation", true, 5, "invitation")...)
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(`
+Reading the table: random injection drives the Gini coefficient (im-
+balance) down in both homogeneous and heterogeneous networks, but the
+heterogeneous runtime factor stays further from 1 — the workload is
+balanced, the efficiency is not (§VII). Widening the strength range
+(maxSybils 10) makes the disparity, and the factor, worse.`)
+}

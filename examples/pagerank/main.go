@@ -1,0 +1,150 @@
+// Pagerank runs iterative PageRank as chained MapReduce rounds over a
+// Chord DHT — the "unorthodox application" class the paper's introduction
+// motivates (distributed computing and machine learning on DHTs). Graph
+// structure and evolving ranks both live in the DHT; a node crashes
+// between rounds and the computation carries on.
+//
+//	go run ./examples/pagerank
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"chordbalance/internal/chord"
+	"chordbalance/internal/chordreduce"
+	"chordbalance/internal/keys"
+)
+
+const damping = 0.85
+
+// graph: a tiny web. Node -> out-links.
+var graph = map[string][]string{
+	"home":    {"docs", "blog", "about"},
+	"docs":    {"home", "api"},
+	"api":     {"docs"},
+	"blog":    {"home", "docs", "api"},
+	"about":   {"home"},
+	"orphan":  {"home"}, // linked by nobody
+	"sinkish": {"home"}, // everything flows back home
+}
+
+func main() {
+	// Build the overlay.
+	nw := chord.NewNetwork(chord.Config{Replicas: 3})
+	gen := keys.NewGenerator(777)
+	entry, err := nw.Create(gen.Next())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 1; i < 16; i++ {
+		if _, err := nw.Join(gen.Next(), entry); err != nil {
+			log.Fatal(err)
+		}
+		nw.StabilizeAll()
+	}
+	if _, ok := nw.StabilizeUntilConverged(128); !ok {
+		log.Fatalf("overlay did not converge: %v", nw.VerifyRing())
+	}
+	nw.FixAllFingers()
+
+	n := float64(len(graph))
+	state := map[string]string{}
+	for page := range graph {
+		state[page] = fmt.Sprintf("%.6f", 1/n)
+	}
+
+	// Each round's job: chunk per page carrying "rank|link link ...".
+	buildJob := func(state map[string]string) chordreduce.Job {
+		inputs := map[string]string{}
+		for page, links := range graph {
+			inputs[page] = state[page] + "|" + strings.Join(links, " ")
+		}
+		return chordreduce.Job{
+			Inputs: inputs,
+			Map: func(page, content string) []chordreduce.KV {
+				parts := strings.SplitN(content, "|", 2)
+				rank, _ := strconv.ParseFloat(parts[0], 64)
+				links := strings.Fields(parts[1])
+				out := make([]chordreduce.KV, 0, len(links)+1)
+				share := rank / float64(len(links))
+				for _, q := range links {
+					out = append(out, chordreduce.KV{Key: q,
+						Value: fmt.Sprintf("%.9f", share)})
+				}
+				// Self-entry so pages nobody links to keep a rank row.
+				out = append(out, chordreduce.KV{Key: page, Value: "0"})
+				return out
+			},
+			Reduce: func(_ string, values []string) string {
+				sum := 0.0
+				for _, v := range values {
+					f, _ := strconv.ParseFloat(v, 64)
+					sum += f
+				}
+				return fmt.Sprintf("%.6f", (1-damping)/n+damping*sum)
+			},
+		}
+	}
+
+	converged := func(prev, next map[string]string) bool {
+		maxDelta := 0.0
+		for k, v := range next {
+			a, _ := strconv.ParseFloat(prev[k], 64)
+			b, _ := strconv.ParseFloat(v, 64)
+			if d := math.Abs(a - b); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		return maxDelta < 1e-4
+	}
+
+	// Crash one node after the first round: the DHT absorbs it.
+	round := 0
+	final, results, err := chordreduce.Iterate(nw, entry, state, 50,
+		func(st map[string]string) chordreduce.Job {
+			if round == 1 {
+				for _, id := range nw.AliveIDs() {
+					if id != entry.ID() {
+						nw.Kill(id)
+						nw.StabilizeUntilConverged(200)
+						fmt.Printf("node %s crashed after round 1; continuing\n", id.Short())
+						break
+					}
+				}
+			}
+			round++
+			return buildJob(st)
+		}, converged)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rounds := len(results)
+
+	type pr struct {
+		page string
+		rank float64
+	}
+	var ranks []pr
+	var total float64
+	for page, v := range final {
+		r, _ := strconv.ParseFloat(v, 64)
+		ranks = append(ranks, pr{page, r})
+		total += r
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i].rank > ranks[j].rank })
+
+	fmt.Printf("PageRank converged after %d rounds on %d live nodes (rank mass %.3f)\n",
+		rounds, len(nw.AliveIDs()), total)
+	for _, r := range ranks {
+		bar := strings.Repeat("#", int(r.rank*120))
+		fmt.Printf("%8s  %.4f  %s\n", r.page, r.rank, bar)
+	}
+	if ranks[0].page != "home" {
+		log.Fatalf("expected 'home' to dominate, got %q", ranks[0].page)
+	}
+}

@@ -1,0 +1,3 @@
+module chordbalance
+
+go 1.22

@@ -1,0 +1,211 @@
+package chord
+
+import (
+	"sync"
+	"time"
+
+	"chordbalance/internal/ids"
+)
+
+// Driver wraps a Network with a mutex and a background maintenance loop,
+// giving concurrent clients the interface a deployed DHT would expose:
+// Put/Get/Lookup from any goroutine while stabilization, finger repair,
+// and replica refresh run on their own cadence — the paper's "active,
+// aggressive" maintenance (§V) as an actual concurrent process rather
+// than a simulation assumption.
+//
+// The zero value is not usable; construct with NewDriver.
+type Driver struct {
+	mu sync.Mutex
+	nw *Network
+
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+	rounds   int
+}
+
+// NewDriver wraps nw. interval is the maintenance cadence; 0 means
+// maintenance runs only when RunMaintenance is called explicitly.
+func NewDriver(nw *Network, interval time.Duration) *Driver {
+	return &Driver{nw: nw, interval: interval}
+}
+
+// Start launches the background maintenance loop. It panics if the
+// driver was started twice without Stop, which is always a bug.
+func (d *Driver) Start() {
+	if d.stop != nil {
+		panic("chord: Driver started twice")
+	}
+	if d.interval <= 0 {
+		return
+	}
+	d.stop = make(chan struct{})
+	d.done = make(chan struct{})
+	go func() {
+		defer close(d.done)
+		ticker := time.NewTicker(d.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-d.stop:
+				return
+			case <-ticker.C:
+				d.RunMaintenance()
+			}
+		}
+	}()
+}
+
+// Stop halts the maintenance loop and waits for it to exit. Safe to call
+// when never started.
+func (d *Driver) Stop() {
+	if d.stop == nil {
+		return
+	}
+	close(d.stop)
+	<-d.done
+	d.stop = nil
+	d.done = nil
+}
+
+// RunMaintenance performs one synchronized maintenance round.
+func (d *Driver) RunMaintenance() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nw.StabilizeAll()
+	d.rounds++
+}
+
+// MaintenanceRounds reports how many rounds have run.
+func (d *Driver) MaintenanceRounds() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rounds
+}
+
+// Create bootstraps the overlay's first node.
+func (d *Driver) Create(id ids.ID) (*Node, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nw.Create(id)
+}
+
+// Join adds a node through the given bootstrap node's ID.
+func (d *Driver) Join(id, bootstrap ids.ID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b := d.nw.Node(bootstrap)
+	if b == nil {
+		return ErrDead
+	}
+	_, err := d.nw.Join(id, b)
+	return err
+}
+
+// Kill crashes a node.
+func (d *Driver) Kill(id ids.ID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nw.Kill(id)
+}
+
+// Leave removes a node gracefully.
+func (d *Driver) Leave(id ids.ID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nw.Leave(id)
+}
+
+// Put stores a key through any live node.
+func (d *Driver) Put(key ids.ID, value string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	entry := d.anyLive()
+	if entry == nil {
+		return ErrIsolated
+	}
+	return entry.Put(key, value)
+}
+
+// Get fetches a key through any live node.
+func (d *Driver) Get(key ids.ID) (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	entry := d.anyLive()
+	if entry == nil {
+		return "", ErrIsolated
+	}
+	return entry.Get(key)
+}
+
+// Lookup resolves the owner of a key and the hops taken.
+func (d *Driver) Lookup(key ids.ID) (ids.ID, int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	entry := d.anyLive()
+	if entry == nil {
+		return ids.Zero, 0, ErrIsolated
+	}
+	n, hops, err := entry.Lookup(key)
+	if err != nil {
+		return ids.Zero, hops, err
+	}
+	return n.ID(), hops, nil
+}
+
+// Trace resolves a key recording the route taken.
+func (d *Driver) Trace(key ids.ID) (LookupTrace, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	entry := d.anyLive()
+	if entry == nil {
+		return LookupTrace{}, ErrIsolated
+	}
+	return entry.LookupTraced(key)
+}
+
+// Stats snapshots the overlay's health.
+func (d *Driver) Stats() OverlayStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nw.Stats()
+}
+
+// KeyDistribution returns primary-key counts per live node in ring order.
+func (d *Driver) KeyDistribution() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nw.KeyDistribution()
+}
+
+// AliveIDs returns the live node IDs in ring order.
+func (d *Driver) AliveIDs() []ids.ID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nw.AliveIDs()
+}
+
+// TotalMessages returns the overlay's message total.
+func (d *Driver) TotalMessages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nw.TotalMessages()
+}
+
+// VerifyRing checks ring consistency (nil when converged).
+func (d *Driver) VerifyRing() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nw.VerifyRing()
+}
+
+// anyLive returns some live node; callers hold d.mu.
+func (d *Driver) anyLive() *Node {
+	for _, n := range d.nw.nodes {
+		if n.alive {
+			return n
+		}
+	}
+	return nil
+}

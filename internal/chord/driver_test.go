@@ -1,0 +1,169 @@
+package chord
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"chordbalance/internal/ids"
+	"chordbalance/internal/keys"
+	"chordbalance/internal/xrand"
+)
+
+func buildDriver(t *testing.T, n int, seed uint64, interval time.Duration) *Driver {
+	t.Helper()
+	d := NewDriver(NewNetwork(Config{}), interval)
+	g := keys.NewGenerator(seed)
+	first := g.Next()
+	if _, err := d.Create(first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if err := d.Join(g.Next(), first); err != nil {
+			t.Fatal(err)
+		}
+		d.RunMaintenance()
+	}
+	for i := 0; i < 4*n; i++ {
+		d.RunMaintenance()
+		if d.VerifyRing() == nil {
+			return d
+		}
+	}
+	t.Fatalf("driver ring did not converge: %v", d.VerifyRing())
+	return nil
+}
+
+func TestDriverBasicOps(t *testing.T) {
+	d := buildDriver(t, 10, 1, 0)
+	k := keys.HashString("hello")
+	if err := d.Put(k, "world"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Get(k)
+	if err != nil || v != "world" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	owner, hops, err := d.Lookup(k)
+	if err != nil || owner == ids.Zero || hops < 0 {
+		t.Fatalf("Lookup = %v, %d, %v", owner, hops, err)
+	}
+	if len(d.AliveIDs()) != 10 {
+		t.Errorf("alive = %d", len(d.AliveIDs()))
+	}
+	if d.TotalMessages() == 0 {
+		t.Error("no messages counted")
+	}
+}
+
+func TestDriverJoinUnknownBootstrap(t *testing.T) {
+	d := NewDriver(NewNetwork(Config{}), 0)
+	if err := d.Join(ids.FromUint64(1), ids.FromUint64(2)); err != ErrDead {
+		t.Errorf("join via unknown bootstrap: %v", err)
+	}
+}
+
+func TestDriverEmptyOverlay(t *testing.T) {
+	d := NewDriver(NewNetwork(Config{}), 0)
+	if err := d.Put(ids.FromUint64(1), "x"); err != ErrIsolated {
+		t.Errorf("Put on empty overlay: %v", err)
+	}
+	if _, err := d.Get(ids.FromUint64(1)); err != ErrIsolated {
+		t.Errorf("Get on empty overlay: %v", err)
+	}
+	if _, _, err := d.Lookup(ids.FromUint64(1)); err != ErrIsolated {
+		t.Errorf("Lookup on empty overlay: %v", err)
+	}
+}
+
+func TestDriverStartStop(t *testing.T) {
+	d := buildDriver(t, 4, 2, time.Millisecond)
+	d.Start()
+	deadline := time.After(2 * time.Second)
+	for d.MaintenanceRounds() < 3 {
+		select {
+		case <-deadline:
+			t.Fatal("maintenance loop never ran")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	d.Stop()
+	rounds := d.MaintenanceRounds()
+	time.Sleep(5 * time.Millisecond)
+	if d.MaintenanceRounds() != rounds {
+		t.Error("maintenance continued after Stop")
+	}
+	// Stop twice and restart are safe.
+	d.Stop()
+	d.Start()
+	d.Stop()
+}
+
+func TestDriverDoubleStartPanics(t *testing.T) {
+	d := NewDriver(NewNetwork(Config{}), time.Second)
+	d.Start()
+	defer d.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Error("second Start must panic")
+		}
+	}()
+	d.Start()
+}
+
+func TestDriverZeroIntervalStartIsNoop(t *testing.T) {
+	d := NewDriver(NewNetwork(Config{}), 0)
+	d.Start() // must not spawn anything or panic
+	d.Stop()
+}
+
+// TestDriverConcurrentClients hammers the overlay from many goroutines
+// while the maintenance loop runs and nodes crash — the concurrency
+// contract the Driver exists to provide. Run with -race.
+func TestDriverConcurrentClients(t *testing.T) {
+	d := buildDriver(t, 24, 3, 200*time.Microsecond)
+	d.Start()
+	defer d.Stop()
+
+	alive := d.AliveIDs()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	const writers, reads = 4, 50
+	// Writers store disjoint key sets, then read them back.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(w) + 10)
+			for i := 0; i < reads; i++ {
+				k := keys.HashString(fmt.Sprintf("w%d-k%d", w, i))
+				val := fmt.Sprintf("v%d-%d", w, i)
+				if err := d.Put(k, val); err != nil {
+					errs <- fmt.Errorf("put: %w", err)
+					return
+				}
+				got, err := d.Get(k)
+				if err != nil || got != val {
+					errs <- fmt.Errorf("get %q = %q, %v", val, got, err)
+					return
+				}
+				_ = rng
+			}
+		}(w)
+	}
+	// A crasher takes down two non-bootstrap nodes mid-traffic.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		d.Kill(alive[5])
+		time.Sleep(time.Millisecond)
+		d.Kill(alive[11])
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,59 @@
+package chord
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"math"
+
+	"chordbalance/internal/ids"
+)
+
+// LatencyModel maps a pair of node IDs to the one-way network latency of
+// a message between them (arbitrary units; the plane model below is in
+// unit-square distances). Chord's identifier space is deliberately blind
+// to network proximity, so consecutive routing hops criss-cross the
+// physical network — installing a model makes that cost visible.
+type LatencyModel func(from, to ids.ID) float64
+
+// SetLatencyModel installs a latency model; nil (the default) disables
+// latency accounting. Call before driving traffic.
+func (nw *Network) SetLatencyModel(m LatencyModel) { nw.latency = m }
+
+// TotalLatency returns the accumulated latency of all charged messages
+// since the overlay was created (0 when no model is installed).
+func (nw *Network) TotalLatency() float64 { return nw.totalLatency }
+
+// chargeBetween records a message with known endpoints.
+func (nw *Network) chargeBetween(kind string, from, to ids.ID) {
+	nw.charge(kind)
+	if nw.latency != nil {
+		nw.totalLatency += nw.latency(from, to)
+	}
+}
+
+// UniformPlaneLatency places every node deterministically (by hashing
+// its ID) at a point in the unit square and returns Euclidean distances:
+// the standard synthetic stand-in for geographic spread. Two overlays
+// built from the same node IDs therefore agree on every pairwise
+// latency.
+func UniformPlaneLatency() LatencyModel {
+	coord := func(id ids.ID) (x, y float64) {
+		sum := sha1.Sum(append([]byte("coord:"), id[:]...))
+		x = float64(binary.BigEndian.Uint32(sum[0:4])) / float64(1<<32)
+		y = float64(binary.BigEndian.Uint32(sum[4:8])) / float64(1<<32)
+		return
+	}
+	return func(from, to ids.ID) float64 {
+		x1, y1 := coord(from)
+		x2, y2 := coord(to)
+		return math.Hypot(x2-x1, y2-y1)
+	}
+}
+
+// LookupWithLatency resolves key like Lookup and additionally returns the
+// route's total latency under the installed model (0 without one).
+func (n *Node) LookupWithLatency(key ids.ID) (owner *Node, hops int, latency float64, err error) {
+	before := n.nw.totalLatency
+	owner, hops, err = n.Lookup(key)
+	return owner, hops, n.nw.totalLatency - before, err
+}

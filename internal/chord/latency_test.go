@@ -1,0 +1,74 @@
+package chord
+
+import (
+	"math"
+	"testing"
+
+	"chordbalance/internal/ids"
+	"chordbalance/internal/xrand"
+)
+
+func TestUniformPlaneLatencyProperties(t *testing.T) {
+	m := UniformPlaneLatency()
+	a, b := ids.FromUint64(1), ids.FromUint64(2)
+	if m(a, a) != 0 {
+		t.Error("self latency must be 0")
+	}
+	if m(a, b) != m(b, a) {
+		t.Error("latency must be symmetric")
+	}
+	if d := m(a, b); d <= 0 || d > math.Sqrt2 {
+		t.Errorf("latency %v outside (0, sqrt2]", d)
+	}
+	// Deterministic across model instances.
+	if UniformPlaneLatency()(a, b) != m(a, b) {
+		t.Error("model must be deterministic")
+	}
+}
+
+func TestLookupWithLatency(t *testing.T) {
+	nw := buildRing(t, 32, 60)
+	nw.FixAllFingers()
+	nw.SetLatencyModel(UniformPlaneLatency())
+	entry := nw.Node(nw.AliveIDs()[0])
+	rng := xrand.New(61)
+	var totalHops int
+	var totalLat float64
+	for i := 0; i < 100; i++ {
+		_, hops, lat, err := entry.LookupWithLatency(ids.Random(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hops == 0 && lat != 0 {
+			t.Fatalf("zero hops but latency %v", lat)
+		}
+		if lat < 0 || lat > float64(hops)*math.Sqrt2 {
+			t.Fatalf("latency %v inconsistent with %d hops", lat, hops)
+		}
+		totalHops += hops
+		totalLat += lat
+	}
+	if totalLat <= 0 {
+		t.Fatal("no latency accumulated")
+	}
+	// Mean per-hop latency of random points in the unit square is ~0.52;
+	// accept a broad band.
+	perHop := totalLat / float64(totalHops)
+	if perHop < 0.3 || perHop > 0.8 {
+		t.Errorf("mean per-hop latency %v, want ~0.52 (proximity-blind routing)", perHop)
+	}
+	if nw.TotalLatency() < totalLat {
+		t.Error("network total must include lookup latency")
+	}
+}
+
+func TestLatencyDisabledByDefault(t *testing.T) {
+	nw := buildRing(t, 8, 62)
+	entry := nw.Node(nw.AliveIDs()[0])
+	if _, _, err := entry.Lookup(ids.FromUint64(5)); err != nil {
+		t.Fatal(err)
+	}
+	if nw.TotalLatency() != 0 {
+		t.Error("latency accounted without a model")
+	}
+}

@@ -1,0 +1,323 @@
+package chord
+
+import (
+	"chordbalance/internal/ids"
+)
+
+// Node is one Chord participant.
+type Node struct {
+	nw    *Network
+	id    ids.ID
+	alive bool
+
+	// pred is the predecessor pointer maintained by notify; hasPred is
+	// false until the first notify arrives.
+	pred    ids.ID
+	hasPred bool
+
+	// succList is the r-entry successor list, nearest first. Entry 0 is
+	// the working successor.
+	succList []ids.ID
+
+	// fingers[i] caches successor(id + 2^i); entries start unset (Zero
+	// means "fall back to the successor").
+	fingers    [ids.Bits]ids.ID
+	nextFinger int
+
+	// data holds every key/value this node stores, primary or replica;
+	// responsibility is implied by ring position.
+	data map[ids.ID]string
+}
+
+func newNode(nw *Network, id ids.ID) *Node {
+	return &Node{nw: nw, id: id, alive: true, data: make(map[ids.ID]string)}
+}
+
+// ID returns the node's ring identifier.
+func (n *Node) ID() ids.ID { return n.id }
+
+// Alive reports whether the node is up.
+func (n *Node) Alive() bool { return n.alive }
+
+// Successor returns the node's working successor ID.
+func (n *Node) Successor() ids.ID {
+	if len(n.succList) == 0 {
+		return n.id
+	}
+	return n.succList[0]
+}
+
+// SuccessorList returns a copy of the successor list.
+func (n *Node) SuccessorList() []ids.ID {
+	return append([]ids.ID(nil), n.succList...)
+}
+
+// Predecessor returns the predecessor pointer and whether it is set.
+func (n *Node) Predecessor() (ids.ID, bool) { return n.pred, n.hasPred }
+
+// KeyCount returns how many keys (primary + replica) the node stores.
+func (n *Node) KeyCount() int { return len(n.data) }
+
+// remote models an RPC to another node: it charges one message and fails
+// if the callee is dead, the way a timeout would.
+func (n *Node) remote(to ids.ID, kind string) (*Node, error) {
+	n.nw.charge(kind)
+	t := n.nw.nodes[to]
+	if t == nil || !t.alive {
+		return nil, ErrDead
+	}
+	return t, nil
+}
+
+// firstLiveSuccessor walks the successor list past dead entries, pruning
+// them, and returns the first live successor node (nil if none).
+func (n *Node) firstLiveSuccessor() *Node {
+	for len(n.succList) > 0 {
+		t := n.nw.nodes[n.succList[0]]
+		if t != nil && t.alive {
+			return t
+		}
+		// Dead: drop and try the next backup (this is exactly what the
+		// successor list exists for).
+		n.succList = n.succList[1:]
+	}
+	return nil
+}
+
+// closestPreceding returns the live finger or successor-list entry that
+// most closely precedes key, or n itself if none does.
+func (n *Node) closestPreceding(key ids.ID) *Node {
+	// Scan fingers from the farthest down, as in the Chord paper, but
+	// skip entries that are unset or dead.
+	for i := ids.Bits - 1; i >= 0; i-- {
+		f := n.fingers[i]
+		if f == ids.Zero || f == n.id {
+			continue
+		}
+		if !ids.Between(f, n.id, key) {
+			continue
+		}
+		t := n.nw.nodes[f]
+		if t != nil && t.alive {
+			return t
+		}
+		n.fingers[i] = ids.Zero // prune the dead finger
+	}
+	// Fall back on the successor list.
+	var best *Node
+	for _, s := range n.succList {
+		if !ids.Between(s, n.id, key) {
+			continue
+		}
+		t := n.nw.nodes[s]
+		if t != nil && t.alive {
+			best = t // entries are nearest-first; the last match is closest
+		}
+	}
+	if best != nil {
+		return best
+	}
+	return n
+}
+
+// Lookup finds the live node responsible for key using iterative routing.
+// It returns the owner and the number of routing hops taken.
+func (n *Node) Lookup(key ids.ID) (*Node, int, error) {
+	if !n.alive {
+		return nil, 0, ErrDead
+	}
+	cur := n
+	hops := 0
+	for hops <= n.nw.cfg.MaxHops {
+		succ := cur.firstLiveSuccessor()
+		if succ == nil {
+			if cur.alive && len(cur.nw.AliveIDs()) == 1 {
+				return cur, hops, nil // alone on the ring
+			}
+			return nil, hops, ErrIsolated
+		}
+		if ids.BetweenRightIncl(key, cur.id, succ.id) {
+			return succ, hops, nil
+		}
+		next := cur.closestPreceding(key)
+		if next == cur {
+			// No finger advances us; step to the successor.
+			next = succ
+		}
+		n.nw.chargeBetween("lookup", cur.id, next.id)
+		hops++
+		cur = next
+	}
+	return nil, hops, ErrNoRoute
+}
+
+// LookupRecursive resolves key with recursive routing: each hop forwards
+// the query onward instead of answering back to the initiator. Recursive
+// routing needs the same number of forwarding hops but only one return
+// message, so deployments with high per-message latency prefer it; the
+// iterative Lookup is easier to make robust. Both are provided so the
+// trade-off is measurable (messages are charged per forward).
+func (n *Node) LookupRecursive(key ids.ID) (*Node, int, error) {
+	if !n.alive {
+		return nil, 0, ErrDead
+	}
+	return n.lookupRecursive(key, 0)
+}
+
+func (n *Node) lookupRecursive(key ids.ID, depth int) (*Node, int, error) {
+	if depth > n.nw.cfg.MaxHops {
+		return nil, depth, ErrNoRoute
+	}
+	succ := n.firstLiveSuccessor()
+	if succ == nil {
+		if n.alive && len(n.nw.AliveIDs()) == 1 {
+			return n, depth, nil
+		}
+		return nil, depth, ErrIsolated
+	}
+	if ids.BetweenRightIncl(key, n.id, succ.id) {
+		return succ, depth, nil
+	}
+	next := n.closestPreceding(key)
+	if next == n {
+		next = succ
+	}
+	n.nw.charge("lookup-recursive")
+	return next.lookupRecursive(key, depth+1)
+}
+
+// stabilize is the classic Chord stabilization step: verify the working
+// successor, adopt its predecessor if that node sits between us, notify,
+// and refresh the successor list from the (possibly new) successor.
+func (n *Node) stabilize() {
+	if !n.alive {
+		return
+	}
+	succ := n.firstLiveSuccessor()
+	if succ == nil {
+		return
+	}
+	n.nw.charge("stabilize")
+	if succ.hasPred {
+		x := n.nw.nodes[succ.pred]
+		if x != nil && x.alive && x.id != n.id && ids.Between(x.id, n.id, succ.id) {
+			succ = x
+		}
+	}
+	// Rebuild the successor list: succ first, then its list shifted.
+	list := make([]ids.ID, 0, n.nw.cfg.SuccessorListLen)
+	list = append(list, succ.id)
+	for _, s := range succ.succList {
+		if len(list) >= n.nw.cfg.SuccessorListLen {
+			break
+		}
+		if s != n.id && s != succ.id {
+			list = append(list, s)
+		}
+	}
+	n.succList = list
+	succ.notify(n)
+}
+
+// notify tells the node that caller might be its predecessor.
+func (n *Node) notify(caller *Node) {
+	n.nw.charge("notify")
+	cur := n.nw.nodes[n.pred]
+	predDead := !n.hasPred || cur == nil || !cur.alive
+	if predDead || ids.Between(caller.id, n.pred, n.id) {
+		n.pred = caller.id
+		n.hasPred = true
+	}
+}
+
+// fixNextFinger advances the round-robin finger repair by one entry.
+func (n *Node) fixNextFinger() {
+	n.fixFinger(n.nextFinger)
+	n.nextFinger = (n.nextFinger + 1) % ids.Bits
+}
+
+func (n *Node) fixFinger(i int) {
+	if !n.alive {
+		return
+	}
+	target := n.id.Add(ids.PowerOfTwo(i))
+	owner, _, err := n.Lookup(target)
+	if err != nil {
+		return // leave the stale entry; a later round will retry
+	}
+	n.fingers[i] = owner.id
+}
+
+// Put stores value under key at the responsible node and replicates it to
+// the owner's successors.
+func (n *Node) Put(key ids.ID, value string) error {
+	owner, _, err := n.Lookup(key)
+	if err != nil {
+		return err
+	}
+	n.nw.charge("put")
+	owner.data[key] = value
+	owner.replicate(key, value)
+	return nil
+}
+
+// Get fetches the value for key from the responsible node. Because
+// replicas are promoted by ring position, a Get right after a crash
+// succeeds as soon as routing has healed.
+func (n *Node) Get(key ids.ID) (string, error) {
+	owner, _, err := n.Lookup(key)
+	if err != nil {
+		return "", err
+	}
+	n.nw.charge("get")
+	if v, ok := owner.data[key]; ok {
+		return v, nil
+	}
+	return "", ErrNotFound
+}
+
+// replicate pushes one key to the next Replicas live successors.
+func (n *Node) replicate(key ids.ID, value string) {
+	count := 0
+	cur := n
+	for count < n.nw.cfg.Replicas {
+		succ := cur.firstLiveSuccessor()
+		if succ == nil || succ.id == n.id {
+			return // wrapped around a small ring
+		}
+		n.nw.charge("replicate")
+		succ.data[key] = value
+		cur = succ
+		count++
+	}
+}
+
+// repairReplicas re-replicates the keys this node is primarily
+// responsible for — the "active, aggressive" backup maintenance the paper
+// assumes (§V). Responsibility is (pred, id].
+func (n *Node) repairReplicas() {
+	if !n.alive || !n.hasPred {
+		return
+	}
+	for k, v := range n.data {
+		if ids.BetweenRightIncl(k, n.pred, n.id) {
+			n.replicate(k, v)
+		}
+	}
+}
+
+// transferTo hands the joining node newN every key in its new range
+// (pred(n), newN.id]. The keys stay on n as replicas — exactly what the
+// active-backup scheme would produce.
+func (n *Node) transferTo(newN *Node) {
+	low := n.pred
+	if !n.hasPred {
+		low = n.id
+	}
+	for k, v := range n.data {
+		if ids.BetweenRightIncl(k, low, newN.id) {
+			n.nw.charge("transfer")
+			newN.data[k] = v
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package chord
+
+import (
+	"strings"
+	"testing"
+
+	"chordbalance/internal/ids"
+	"chordbalance/internal/keys"
+	"chordbalance/internal/xrand"
+)
+
+func TestLookupTracedMatchesLookup(t *testing.T) {
+	nw := buildRing(t, 24, 30)
+	nw.FixAllFingers()
+	entry := nw.Node(nw.AliveIDs()[0])
+	rng := xrand.New(31)
+	for i := 0; i < 50; i++ {
+		key := ids.Random(rng)
+		owner, hops, err := entry.Lookup(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := entry.LookupTraced(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Owner != owner.ID() {
+			t.Fatalf("traced owner %s != %s", tr.Owner.Short(), owner.ID().Short())
+		}
+		if len(tr.Path)-1 != hops {
+			t.Fatalf("traced hops %d != %d", len(tr.Path)-1, hops)
+		}
+		if tr.Path[0] != entry.ID() {
+			t.Fatal("trace must start at the initiator")
+		}
+	}
+}
+
+func TestLookupTraceString(t *testing.T) {
+	tr := LookupTrace{
+		Owner: ids.FromUint64(3),
+		Path:  []ids.ID{ids.FromUint64(1), ids.FromUint64(2)},
+	}
+	s := tr.String()
+	if !strings.Contains(s, " -> ") || !strings.Contains(s, " => ") {
+		t.Errorf("trace string = %q", s)
+	}
+}
+
+func TestLookupTracedDeadNode(t *testing.T) {
+	nw := buildRing(t, 4, 32)
+	alive := nw.AliveIDs()
+	n := nw.Node(alive[1])
+	nw.Kill(alive[1])
+	if _, err := n.LookupTraced(ids.FromUint64(1)); err != ErrDead {
+		t.Errorf("dead initiator: %v", err)
+	}
+}
+
+func TestStatsReplication(t *testing.T) {
+	nw := buildRing(t, 12, 33)
+	nw.FixAllFingers()
+	entry := nw.Node(nw.AliveIDs()[0])
+	g := keys.NewGenerator(34)
+	for i := 0; i < 60; i++ {
+		if err := entry.Put(g.Next(), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.StabilizeAll() // replica repair pass
+	s := nw.Stats()
+	if s.AliveNodes != 12 || s.DeadNodes != 0 {
+		t.Errorf("node counts: %+v", s)
+	}
+	if s.PrimaryKeys != 60 {
+		t.Errorf("primary keys = %d, want 60", s.PrimaryKeys)
+	}
+	// Config.Replicas defaults to 3: each key on owner + 3 successors.
+	if s.MeanReplication < 3.5 || s.MeanReplication > 4.5 {
+		t.Errorf("mean replication = %v, want ~4", s.MeanReplication)
+	}
+	if !s.RingConsistent {
+		t.Error("ring must be consistent")
+	}
+	if s.Messages == 0 {
+		t.Error("messages must be counted")
+	}
+	nw.Kill(nw.AliveIDs()[3])
+	s2 := nw.Stats()
+	if s2.DeadNodes != 1 || s2.AliveNodes != 11 {
+		t.Errorf("after kill: %+v", s2)
+	}
+}
+
+func TestKeyDistributionConserves(t *testing.T) {
+	nw := buildRing(t, 10, 35)
+	nw.FixAllFingers()
+	entry := nw.Node(nw.AliveIDs()[0])
+	g := keys.NewGenerator(36)
+	const stored = 80
+	for i := 0; i < stored; i++ {
+		if err := entry.Put(g.Next(), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dist := nw.KeyDistribution()
+	if len(dist) != 10 {
+		t.Fatalf("dist len = %d", len(dist))
+	}
+	sum := 0
+	for _, d := range dist {
+		sum += d
+	}
+	if sum != stored {
+		t.Errorf("primary keys sum = %d, want %d", sum, stored)
+	}
+}

@@ -1,0 +1,365 @@
+// Package chordreduce reimplements the essence of ChordReduce (Rosen et
+// al., ICA CON 2014), the authors' MapReduce framework over a Chord DHT
+// and the system whose churn behavior motivated this paper: input chunks,
+// intermediate results, and outputs all live in the DHT with active
+// replication, so the job survives node failures by re-executing work on
+// whichever node has become responsible for it.
+//
+// Execution is deterministic and phase-structured. The runner drives map
+// tasks in ring order and lets the caller inject failures between steps
+// through a hook, then proves the job still produces exactly the
+// sequential result.
+package chordreduce
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"chordbalance/internal/chord"
+	"chordbalance/internal/ids"
+	"chordbalance/internal/keys"
+)
+
+// KV is one intermediate key/value pair emitted by a map function.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// MapFunc transforms one input chunk into intermediate pairs.
+type MapFunc func(chunkName, content string) []KV
+
+// ReduceFunc folds all values of one intermediate key into a final value.
+type ReduceFunc func(key string, values []string) string
+
+// Job describes a complete MapReduce computation.
+type Job struct {
+	Map    MapFunc
+	Reduce ReduceFunc
+	// Combine, when non-nil, pre-aggregates one chunk's values for a key
+	// before they are stored in the DHT — Hadoop's combiner. It must be
+	// semantically compatible with Reduce (Reduce(Combine(v)) ==
+	// Reduce(v)); word count's "sum the ones" is the classic case. It
+	// cuts the intermediate data volume, which the runner reports as
+	// BytesStored.
+	Combine func(key string, values []string) []string
+	// Inputs maps chunk names to their contents.
+	Inputs map[string]string
+}
+
+// valueSep joins multiple values inside one DHT entry. Map values must
+// not contain it; Validate enforces this at emission time.
+const valueSep = "\x1f"
+
+// ErrValueSeparator is returned when a map function emits a value
+// containing the reserved separator byte.
+var ErrValueSeparator = errors.New("chordreduce: map value contains reserved separator 0x1f")
+
+// ErrDataLost is returned when a required DHT entry cannot be recovered
+// even after stabilization — more adjacent failures than replicas.
+var ErrDataLost = errors.New("chordreduce: data lost from the DHT")
+
+// StepHook is called after each completed unit of work with the phase
+// name ("distribute", "map", "reduce") and step index; tests use it to
+// inject failures mid-job.
+type StepHook func(phase string, step int)
+
+// Result is the outcome of a run.
+type Result struct {
+	// Output is the reduced result per intermediate key.
+	Output map[string]string
+	// MapExecutions counts map-task executions; it exceeds the number of
+	// chunks exactly when failures forced re-execution.
+	MapExecutions int
+	// Messages is the DHT message total consumed by the job.
+	Messages int
+	// BytesStored is the total payload volume written to the DHT
+	// (chunks, intermediates, outputs, markers). A Combine function
+	// shrinks the intermediate share.
+	BytesStored int
+}
+
+// Runner executes a Job on a chord overlay.
+type Runner struct {
+	nw    *chord.Network
+	entry *chord.Node
+	job   Job
+	// Hook, when non-nil, is invoked after every completed step.
+	Hook StepHook
+	// FailNextMaps makes the next n map-task executions crash mid-task:
+	// only part of their intermediate output is written and no completion
+	// marker is stored, exactly as if the mapper died partway through.
+	// The chunk is then re-executed (by its new owner) on a later round.
+	FailNextMaps int
+
+	// chunkID maps each input chunk to its DHT key.
+	chunkID map[string]ids.ID
+	// mapExecs counts map-task executions, including crashed ones.
+	mapExecs int
+	// bytes accumulates payload volume written through putRetry.
+	bytes int
+}
+
+// NewRunner prepares a job against the overlay reachable through entry.
+func NewRunner(nw *chord.Network, entry *chord.Node, job Job) *Runner {
+	return &Runner{nw: nw, entry: entry, job: job, chunkID: make(map[string]ids.ID)}
+}
+
+// Run executes distribute → map → reduce and returns the result.
+func (r *Runner) Run() (*Result, error) {
+	before := r.nw.TotalMessages()
+	if err := r.Distribute(); err != nil {
+		return nil, err
+	}
+	index, err := r.MapPhase()
+	if err != nil {
+		return nil, err
+	}
+	out, err := r.ReducePhase(index)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Output:        out,
+		MapExecutions: r.mapExecs,
+		Messages:      r.nw.TotalMessages() - before,
+		BytesStored:   r.bytes,
+	}, nil
+}
+
+// Distribute stores every input chunk in the DHT under SHA1(chunkName),
+// replicated to the owner's successors.
+func (r *Runner) Distribute() error {
+	step := 0
+	for _, name := range r.sortedChunks() {
+		id := keys.HashString("chunk:" + name)
+		r.chunkID[name] = id
+		if err := r.putRetry(id, r.job.Inputs[name]); err != nil {
+			return fmt.Errorf("chordreduce: distribute %q: %w", name, err)
+		}
+		r.hook("distribute", step)
+		step++
+	}
+	return nil
+}
+
+// imIndex records where each (intermediate key, chunk) contribution lives.
+type imIndex map[string]map[string]ids.ID // interKey -> chunk -> DHT id
+
+// MapPhase runs every map task on the node currently responsible for its
+// chunk, storing intermediate contributions in the DHT. Chunks whose
+// completion marker is missing (because the responsible node died before
+// finishing) are re-executed by the new owner; contributions are keyed by
+// (interKey, chunk), so re-execution overwrites rather than duplicates.
+func (r *Runner) MapPhase() (imIndex, error) {
+	index := make(imIndex)
+	pending := r.sortedChunks()
+	step := 0
+	for round := 0; len(pending) > 0; round++ {
+		if round > len(r.job.Inputs)+10 {
+			return nil, ErrDataLost
+		}
+		var still []string
+		for _, name := range pending {
+			content, err := r.getRetry(r.chunkID[name])
+			if err != nil {
+				return nil, fmt.Errorf("chordreduce: chunk %q: %w", name, err)
+			}
+			kvs := r.job.Map(name, content)
+			r.mapExecs++
+			grouped := map[string][]string{}
+			for _, kv := range kvs {
+				if strings.Contains(kv.Value, valueSep) {
+					return nil, ErrValueSeparator
+				}
+				grouped[kv.Key] = append(grouped[kv.Key], kv.Value)
+			}
+			if r.job.Combine != nil {
+				for ik, vs := range grouped {
+					combined := r.job.Combine(ik, vs)
+					for _, v := range combined {
+						if strings.Contains(v, valueSep) {
+							return nil, ErrValueSeparator
+						}
+					}
+					grouped[ik] = combined
+				}
+			}
+			crashAfter := -1
+			if r.FailNextMaps > 0 {
+				r.FailNextMaps--
+				crashAfter = len(grouped) / 2
+			}
+			failed := false
+			for i, ik := range sortedKeys(grouped) {
+				if i == crashAfter {
+					failed = true // mapper died mid-task
+					break
+				}
+				id := keys.HashString("im:" + name + ":" + ik)
+				if err := r.putRetry(id, strings.Join(grouped[ik], valueSep)); err != nil {
+					failed = true
+					break
+				}
+				m := index[ik]
+				if m == nil {
+					m = make(map[string]ids.ID)
+					index[ik] = m
+				}
+				m[name] = id
+			}
+			if failed {
+				still = append(still, name)
+				continue
+			}
+			// Completion marker: replicated like any other key, so the
+			// new owner of a crashed mapper's range can see the chunk
+			// finished.
+			marker := keys.HashString("done:" + name)
+			if err := r.putRetry(marker, "1"); err != nil {
+				still = append(still, name)
+				continue
+			}
+			r.hook("map", step)
+			step++
+			// The hook may have killed nodes; verify the marker
+			// survived. If not, the chunk is re-executed next round —
+			// the heart of ChordReduce's fault tolerance.
+			if _, err := r.getRetry(marker); err != nil {
+				still = append(still, name)
+			}
+		}
+		pending = still
+	}
+	return index, nil
+}
+
+// ReducePhase folds every intermediate key's contributions and stores the
+// outputs back into the DHT under SHA1("out:"+key).
+func (r *Runner) ReducePhase(index imIndex) (map[string]string, error) {
+	out := make(map[string]string, len(index))
+	step := 0
+	for _, ik := range sortedKeys(index) {
+		var values []string
+		for _, chunk := range sortedKeys(index[ik]) {
+			blob, err := r.getRetry(index[ik][chunk])
+			if err != nil {
+				return nil, fmt.Errorf("chordreduce: intermediate %q/%q: %w", ik, chunk, err)
+			}
+			values = append(values, strings.Split(blob, valueSep)...)
+		}
+		v := r.job.Reduce(ik, values)
+		if err := r.putRetry(keys.HashString("out:"+ik), v); err != nil {
+			return nil, fmt.Errorf("chordreduce: output %q: %w", ik, err)
+		}
+		out[ik] = v
+		r.hook("reduce", step)
+		step++
+	}
+	return out, nil
+}
+
+// FetchOutput reads a reduced value back out of the DHT.
+func (r *Runner) FetchOutput(key string) (string, error) {
+	return r.getRetry(keys.HashString("out:" + key))
+}
+
+func (r *Runner) hook(phase string, step int) {
+	if r.Hook != nil {
+		r.Hook(phase, step)
+	}
+}
+
+// putRetry stores a key, healing the ring and retrying when routing is
+// mid-repair after failures.
+func (r *Runner) putRetry(id ids.ID, value string) error {
+	var err error
+	for attempt := 0; attempt < 4; attempt++ {
+		if err = r.entry.Put(id, value); err == nil {
+			r.bytes += len(value)
+			return nil
+		}
+		r.nw.StabilizeUntilConverged(64)
+	}
+	return err
+}
+
+// getRetry fetches a key with the same healing behavior. A value that is
+// still missing on a converged ring is genuinely lost.
+func (r *Runner) getRetry(id ids.ID) (string, error) {
+	for attempt := 0; attempt < 4; attempt++ {
+		v, err := r.entry.Get(id)
+		if err == nil {
+			return v, nil
+		}
+		r.nw.StabilizeUntilConverged(64)
+		if err == chord.ErrNotFound {
+			if v, err2 := r.entry.Get(id); err2 == nil {
+				return v, nil
+			}
+			return "", ErrDataLost
+		}
+	}
+	return "", ErrDataLost
+}
+
+func (r *Runner) sortedChunks() []string {
+	names := make([]string, 0, len(r.job.Inputs))
+	for name := range r.job.Inputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sequential runs the job without any DHT, for verifying distributed
+// results.
+func Sequential(job Job) map[string]string {
+	grouped := map[string][]string{}
+	names := make([]string, 0, len(job.Inputs))
+	for name := range job.Inputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, kv := range job.Map(name, job.Inputs[name]) {
+			grouped[kv.Key] = append(grouped[kv.Key], kv.Value)
+		}
+	}
+	out := make(map[string]string, len(grouped))
+	for k, vs := range grouped {
+		out[k] = job.Reduce(k, vs)
+	}
+	return out
+}
+
+// WordCount is the canonical example job over the given documents.
+func WordCount(docs map[string]string) Job {
+	return Job{
+		Inputs: docs,
+		Map: func(_, content string) []KV {
+			var out []KV
+			for _, w := range strings.Fields(content) {
+				w = strings.ToLower(strings.Trim(w, ".,;:!?\"'()"))
+				if w != "" {
+					out = append(out, KV{Key: w, Value: "1"})
+				}
+			}
+			return out
+		},
+		Reduce: func(_ string, values []string) string {
+			return fmt.Sprintf("%d", len(values))
+		},
+	}
+}

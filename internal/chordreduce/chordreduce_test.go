@@ -1,0 +1,229 @@
+package chordreduce
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"chordbalance/internal/chord"
+	"chordbalance/internal/keys"
+)
+
+func buildOverlay(t testing.TB, n int, seed uint64) (*chord.Network, *chord.Node) {
+	t.Helper()
+	nw := chord.NewNetwork(chord.Config{})
+	g := keys.NewGenerator(seed)
+	entry, err := nw.Create(g.Next())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if _, err := nw.Join(g.Next(), entry); err != nil {
+			t.Fatal(err)
+		}
+		nw.StabilizeAll()
+	}
+	if _, ok := nw.StabilizeUntilConverged(4 * n); !ok {
+		t.Fatalf("overlay did not converge: %v", nw.VerifyRing())
+	}
+	nw.FixAllFingers()
+	return nw, entry
+}
+
+var docs = map[string]string{
+	"doc1": "the quick brown fox jumps over the lazy dog",
+	"doc2": "the dog barks and the fox runs",
+	"doc3": "quick quick slow",
+}
+
+func TestWordCountMatchesSequential(t *testing.T) {
+	nw, entry := buildOverlay(t, 12, 1)
+	job := WordCount(docs)
+	res, err := NewRunner(nw, entry, job).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Sequential(job)
+	if len(res.Output) != len(want) {
+		t.Fatalf("output size %d, want %d", len(res.Output), len(want))
+	}
+	for k, v := range want {
+		if res.Output[k] != v {
+			t.Errorf("count[%q] = %q, want %q", k, res.Output[k], v)
+		}
+	}
+	if res.Output["the"] != "4" || res.Output["quick"] != "3" {
+		t.Errorf("spot checks failed: the=%q quick=%q", res.Output["the"], res.Output["quick"])
+	}
+	if res.MapExecutions != len(docs) {
+		t.Errorf("map executions = %d, want %d (no failures)", res.MapExecutions, len(docs))
+	}
+	if res.Messages == 0 {
+		t.Error("job must consume messages")
+	}
+}
+
+func TestOutputsStoredInDHT(t *testing.T) {
+	nw, entry := buildOverlay(t, 8, 2)
+	r := NewRunner(nw, entry, WordCount(docs))
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.FetchOutput("fox")
+	if err != nil || got != "2" {
+		t.Errorf("FetchOutput(fox) = %q, %v", got, err)
+	}
+}
+
+func TestMapperCrashReexecutes(t *testing.T) {
+	nw, entry := buildOverlay(t, 12, 3)
+	job := WordCount(docs)
+	r := NewRunner(nw, entry, job)
+	r.FailNextMaps = 2
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MapExecutions != len(docs)+2 {
+		t.Errorf("map executions = %d, want %d", res.MapExecutions, len(docs)+2)
+	}
+	want := Sequential(job)
+	for k, v := range want {
+		if res.Output[k] != v {
+			t.Errorf("after re-execution count[%q] = %q, want %q", k, res.Output[k], v)
+		}
+	}
+}
+
+func TestNodeFailuresDuringJob(t *testing.T) {
+	nw, entry := buildOverlay(t, 20, 4)
+	job := WordCount(docs)
+	r := NewRunner(nw, entry, job)
+	killed := 0
+	r.Hook = func(phase string, step int) {
+		// Kill a node after the first map task and another mid-reduce,
+		// never the entry node.
+		if (phase == "map" && step == 0) || (phase == "reduce" && step == 2) {
+			for _, id := range nw.AliveIDs() {
+				if id != entry.ID() {
+					nw.Kill(id)
+					killed++
+					break
+				}
+			}
+			nw.StabilizeUntilConverged(200)
+		}
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if killed != 2 {
+		t.Fatalf("hook killed %d nodes", killed)
+	}
+	want := Sequential(job)
+	for k, v := range want {
+		if res.Output[k] != v {
+			t.Errorf("under churn count[%q] = %q, want %q", k, res.Output[k], v)
+		}
+	}
+}
+
+func TestLargerJobManyChunks(t *testing.T) {
+	inputs := map[string]string{}
+	for i := 0; i < 40; i++ {
+		inputs[fmt.Sprintf("part-%02d", i)] = strings.Repeat(fmt.Sprintf("w%d ", i%7), 5)
+	}
+	nw, entry := buildOverlay(t, 16, 5)
+	job := WordCount(inputs)
+	res, err := NewRunner(nw, entry, job).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Sequential(job)
+	for k, v := range want {
+		if res.Output[k] != v {
+			t.Fatalf("count[%q] = %q, want %q", k, res.Output[k], v)
+		}
+	}
+	// 7 distinct words, 40 chunks x 5 repeats... verify one exactly:
+	// words w0..w6; chunk i contributes 5 of w(i%7). Count chunks per word.
+	n0 := 0
+	for i := 0; i < 40; i++ {
+		if i%7 == 0 {
+			n0++
+		}
+	}
+	if res.Output["w0"] != strconv.Itoa(n0*5) {
+		t.Errorf("w0 = %q, want %d", res.Output["w0"], n0*5)
+	}
+}
+
+func TestCustomJob(t *testing.T) {
+	// Max-temperature by city: exercises non-wordcount map/reduce.
+	job := Job{
+		Inputs: map[string]string{
+			"s1": "nyc:31 sf:18 nyc:25",
+			"s2": "sf:22 nyc:29",
+		},
+		Map: func(_, content string) []KV {
+			var out []KV
+			for _, tok := range strings.Fields(content) {
+				parts := strings.SplitN(tok, ":", 2)
+				out = append(out, KV{Key: parts[0], Value: parts[1]})
+			}
+			return out
+		},
+		Reduce: func(_ string, values []string) string {
+			max := -1 << 31
+			for _, v := range values {
+				n, _ := strconv.Atoi(v)
+				if n > max {
+					max = n
+				}
+			}
+			return strconv.Itoa(max)
+		},
+	}
+	nw, entry := buildOverlay(t, 6, 6)
+	res, err := NewRunner(nw, entry, job).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output["nyc"] != "31" || res.Output["sf"] != "22" {
+		t.Errorf("output = %v", res.Output)
+	}
+}
+
+func TestValueSeparatorRejected(t *testing.T) {
+	job := Job{
+		Inputs: map[string]string{"c": "x"},
+		Map: func(_, _ string) []KV {
+			return []KV{{Key: "k", Value: "bad\x1fvalue"}}
+		},
+		Reduce: func(_ string, v []string) string { return "" },
+	}
+	nw, entry := buildOverlay(t, 4, 7)
+	if _, err := NewRunner(nw, entry, job).Run(); err != ErrValueSeparator {
+		t.Errorf("err = %v, want ErrValueSeparator", err)
+	}
+}
+
+func TestSequentialWordCount(t *testing.T) {
+	out := Sequential(WordCount(docs))
+	if out["the"] != "4" || out["dog"] != "2" || out["slow"] != "1" {
+		t.Errorf("sequential output = %v", out)
+	}
+}
+
+func TestEmptyJob(t *testing.T) {
+	nw, entry := buildOverlay(t, 4, 8)
+	res, err := NewRunner(nw, entry, WordCount(nil)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 0 || res.MapExecutions != 0 {
+		t.Errorf("empty job: %+v", res)
+	}
+}

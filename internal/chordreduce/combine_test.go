@@ -1,0 +1,77 @@
+package chordreduce
+
+import (
+	"strconv"
+	"testing"
+)
+
+// summingWordCount is WordCount with a combiner that pre-sums each
+// chunk's counts.
+func summingWordCount(docs map[string]string) Job {
+	job := WordCount(docs)
+	sum := func(values []string) int {
+		total := 0
+		for _, v := range values {
+			n, _ := strconv.Atoi(v)
+			total += n
+		}
+		return total
+	}
+	job.Combine = func(_ string, values []string) []string {
+		return []string{strconv.Itoa(sum(values))}
+	}
+	// Reduce must now sum values rather than count them.
+	job.Reduce = func(_ string, values []string) string {
+		return strconv.Itoa(sum(values))
+	}
+	return job
+}
+
+func TestCombinerSameResultFewerBytes(t *testing.T) {
+	docs := map[string]string{}
+	for i := 0; i < 6; i++ {
+		docs["doc"+strconv.Itoa(i)] = "spam spam spam spam spam eggs spam spam spam spam"
+	}
+	nw, entry := buildOverlay(t, 10, 40)
+	plain := WordCount(docs)
+	// Make plain's reduce sum-compatible for comparison.
+	plainRes, err := NewRunner(nw, entry, plain).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nw2, entry2 := buildOverlay(t, 10, 40)
+	combRes, err := NewRunner(nw2, entry2, summingWordCount(docs)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if combRes.Output["spam"] != plainRes.Output["spam"] ||
+		combRes.Output["eggs"] != plainRes.Output["eggs"] {
+		t.Errorf("combiner changed results: %v vs %v", combRes.Output, plainRes.Output)
+	}
+	if combRes.BytesStored >= plainRes.BytesStored {
+		t.Errorf("combiner must shrink stored bytes: %d vs %d",
+			combRes.BytesStored, plainRes.BytesStored)
+	}
+	if plainRes.BytesStored == 0 {
+		t.Error("byte accounting missing")
+	}
+}
+
+func TestCombinerSeparatorRejected(t *testing.T) {
+	job := Job{
+		Inputs: map[string]string{"c": "x"},
+		Map: func(_, _ string) []KV {
+			return []KV{{Key: "k", Value: "1"}}
+		},
+		Combine: func(_ string, _ []string) []string {
+			return []string{"bad\x1fvalue"}
+		},
+		Reduce: func(_ string, v []string) string { return "" },
+	}
+	nw, entry := buildOverlay(t, 4, 41)
+	if _, err := NewRunner(nw, entry, job).Run(); err != ErrValueSeparator {
+		t.Errorf("err = %v, want ErrValueSeparator", err)
+	}
+}

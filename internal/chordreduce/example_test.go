@@ -1,0 +1,44 @@
+package chordreduce_test
+
+import (
+	"fmt"
+	"log"
+
+	"chordbalance/internal/chord"
+	"chordbalance/internal/chordreduce"
+	"chordbalance/internal/keys"
+)
+
+// Example runs a word count over a small Chord overlay.
+func Example() {
+	nw := chord.NewNetwork(chord.Config{})
+	g := keys.NewGenerator(99)
+	entry, err := nw.Create(g.Next())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 1; i < 8; i++ {
+		if _, err := nw.Join(g.Next(), entry); err != nil {
+			log.Fatal(err)
+		}
+		nw.StabilizeAll()
+	}
+	nw.StabilizeUntilConverged(64)
+	nw.FixAllFingers()
+
+	job := chordreduce.WordCount(map[string]string{
+		"doc1": "to be or not to be",
+		"doc2": "to see or not to see",
+	})
+	res, err := chordreduce.NewRunner(nw, entry, job).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("to =", res.Output["to"])
+	fmt.Println("be =", res.Output["be"])
+	fmt.Println("map executions:", res.MapExecutions)
+	// Output:
+	// to = 4
+	// be = 2
+	// map executions: 2
+}

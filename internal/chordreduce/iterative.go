@@ -1,0 +1,43 @@
+package chordreduce
+
+import (
+	"fmt"
+
+	"chordbalance/internal/chord"
+)
+
+// Iterate chains MapReduce rounds: buildJob turns the current state into
+// a Job, the round runs on the overlay, and its output becomes the next
+// state. done (optional) inspects consecutive states and stops early —
+// the standard fixed-point loop of iterative dataflows (PageRank,
+// connected components, k-means), here running entirely over the DHT so
+// every round inherits ChordReduce's churn tolerance.
+//
+// It returns the final state, the per-round results, and the first error.
+func Iterate(
+	nw *chord.Network,
+	entry *chord.Node,
+	initial map[string]string,
+	maxRounds int,
+	buildJob func(state map[string]string) Job,
+	done func(prev, next map[string]string) bool,
+) (map[string]string, []*Result, error) {
+	if maxRounds < 1 {
+		return nil, nil, fmt.Errorf("chordreduce: maxRounds must be >= 1, got %d", maxRounds)
+	}
+	state := initial
+	var results []*Result
+	for round := 0; round < maxRounds; round++ {
+		job := buildJob(state)
+		res, err := NewRunner(nw, entry, job).Run()
+		if err != nil {
+			return state, results, fmt.Errorf("chordreduce: round %d: %w", round, err)
+		}
+		results = append(results, res)
+		if done != nil && done(state, res.Output) {
+			return res.Output, results, nil
+		}
+		state = res.Output
+	}
+	return state, results, nil
+}

@@ -1,0 +1,91 @@
+package chordreduce
+
+import (
+	"strconv"
+	"testing"
+)
+
+// counterJob doubles every value each round.
+func counterJob(state map[string]string) Job {
+	inputs := map[string]string{}
+	for k, v := range state {
+		inputs[k] = k + "=" + v
+	}
+	return Job{
+		Inputs: inputs,
+		Map: func(_, content string) []KV {
+			// content is "key=value".
+			var k string
+			var v int
+			for i := 0; i < len(content); i++ {
+				if content[i] == '=' {
+					k = content[:i]
+					v, _ = strconv.Atoi(content[i+1:])
+					break
+				}
+			}
+			return []KV{{Key: k, Value: strconv.Itoa(v * 2)}}
+		},
+		Reduce: func(_ string, values []string) string { return values[0] },
+	}
+}
+
+func TestIterateDoubling(t *testing.T) {
+	nw, entry := buildOverlay(t, 8, 20)
+	initial := map[string]string{"a": "1", "b": "3"}
+	final, results, err := Iterate(nw, entry, initial, 4, counterJob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("rounds = %d", len(results))
+	}
+	if final["a"] != "16" || final["b"] != "48" {
+		t.Errorf("final = %v, want a=16 b=48", final)
+	}
+}
+
+func TestIterateEarlyStop(t *testing.T) {
+	nw, entry := buildOverlay(t, 6, 21)
+	initial := map[string]string{"x": "1"}
+	stopAfter := 2
+	calls := 0
+	final, results, err := Iterate(nw, entry, initial, 10, counterJob,
+		func(prev, next map[string]string) bool {
+			calls++
+			return calls >= stopAfter
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Errorf("rounds = %d, want early stop at 2", len(results))
+	}
+	if final["x"] != "4" {
+		t.Errorf("final x = %q, want 4", final["x"])
+	}
+}
+
+func TestIterateValidation(t *testing.T) {
+	nw, entry := buildOverlay(t, 4, 22)
+	if _, _, err := Iterate(nw, entry, nil, 0, counterJob, nil); err == nil {
+		t.Error("maxRounds 0 must fail")
+	}
+}
+
+func TestIterateErrorPropagates(t *testing.T) {
+	nw, entry := buildOverlay(t, 4, 23)
+	bad := func(map[string]string) Job {
+		return Job{
+			Inputs: map[string]string{"c": "x"},
+			Map: func(_, _ string) []KV {
+				return []KV{{Key: "k", Value: "bad\x1fsep"}}
+			},
+			Reduce: func(_ string, v []string) string { return "" },
+		}
+	}
+	_, _, err := Iterate(nw, entry, map[string]string{"c": "x"}, 3, bad, nil)
+	if err == nil {
+		t.Error("round error must propagate")
+	}
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chordbalance/internal/ring"
+	"chordbalance/internal/sim"
+)
+
+// AblationSybilThreshold studies §VI-B-1: the sybilThreshold's effect on
+// random injection in homogeneous networks (where the paper saw a >= 0.1
+// factor reduction at the smaller task ratio and none at the larger).
+func AblationSybilThreshold(opt Options) ([]SummaryCell, error) {
+	opt = opt.withDefaults(5)
+	var cells []SummaryCell
+	for _, net := range []struct{ n, t int }{{1000, 100000}, {1000, 1000000}} {
+		for _, thr := range []int{0, 5, 20} {
+			cells = append(cells, SummaryCell{
+				Name: fmt.Sprintf("random %dn/%dk thr=%d", net.n, net.t/1000, thr),
+				Note: "paper: threshold helps only at 100 tasks/node",
+				Spec: Spec{Nodes: net.n, Tasks: net.t, StrategyName: "random",
+					SybilThreshold: thr},
+			})
+		}
+	}
+	return runSummary(cells, opt)
+}
+
+// AblationMaxSybils studies §VI-B-1: larger maxSybils hurting
+// heterogeneous networks (strength disparity grows with the cap).
+func AblationMaxSybils(opt Options) ([]SummaryCell, error) {
+	opt = opt.withDefaults(5)
+	var cells []SummaryCell
+	for _, cap := range []int{5, 10} {
+		cells = append(cells, SummaryCell{
+			Name: fmt.Sprintf("random hetero 1000n/100k maxSybils=%d", cap),
+			Note: "paper: 1..10 strengths perform worse than 1..5",
+			Spec: Spec{Nodes: 1000, Tasks: 100000, StrategyName: "random",
+				Heterogeneous: true, WorkByStrength: true, MaxSybils: cap},
+		})
+		cells = append(cells, SummaryCell{
+			Name: fmt.Sprintf("random hetero 1000n/1M maxSybils=%d", cap),
+			Note: "paper: increase ~0.3-0.4 at 1000 tasks/node",
+			Spec: Spec{Nodes: 1000, Tasks: 1000000, StrategyName: "random",
+				Heterogeneous: true, WorkByStrength: true, MaxSybils: cap},
+		})
+	}
+	return runSummary(cells, opt)
+}
+
+// AblationChurnOnRandom studies §VI-B-1: churn adds nothing (and slightly
+// hurts) once random injection is balancing the network.
+func AblationChurnOnRandom(opt Options) ([]SummaryCell, error) {
+	opt = opt.withDefaults(5)
+	var cells []SummaryCell
+	for _, rate := range []float64{0, 0.001, 0.01} {
+		cells = append(cells, SummaryCell{
+			Name: fmt.Sprintf("random 1000n/100k churn=%g", rate),
+			Note: "paper: churn adds ~+0.06 at 0.01, never helps",
+			Spec: Spec{Nodes: 1000, Tasks: 100000, StrategyName: "random",
+				ChurnRate: rate},
+		})
+	}
+	return runSummary(cells, opt)
+}
+
+// AblationConsumeMode measures the design choice DESIGN.md §3 documents:
+// how the order nodes work through their arcs changes each strategy's
+// effectiveness. Front consumption (remaining keys cluster at the arc's
+// far edge) reproduces the paper's weak neighbor/invitation results;
+// alternate consumption (keys stay spread) makes mid-arc splits far more
+// effective.
+func AblationConsumeMode(opt Options) ([]SummaryCell, error) {
+	opt = opt.withDefaults(5)
+	modes := []struct {
+		name string
+		mode ring.ConsumeMode
+	}{{"front", ring.ConsumeFront}, {"alternate", ring.ConsumeAlternate}}
+	var out []SummaryCell
+	cell := 0
+	for _, m := range modes {
+		for _, strat := range []string{"random", "neighbor", "smart-neighbor", "invitation"} {
+			spec := Spec{Nodes: 1000, Tasks: 100000, StrategyName: strat}
+			mode := m.mode
+			fn := func(seed uint64) sim.Config {
+				cfg := spec.Config(seed)
+				cfg.ConsumeMode = mode
+				return cfg
+			}
+			st, err := FactorStat(fn, cell, opt)
+			if err != nil {
+				return nil, fmt.Errorf("%s consume=%s: %w", strat, m.name, err)
+			}
+			out = append(out, SummaryCell{
+				Name: fmt.Sprintf("%s, consume=%s", strat, m.name),
+				Spec: spec,
+				Stat: st,
+			})
+			cell++
+		}
+	}
+	return out, nil
+}
+
+// AblationDecisionCadence varies how often the strategies run their
+// decision pass (the paper fixes it at 5 ticks without justification).
+func AblationDecisionCadence(opt Options) ([]SummaryCell, error) {
+	opt = opt.withDefaults(5)
+	var cells []SummaryCell
+	cadences := []int{1, 5, 10, 25}
+	for _, every := range cadences {
+		cells = append(cells, SummaryCell{
+			Name: fmt.Sprintf("random 1000n/100k decide-every=%d", every),
+			Spec: Spec{Nodes: 1000, Tasks: 100000, StrategyName: "random"},
+		})
+	}
+	out := make([]SummaryCell, len(cells))
+	for i, c := range cells {
+		every := cadences[i]
+		spec := c.Spec
+		fn := func(seed uint64) sim.Config {
+			cfg := spec.Config(seed)
+			cfg.DecisionEvery = every
+			return cfg
+		}
+		st, err := FactorStat(fn, i, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.Name, err)
+		}
+		c.Stat = st
+		out[i] = c
+	}
+	return out, nil
+}
+
+// AblationAvoidRepeats measures §IV-C's suggested refinement of marking
+// arcs that yielded no work as invalid for future Sybil injection.
+func AblationAvoidRepeats(opt Options) ([]SummaryCell, error) {
+	opt = opt.withDefaults(5)
+	settings := []bool{false, true}
+	out := make([]SummaryCell, len(settings))
+	for i, avoid := range settings {
+		c := SummaryCell{
+			Name: fmt.Sprintf("neighbor 1000n/100k avoid-repeats=%v", avoid),
+			Note: "paper: suggested but not evaluated",
+			Spec: Spec{Nodes: 1000, Tasks: 100000, StrategyName: "neighbor"},
+		}
+		avoidRepeats := avoid
+		spec := c.Spec
+		fn := func(seed uint64) sim.Config {
+			cfg := spec.Config(seed)
+			cfg.AvoidRepeats = avoidRepeats
+			return cfg
+		}
+		st, err := FactorStat(fn, i, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.Name, err)
+		}
+		c.Stat = st
+		out[i] = c
+	}
+	return out, nil
+}

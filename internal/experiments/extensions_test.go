@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWorkSeriesShape(t *testing.T) {
+	tbl, err := WorkSeries(10, Options{Trials: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 10 {
+		t.Fatalf("rows = %d, want 10", tbl.NumRows())
+	}
+	// Tick 1: every strategy completes close to 1000 tasks (one per
+	// non-idle host out of 1000).
+	row := tbl.Row(0)
+	if row[0] != "1" {
+		t.Errorf("first tick label = %q", row[0])
+	}
+	for i := 1; i < len(row); i++ {
+		if !strings.HasPrefix(row[i], "9") && !strings.HasPrefix(row[i], "10") {
+			t.Errorf("tick-1 work %q implausible for 1000 hosts", row[i])
+		}
+	}
+}
+
+func TestChordHopsLogarithmic(t *testing.T) {
+	tbl, err := ChordHops(Options{Trials: 50, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 4 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	// Hop counts grow with network size but stay below log2(n).
+	var prev float64
+	for i := 0; i < tbl.NumRows(); i++ {
+		row := tbl.Row(i)
+		mean := parseF(t, row[1])
+		logn := parseF(t, row[3])
+		if mean > logn {
+			t.Errorf("n=%s: mean hops %v exceeds log2(n) %v", row[0], mean, logn)
+		}
+		if mean < prev-0.5 {
+			t.Errorf("hops shrank with network size: %v after %v", mean, prev)
+		}
+		prev = mean
+	}
+}
+
+func TestTrafficTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seven 1000-node runs")
+	}
+	tbl, err := Traffic(Options{Trials: 1, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 7 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	perTask := map[string]float64{}
+	for i := 0; i < tbl.NumRows(); i++ {
+		row := tbl.Row(i)
+		perTask[row[0]] = parseF(t, row[5])
+	}
+	if perTask["none"] != 0 {
+		t.Error("baseline must cost nothing")
+	}
+	// §VI-D: invitation is reactive and uses less bandwidth than the
+	// proactive strategies.
+	if perTask["invitation"] >= perTask["random"] ||
+		perTask["invitation"] >= perTask["smart-neighbor"] {
+		t.Errorf("invitation must be cheapest of the Sybil strategies: %v", perTask)
+	}
+	// §VI-C: estimation (neighbor) needs fewer messages than probing
+	// (smart-neighbor).
+	if perTask["neighbor"] >= perTask["smart-neighbor"] {
+		t.Errorf("estimation must beat probing on traffic: %v", perTask)
+	}
+}
+
+func TestResilienceStaircase(t *testing.T) {
+	tbl, err := Resilience(Options{Trials: 1, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 20 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	for i := 0; i < tbl.NumRows(); i++ {
+		row := tbl.Row(i)
+		replicas := int(parseF(t, row[0]))
+		failures := int(parseF(t, row[1]))
+		loss := parseF(t, row[3])
+		if failures <= replicas && loss > 0 {
+			t.Errorf("r=%d f=%d: loss %v, replication must cover f <= r",
+				replicas, failures, loss)
+		}
+	}
+}
+
+func TestArcTable(t *testing.T) {
+	tbl, err := ArcTable(Options{Trials: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 4 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	// SHA-1 rows: median/mean near ln2; even row: exactly 1.
+	for i := 0; i < 3; i++ {
+		mm := parseF(t, tbl.Row(i)[2])
+		if mm < 0.6 || mm > 0.8 {
+			t.Errorf("row %d median/mean = %v, want ~0.693", i, mm)
+		}
+	}
+	if mm := parseF(t, tbl.Row(3)[2]); mm != 1 {
+		t.Errorf("even median/mean = %v", mm)
+	}
+}
+
+func TestStrengthShareConfirmsHypothesis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several 1000-node heterogeneous runs")
+	}
+	tbl, err := StrengthShare(Options{Trials: 1, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 15 { // 3 strategies x 5 classes
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	// Row 0 is random/class-1: the weak class must be a net stealer
+	// (work share above capacity share) — the §VII hypothesis.
+	row := tbl.Row(0)
+	capShare := parseF(t, row[3])
+	workShare := parseF(t, row[4])
+	if workShare <= capShare {
+		t.Errorf("class 1 work share %v <= capacity share %v: hypothesis not visible",
+			workShare, capShare)
+	}
+	// And the strongest class must cede work.
+	row = tbl.Row(4)
+	if parseF(t, row[4]) >= parseF(t, row[3]) {
+		t.Errorf("class 5 should cede work: %v vs %v", row[4], row[3])
+	}
+}
+
+func TestAblationChurnModelRuns(t *testing.T) {
+	// Shrink via a tiny spec by reusing the machinery directly is not
+	// possible (specs are fixed); just verify it runs with 1 trial.
+	if testing.Short() {
+		t.Skip("four 1000-node runs")
+	}
+	cells, err := AblationChurnModel(Options{Trials: 1, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		if c.Stat.Mean < 1 {
+			t.Errorf("%s: factor %v < 1", c.Name, c.Stat.Mean)
+		}
+	}
+}
+
+func TestExtensionsSummaryTargetedBeatsSmart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six 1000-node runs")
+	}
+	cells, err := ExtensionsSummary(Options{Trials: 2, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]TrialStat{}
+	for _, c := range cells {
+		byName[c.Name] = c.Stat
+	}
+	smart := byName["smart-neighbor homogeneous (baseline)"]
+	targeted := byName["targeted homogeneous (§VII chosen IDs)"]
+	if targeted.Mean >= smart.Mean+0.3 {
+		t.Errorf("targeted (%v) should not lose badly to smart (%v)",
+			targeted.Mean, smart.Mean)
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return f
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+func TestOverlayHopsComparison(t *testing.T) {
+	tbl, err := OverlayHops(Options{Trials: 100, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 4 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	for i := 0; i < tbl.NumRows(); i++ {
+		row := tbl.Row(i)
+		chordHops := parseF(t, row[1])
+		sym4 := parseF(t, row[3])
+		sym1 := parseF(t, row[5])
+		symState := parseF(t, row[4])
+		chordState := parseF(t, row[2])
+		// More long links always help Symphony.
+		if sym4 >= sym1 {
+			t.Errorf("n=%s: k=4 (%v) must beat k=1 (%v)", row[0], sym4, sym1)
+		}
+		// Chord's extra routing state buys at least parity with k=1
+		// Symphony and (at scale) fewer hops.
+		if chordHops > sym1 {
+			t.Errorf("n=%s: chord (%v hops) lost to symphony k=1 (%v)", row[0], chordHops, sym1)
+		}
+		if symState >= chordState {
+			t.Errorf("n=%s: symphony state %v must undercut chord %v", row[0], symState, chordState)
+		}
+	}
+	// The gap widens with n: at 256 nodes chord must clearly beat k=1.
+	last := tbl.Row(tbl.NumRows() - 1)
+	if parseF(t, last[1])*2 > parseF(t, last[5]) {
+		t.Errorf("at n=256 chord (%v) should be at least 2x better than symphony k=1 (%v)",
+			last[1], last[5])
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVirtualServersOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("five 1000-node configurations")
+	}
+	cells, err := VirtualServers(Options{Trials: 1, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 5 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	// More static vnodes monotonically improve the static rows.
+	for i := 1; i < 4; i++ {
+		if cells[i].Stat.Mean >= cells[i-1].Stat.Mean {
+			t.Errorf("static k ordering violated: %v then %v",
+				cells[i-1].Stat.Mean, cells[i].Stat.Mean)
+		}
+	}
+	// The dynamic row beats every static row.
+	dyn := cells[4].Stat.Mean
+	for _, c := range cells[:4] {
+		if dyn >= c.Stat.Mean {
+			t.Errorf("dynamic (%v) must beat %q (%v)", dyn, c.Name, c.Stat.Mean)
+		}
+	}
+}
+
+func TestChurnCurveShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eight churn rates on 1000 nodes")
+	}
+	tbl, err := ChurnCurve(Options{Trials: 1, Seed: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 8 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	first := parseF(t, tbl.Row(0)[1])
+	last := parseF(t, tbl.Row(tbl.NumRows() - 1)[1])
+	if last >= first {
+		t.Errorf("factor must fall from rate 0 (%v) to 0.1 (%v)", first, last)
+	}
+	// Message cost grows with the rate.
+	if m0 := parseF(t, tbl.Row(0)[3]); m0 != 0 {
+		t.Errorf("zero churn must cost zero turnover messages, got %v", m0)
+	}
+	if mLast := parseF(t, tbl.Row(tbl.NumRows() - 1)[3]); mLast < 100 {
+		t.Errorf("high churn message load %v implausibly small", mLast)
+	}
+}
+
+func TestAblationWorkloadSkewFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Zipf runs are long")
+	}
+	// Restrict to the cheap uniform rows plus one skewed pair by calling
+	// the full function once at 1 trial; assert the skew floor claim.
+	cells, err := AblationWorkloadSkew(Options{Trials: 1, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, c := range cells {
+		byName[c.Name] = c.Stat.Mean
+	}
+	if byName["none, zipf s=1.1, 10k objects"] <= byName["none, uniform"] {
+		t.Errorf("skew must raise the baseline factor: %v", byName)
+	}
+	// Under heavy skew the strategies cannot rescue the factor: random
+	// stays within 15%% of none.
+	skewNone := byName["none, zipf s=1.1, 10k objects"]
+	skewRand := byName["random, zipf s=1.1, 10k objects"]
+	if skewRand < skewNone*0.8 {
+		t.Errorf("hot-key floor violated: random %v vs none %v", skewRand, skewNone)
+	}
+	if !strings.Contains(cells[0].Note, "hot objects") {
+		t.Error("note lost")
+	}
+}
+
+func TestAblationStreamingRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four 1000-node runs")
+	}
+	cells, err := AblationStreaming(Options{Trials: 1, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		if c.Stat.Mean < 1 {
+			t.Errorf("%s: factor %v < 1", c.Name, c.Stat.Mean)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package ids_test
+
+import (
+	"fmt"
+
+	"chordbalance/internal/ids"
+)
+
+func ExampleBetween() {
+	a := ids.FromUint64(10)
+	b := ids.FromUint64(20)
+	fmt.Println(ids.Between(ids.FromUint64(15), a, b))
+	// The interval wraps: (20, 10) covers everything outside (10, 20].
+	fmt.Println(ids.Between(ids.FromUint64(15), b, a))
+	fmt.Println(ids.Between(ids.FromUint64(25), b, a))
+	// Output:
+	// true
+	// false
+	// true
+}
+
+func ExampleMidpoint() {
+	mid := ids.Midpoint(ids.FromUint64(100), ids.FromUint64(200))
+	fmt.Println(mid.Equal(ids.FromUint64(150)))
+	// Output: true
+}
+
+func ExampleID_Distance() {
+	a := ids.FromUint64(250)
+	b := ids.FromUint64(20)
+	// Clockwise from 250 to 20 wraps through zero.
+	d := a.Distance(b)
+	fmt.Println(d.Equal(ids.Max.Sub(ids.FromUint64(229))))
+	// Output: true
+}

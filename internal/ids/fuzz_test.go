@@ -1,0 +1,83 @@
+package ids
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzFromHexRoundTrip(f *testing.F) {
+	f.Add("deadbeef")
+	f.Add("")
+	f.Add("0")
+	f.Add("ffffffffffffffffffffffffffffffffffffffff")
+	f.Add("not hex at all")
+	f.Fuzz(func(t *testing.T, s string) {
+		id, err := FromHex(s)
+		if err != nil {
+			return // invalid input is fine; it just must not panic
+		}
+		back, err := FromHex(id.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", id.String(), err)
+		}
+		if back != id {
+			t.Fatalf("round trip changed value: %v -> %v", id, back)
+		}
+	})
+}
+
+func FuzzArithmeticLaws(f *testing.F) {
+	f.Add([]byte{1}, []byte{2})
+	f.Add(bytes.Repeat([]byte{0xff}, 20), []byte{1})
+	f.Add([]byte{}, bytes.Repeat([]byte{0xaa}, 25))
+	f.Fuzz(func(t *testing.T, araw, braw []byte) {
+		a, b := FromBytes(araw), FromBytes(braw)
+		if a.Add(b).Sub(b) != a {
+			t.Fatal("Add/Sub not inverse")
+		}
+		if a.Add(b) != b.Add(a) {
+			t.Fatal("Add not commutative")
+		}
+		if a.Distance(b) != b.Sub(a) {
+			t.Fatal("Distance definition violated")
+		}
+		// Between complement law for distinct points.
+		if a != b {
+			x := Midpoint(a, b)
+			if x != a && x != b {
+				if Between(x, a, b) == Between(x, b, a) {
+					t.Fatal("Between complement violated")
+				}
+			}
+		}
+	})
+}
+
+func FuzzUniformInRange(f *testing.F) {
+	f.Add([]byte{10}, []byte{20}, uint64(1))
+	f.Add(bytes.Repeat([]byte{0xff}, 20), []byte{5}, uint64(2))
+	f.Fuzz(func(t *testing.T, araw, braw []byte, seed uint64) {
+		a, b := FromBytes(araw), FromBytes(braw)
+		src := &fuzzSource{state: seed}
+		x, err := UniformInRange(src, a, b)
+		if err == ErrEmptyRange {
+			if a.Distance(b) != FromUint64(1) {
+				t.Fatal("ErrEmptyRange on non-empty range")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Between(x, a, b) {
+			t.Fatalf("draw %v outside (%v, %v)", x, a, b)
+		}
+	})
+}
+
+type fuzzSource struct{ state uint64 }
+
+func (s *fuzzSource) Uint64() uint64 {
+	s.state = s.state*6364136223846793005 + 1442695040888963407
+	return s.state
+}

@@ -1,0 +1,337 @@
+// Package ids implements arithmetic on the 160-bit circular identifier
+// space used by Chord-style distributed hash tables.
+//
+// Identifiers are 160-bit unsigned integers represented big-endian in a
+// fixed [20]byte array, matching the output width of SHA-1 (the hash
+// function the paper and most Chord deployments use for node and key IDs).
+// All arithmetic is modulo 2^160; the space is treated as a ring that wraps
+// from the maximum ID back to zero.
+//
+// The package is allocation-free on the hot paths (Compare, Between, Add,
+// Sub) so it can sit at the core of large simulations.
+package ids
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Bits is the width of the identifier space in bits.
+const Bits = 160
+
+// Bytes is the width of the identifier space in bytes.
+const Bytes = Bits / 8
+
+// ID is a 160-bit identifier on the Chord ring, stored big-endian.
+// The zero value is the identifier 0.
+type ID [Bytes]byte
+
+// Zero is the identifier 0.
+var Zero ID
+
+// Max is the largest identifier, 2^160 - 1.
+var Max = ID{
+	0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+	0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+}
+
+// FromBytes builds an ID from a big-endian byte slice. Slices shorter than
+// 20 bytes are left-padded with zeros; longer slices keep only the low-order
+// 20 bytes (the tail), matching the usual truncation of oversized hashes.
+func FromBytes(b []byte) ID {
+	var id ID
+	if len(b) >= Bytes {
+		copy(id[:], b[len(b)-Bytes:])
+	} else {
+		copy(id[Bytes-len(b):], b)
+	}
+	return id
+}
+
+// FromUint64 builds an ID whose low 64 bits are v and whose high bits are 0.
+func FromUint64(v uint64) ID {
+	var id ID
+	binary.BigEndian.PutUint64(id[Bytes-8:], v)
+	return id
+}
+
+// FromHex parses a hexadecimal string (with or without leading zeros) into
+// an ID. It returns an error if the string is not valid hex or encodes more
+// than 160 bits.
+func FromHex(s string) (ID, error) {
+	if len(s) > 2*Bytes {
+		return Zero, fmt.Errorf("ids: hex string %q longer than 160 bits", s)
+	}
+	if len(s)%2 == 1 {
+		s = "0" + s
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return Zero, fmt.Errorf("ids: %w", err)
+	}
+	return FromBytes(b), nil
+}
+
+// MustHex is FromHex that panics on error; intended for constants in tests
+// and examples.
+func MustHex(s string) ID {
+	id, err := FromHex(s)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// String renders the ID as 40 lowercase hex digits.
+func (a ID) String() string { return hex.EncodeToString(a[:]) }
+
+// Short renders the first 8 hex digits, handy for logs and diagrams.
+func (a ID) Short() string { return hex.EncodeToString(a[:4]) }
+
+// Compare returns -1, 0, or 1 according to the linear (non-circular)
+// ordering of a and b as 160-bit unsigned integers.
+func (a ID) Compare(b ID) int { return bytes.Compare(a[:], b[:]) }
+
+// Less reports whether a < b in the linear ordering.
+func (a ID) Less(b ID) bool { return bytes.Compare(a[:], b[:]) < 0 }
+
+// Equal reports whether a == b.
+func (a ID) Equal(b ID) bool { return a == b }
+
+// IsZero reports whether the ID is 0.
+func (a ID) IsZero() bool { return a == Zero }
+
+// Add returns (a + b) mod 2^160.
+func (a ID) Add(b ID) ID {
+	var out ID
+	var carry uint16
+	for i := Bytes - 1; i >= 0; i-- {
+		s := uint16(a[i]) + uint16(b[i]) + carry
+		out[i] = byte(s)
+		carry = s >> 8
+	}
+	return out
+}
+
+// Sub returns (a - b) mod 2^160.
+func (a ID) Sub(b ID) ID {
+	var out ID
+	var borrow int16
+	for i := Bytes - 1; i >= 0; i-- {
+		d := int16(a[i]) - int16(b[i]) - borrow
+		if d < 0 {
+			d += 256
+			borrow = 1
+		} else {
+			borrow = 0
+		}
+		out[i] = byte(d)
+	}
+	return out
+}
+
+// AddUint64 returns (a + v) mod 2^160.
+func (a ID) AddUint64(v uint64) ID { return a.Add(FromUint64(v)) }
+
+// Succ returns a + 1 mod 2^160.
+func (a ID) Succ() ID { return a.AddUint64(1) }
+
+// Pred returns a - 1 mod 2^160.
+func (a ID) Pred() ID { return a.Sub(FromUint64(1)) }
+
+// Distance returns the clockwise distance from a to b on the ring, i.e. the
+// number of steps needed to walk from a forward (increasing IDs, wrapping)
+// until b is reached: (b - a) mod 2^160.
+func (a ID) Distance(b ID) ID { return b.Sub(a) }
+
+// Half returns a / 2 (logical shift right by one bit).
+func (a ID) Half() ID {
+	var out ID
+	var carry byte
+	for i := 0; i < Bytes; i++ {
+		out[i] = a[i]>>1 | carry<<7
+		carry = a[i] & 1
+	}
+	return out
+}
+
+// Double returns (a * 2) mod 2^160.
+func (a ID) Double() ID { return a.Add(a) }
+
+// PowerOfTwo returns 2^k as an ID. It panics if k is outside [0, 159];
+// finger-table construction is the only intended caller.
+func PowerOfTwo(k int) ID {
+	if k < 0 || k >= Bits {
+		panic(fmt.Sprintf("ids: PowerOfTwo(%d) out of range [0,%d)", k, Bits))
+	}
+	var id ID
+	id[Bytes-1-k/8] = 1 << (k % 8)
+	return id
+}
+
+// Between reports whether x lies in the open interval (a, b) walking
+// clockwise from a to b. If a == b the interval is the whole ring minus
+// {a}, matching Chord's convention for a ring with a single node.
+func Between(x, a, b ID) bool {
+	if a == b {
+		return x != a
+	}
+	if a.Less(b) {
+		return a.Less(x) && x.Less(b)
+	}
+	return a.Less(x) || x.Less(b)
+}
+
+// BetweenRightIncl reports whether x ∈ (a, b] clockwise. This is the key
+// ownership test in Chord: node b owns exactly the keys in
+// (predecessor(b), b].
+func BetweenRightIncl(x, a, b ID) bool {
+	if a == b {
+		return true // single node owns the whole ring
+	}
+	if x == b {
+		return true
+	}
+	return Between(x, a, b)
+}
+
+// BetweenLeftIncl reports whether x ∈ [a, b) clockwise.
+func BetweenLeftIncl(x, a, b ID) bool {
+	if a == b {
+		return true
+	}
+	if x == a {
+		return true
+	}
+	return Between(x, a, b)
+}
+
+// Midpoint returns the identifier halfway along the clockwise arc from a to
+// b, i.e. a + (b-a)/2 mod 2^160. For a == b (the full ring) it returns the
+// antipode of a. The result always satisfies BetweenRightIncl(mid, a, b)
+// when the arc contains at least two points.
+func Midpoint(a, b ID) ID {
+	return a.Add(a.Distance(b).Half())
+}
+
+// ArcFraction returns the length of the clockwise arc (a, b] as a float64
+// fraction of the whole ring, in [0, 1]. An arc of zero width (a == b)
+// is the full ring and returns 1.
+func ArcFraction(a, b ID) float64 {
+	if a == b {
+		return 1
+	}
+	d := a.Distance(b)
+	// Use the top 53 bits of the distance for the mantissa.
+	hi := binary.BigEndian.Uint64(d[:8])
+	f := float64(hi) / math.Exp2(64)
+	if f == 0 {
+		// Extremely small arc: fall back to the next 64 bits.
+		lo := binary.BigEndian.Uint64(d[8:16])
+		f = float64(lo) / math.Exp2(128)
+	}
+	return f
+}
+
+// Float64 maps the ID to [0, 1) by dividing by 2^160, using the top 64 bits.
+func (a ID) Float64() float64 {
+	return float64(binary.BigEndian.Uint64(a[:8])) / math.Exp2(64)
+}
+
+// Angle returns the position of the ID on the unit circle in radians,
+// measured clockwise from the top as in the paper's Figures 2-3:
+// theta = 2*pi*id / 2^160.
+func (a ID) Angle() float64 { return 2 * math.Pi * a.Float64() }
+
+// XY returns the paper's unit-circle embedding of the ID:
+// x = sin(theta), y = cos(theta).
+func (a ID) XY() (x, y float64) {
+	t := a.Angle()
+	return math.Sin(t), math.Cos(t)
+}
+
+// MarshalText implements encoding.TextMarshaler (hex form).
+func (a ID) MarshalText() ([]byte, error) {
+	return []byte(a.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (a *ID) UnmarshalText(text []byte) error {
+	id, err := FromHex(string(text))
+	if err != nil {
+		return err
+	}
+	*a = id
+	return nil
+}
+
+// ErrEmptyRange is returned by UniformInRange when the requested open
+// interval contains no identifiers.
+var ErrEmptyRange = errors.New("ids: empty range")
+
+// Source is the randomness interface the package needs; *xrand.Rand and
+// math/rand.Rand both satisfy it.
+type Source interface {
+	Uint64() uint64
+}
+
+// Random draws a uniformly distributed ID from src.
+func Random(src Source) ID {
+	var id ID
+	binary.BigEndian.PutUint64(id[0:8], src.Uint64())
+	binary.BigEndian.PutUint64(id[8:16], src.Uint64())
+	binary.BigEndian.PutUint32(id[16:20], uint32(src.Uint64()))
+	return id
+}
+
+// UniformInRange draws an ID uniformly from the open clockwise interval
+// (a, b). It returns ErrEmptyRange when the interval is empty (b == a+1).
+// Sampling is by scaled offset, which is exact enough for simulation use:
+// offset = 1 + (r mod (width-1)) has negligible modulo bias for the
+// 160-bit widths encountered in practice.
+func UniformInRange(src Source, a, b ID) (ID, error) {
+	width := a.Distance(b)
+	if width == Zero {
+		// Full ring: anything but a.
+		for {
+			id := Random(src)
+			if id != a {
+				return id, nil
+			}
+		}
+	}
+	one := FromUint64(1)
+	if width == one {
+		return Zero, ErrEmptyRange
+	}
+	// interior width = width - 1 identifiers strictly between a and b.
+	interior := width.Sub(one)
+	off := modID(Random(src), interior) // in [0, interior)
+	return a.Add(off).Add(one), nil     // a + 1 + off ∈ (a, b)
+}
+
+// modID computes x mod m for 160-bit values using schoolbook long division
+// over bits. m must be nonzero.
+func modID(x, m ID) ID {
+	if m == Zero {
+		panic("ids: modID by zero")
+	}
+	var r ID
+	for i := 0; i < Bits; i++ {
+		// r = r*2 + bit_i(x)
+		r = r.Double()
+		byteIdx := i / 8
+		bit := (x[byteIdx] >> (7 - i%8)) & 1
+		if bit == 1 {
+			r = r.Add(FromUint64(1))
+		}
+		if r.Compare(m) >= 0 {
+			r = r.Sub(m)
+		}
+	}
+	return r
+}

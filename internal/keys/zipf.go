@@ -1,0 +1,74 @@
+package keys
+
+import (
+	"math"
+	"sort"
+
+	"chordbalance/internal/ids"
+)
+
+// FloatSource is the randomness needed by the samplers in this file;
+// *xrand.Rand satisfies it.
+type FloatSource interface {
+	Float64() float64
+}
+
+// Zipf samples object ranks 1..N with probability proportional to
+// 1/rank^s, by inverse-CDF lookup over a precomputed table. The paper's
+// workloads use uniformly random task keys; file-sharing workloads (the
+// BitTorrent/IPFS deployments of §I) are strongly Zipf-distributed, so
+// the skewed-workload ablation uses this sampler to key tasks by object
+// popularity instead.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a sampler over n objects with exponent s. It panics for
+// n < 1 or s < 0: both would be meaningless configurations.
+func NewZipf(n int, s float64) *Zipf {
+	if n < 1 {
+		panic("keys: Zipf needs n >= 1")
+	}
+	if s < 0 {
+		panic("keys: Zipf needs s >= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of objects.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Rank draws an object rank in [1, N], rank 1 being the most popular.
+func (z *Zipf) Rank(src FloatSource) int {
+	u := src.Float64()
+	return sort.SearchFloat64s(z.cdf, u) + 1
+}
+
+// ZipfKeys generates nTasks task keys referencing nObjects distinct
+// objects with Zipf(s) popularity. Tasks for the same object share a key
+// (they hash the same object name), so popular objects concentrate many
+// tasks on a single ring position — a far harsher imbalance than the
+// paper's uniform keys.
+func ZipfKeys(src FloatSource, salt uint64, nTasks, nObjects int, s float64) []ids.ID {
+	z := NewZipf(nObjects, s)
+	g := NewGenerator(salt)
+	objects := make([]ids.ID, nObjects)
+	for i := range objects {
+		objects[i] = g.Next()
+	}
+	out := make([]ids.ID, nTasks)
+	for i := range out {
+		out[i] = objects[z.Rank(src)-1]
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package keys
+
+import (
+	"math"
+	"testing"
+
+	"chordbalance/internal/ids"
+	"chordbalance/internal/xrand"
+)
+
+func TestNewZipfPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipf(0, 1) },
+		func() { NewZipf(10, -0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(10, 0)
+	rng := xrand.New(1)
+	counts := make([]int, 11)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		r := z.Rank(rng)
+		if r < 1 || r > 10 {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	for r := 1; r <= 10; r++ {
+		if math.Abs(float64(counts[r])-draws/10) > 5*math.Sqrt(draws/10) {
+			t.Errorf("s=0 rank %d count %d, want ~%d", r, counts[r], draws/10)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(1000, 1.0)
+	rng := xrand.New(2)
+	counts := map[int]int{}
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[z.Rank(rng)]++
+	}
+	// Harmonic sum H_1000 ≈ 7.485; P(rank 1) ≈ 1/7.485 ≈ 0.1336.
+	p1 := float64(counts[1]) / draws
+	if math.Abs(p1-0.1336) > 0.01 {
+		t.Errorf("P(rank 1) = %v, want ~0.134", p1)
+	}
+	// Rank 2 is half as likely as rank 1.
+	ratio := float64(counts[1]) / float64(counts[2])
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("rank1/rank2 = %v, want ~2", ratio)
+	}
+	if z.N() != 1000 {
+		t.Errorf("N = %d", z.N())
+	}
+}
+
+func TestZipfKeysShareObjects(t *testing.T) {
+	rng := xrand.New(3)
+	out := ZipfKeys(rng, 7, 10000, 100, 1.2)
+	if len(out) != 10000 {
+		t.Fatalf("len = %d", len(out))
+	}
+	distinct := map[ids.ID]int{}
+	for _, k := range out {
+		distinct[k]++
+	}
+	if len(distinct) > 100 {
+		t.Fatalf("more distinct keys (%d) than objects (100)", len(distinct))
+	}
+	// The most popular object dominates.
+	max := 0
+	for _, c := range distinct {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 1500 {
+		t.Errorf("top object has %d tasks, want heavy concentration", max)
+	}
+}
+
+func TestZipfKeysDeterministic(t *testing.T) {
+	a := ZipfKeys(xrand.New(4), 9, 100, 10, 1)
+	b := ZipfKeys(xrand.New(4), 9, 100, 10, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

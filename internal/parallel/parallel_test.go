@@ -1,0 +1,74 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		const n = 200
+		var hits [n]atomic.Int32
+		ForEach(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-5, 4, func(int) { called = true })
+	if called {
+		t.Error("fn must not be called for n <= 0")
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	out := Map(50, 8, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapErrFirstByIndex(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	_, err := MapErr(10, 4, func(i int) (int, error) {
+		switch i {
+		case 7:
+			return 0, errB
+		case 3:
+			return 0, errA
+		}
+		return i, nil
+	})
+	if err != errA {
+		t.Errorf("err = %v, want first-by-index errA", err)
+	}
+	out, err := MapErr(5, 2, func(i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[4] != 5 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestDeterministicUnderConcurrency(t *testing.T) {
+	// Results must not depend on worker count.
+	f := func(i int) int { return i * 31 }
+	a := Map(100, 1, f)
+	b := Map(100, 16, f)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("results differ by worker count")
+		}
+	}
+}

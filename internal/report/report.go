@@ -1,0 +1,294 @@
+// Package report renders experiment results: aligned text tables for the
+// paper's Tables I and II, CSV series for plotting, paired ASCII
+// histograms for the workload-distribution figures, and the unit-circle
+// coordinates of Figures 2-3.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"chordbalance/internal/stats"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, and
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Headers) {
+		cells = cells[:len(t.Headers)]
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row of formatted values: each argument is rendered
+// with %v except float64, which uses 3 decimal places like the paper.
+func (t *Table) AddRowf(values ...any) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = fmt.Sprintf("%.3f", x)
+		default:
+			cells[i] = fmt.Sprint(x)
+		}
+	}
+	t.AddRow(cells...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns a copy of row i's cells.
+func (t *Table) Row(i int) []string {
+	return append([]string(nil), t.rows[i]...)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i := range t.Headers {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// WriteCSV emits the table as CSV (headers first). Cells containing
+// commas or quotes are quoted.
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeLine := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeLine(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		padded := make([]string, len(t.Headers))
+		copy(padded, row)
+		if err := writeLine(padded); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown emits the table as a GitHub-flavored Markdown table, the
+// format EXPERIMENTS.md uses, so refreshed results can be pasted in
+// directly.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	writeLine := func(cells []string) error {
+		if _, err := io.WriteString(w, "|"); err != nil {
+			return err
+		}
+		for _, c := range cells {
+			if _, err := fmt.Fprintf(w, " %s |", strings.ReplaceAll(c, "|", "\\|")); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "**%s**\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if err := writeLine(t.Headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if err := writeLine(sep); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		padded := make([]string, len(t.Headers))
+		copy(padded, row)
+		if err := writeLine(padded); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HistogramPair renders two same-shaped histograms side by side — the
+// format of the paper's Figures 4-14, which always compare one network
+// against another at the same tick.
+func HistogramPair(w io.Writer, labelA string, a *stats.Histogram, labelB string, b *stats.Histogram, width int) error {
+	if width < 1 {
+		width = 30
+	}
+	max := 1
+	rows := make([][3]string, 0, len(a.Counts)+2)
+	add := func(label string, ca, cb int) {
+		if ca > max {
+			max = ca
+		}
+		if cb > max {
+			max = cb
+		}
+		rows = append(rows, [3]string{label, fmt.Sprint(ca), fmt.Sprint(cb)})
+	}
+	add(a.BinLabel(-1), a.ZeroCount, b.ZeroCount)
+	for i := range a.Counts {
+		if a.Counts[i] == 0 && b.Counts[i] == 0 {
+			continue
+		}
+		add(a.BinLabel(i), a.Counts[i], b.Counts[i])
+	}
+	if a.OverCount > 0 || b.OverCount > 0 {
+		add(a.BinLabel(len(a.Counts)), a.OverCount, b.OverCount)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%16s | %-*s | %-*s\n", "workload", width+7, labelA, width+7, labelB)
+	fmt.Fprintf(&sb, "%s-+-%s-+-%s\n", strings.Repeat("-", 16),
+		strings.Repeat("-", width+7), strings.Repeat("-", width+7))
+	for _, r := range rows {
+		ca := atoiSafe(r[1])
+		cb := atoiSafe(r[2])
+		fmt.Fprintf(&sb, "%16s | %-*s %6s | %-*s %6s\n",
+			r[0],
+			width, strings.Repeat("#", ca*width/max), r[1],
+			width, strings.Repeat("#", cb*width/max), r[2])
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func atoiSafe(s string) int {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// Point is one unit-circle coordinate of Figures 2-3.
+type Point struct {
+	X, Y float64
+	Kind string // "node" or "task"
+}
+
+// WritePointsCSV emits points as x,y,kind rows with a header.
+func WritePointsCSV(w io.Writer, points []Point) error {
+	if _, err := io.WriteString(w, "x,y,kind\n"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%.6f,%.6f,%s\n", p.X, p.Y, p.Kind); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AsciiRing draws a crude terminal rendering of the unit circle with
+// nodes (O) and tasks (+), for eyeballing Figures 2-3 without a plotter.
+func AsciiRing(points []Point, size int) string {
+	if size < 11 {
+		size = 21
+	}
+	if size%2 == 0 {
+		size++
+	}
+	grid := make([][]byte, size)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", size))
+	}
+	c := size / 2
+	for _, p := range points {
+		// x right, y up; row 0 is the top.
+		col := c + int(p.X*float64(c)*0.95)
+		row := c - int(p.Y*float64(c)*0.95)
+		if row < 0 || row >= size || col < 0 || col >= size {
+			continue
+		}
+		ch := byte('+')
+		if p.Kind == "node" {
+			ch = 'O'
+		}
+		if grid[row][col] != 'O' { // nodes win collisions
+			grid[row][col] = ch
+		}
+	}
+	var b strings.Builder
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	return b.String()
+}

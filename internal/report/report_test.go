@@ -1,0 +1,130 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"chordbalance/internal/stats"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	out := tb.String()
+	for _, want := range []string{"Demo", "name", "value", "alpha", "beta", "2.500", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+	if r := tb.Row(0); r[0] != "alpha" || r[1] != "1" {
+		t.Errorf("Row(0) = %v", r)
+	}
+}
+
+func TestTableRowOverflowAndUnderflow(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("1", "2", "3") // overflow dropped
+	tb.AddRow("only")        // underflow padded
+	out := tb.String()
+	if strings.Contains(out, "3") {
+		t.Error("overflow cell must be dropped")
+	}
+	if !strings.Contains(out, "only") {
+		t.Error("short row lost")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x,y", `say "hi"`)
+	tb.AddRow("plain")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\nplain,\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("Demo", "a", "b")
+	tb.AddRow("x|y", "2")
+	tb.AddRow("solo")
+	var b strings.Builder
+	if err := tb.WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"**Demo**", "| a | b |", "| --- | --- |", `x\|y`, "| solo |  |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramPair(t *testing.T) {
+	a := stats.NewLogHistogram(100, 1)
+	b := stats.NewLogHistogram(100, 1)
+	a.Add(0)
+	a.Add(5)
+	a.Add(50)
+	b.Add(500)
+	b.Add(5)
+	var sb strings.Builder
+	if err := HistogramPair(&sb, "left", a, "right", b, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"left", "right", "0 (idle)", "[1,10)", ">=100", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pair output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePointsCSV(t *testing.T) {
+	var b strings.Builder
+	err := WritePointsCSV(&b, []Point{{X: 0, Y: 1, Kind: "node"}, {X: 1, Y: 0, Kind: "task"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "x,y,kind\n") || !strings.Contains(out, "node") {
+		t.Errorf("points CSV = %q", out)
+	}
+}
+
+func TestAsciiRing(t *testing.T) {
+	pts := []Point{{X: 0, Y: 1, Kind: "node"}, {X: 0, Y: -1, Kind: "task"}}
+	out := AsciiRing(pts, 21)
+	if !strings.Contains(out, "O") || !strings.Contains(out, "+") {
+		t.Errorf("ring missing glyphs:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 21 {
+		t.Errorf("grid height = %d", len(lines))
+	}
+	// Node collision beats task: same point twice.
+	both := []Point{{X: 0, Y: 1, Kind: "task"}, {X: 0, Y: 1, Kind: "node"}}
+	out = AsciiRing(both, 21)
+	if !strings.Contains(out, "O") {
+		t.Error("node must win collisions")
+	}
+	// Even sizes are rounded up; tiny sizes clamped.
+	if AsciiRing(nil, 4) == "" {
+		t.Error("degenerate size must still render")
+	}
+}
+
+func TestAtoiSafe(t *testing.T) {
+	if atoiSafe("123") != 123 || atoiSafe("x") != 0 || atoiSafe("") != 0 {
+		t.Error("atoiSafe broken")
+	}
+}

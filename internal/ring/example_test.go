@@ -1,0 +1,48 @@
+package ring_test
+
+import (
+	"fmt"
+
+	"chordbalance/internal/ids"
+	"chordbalance/internal/ring"
+)
+
+// Example shows the core mechanics the simulator is built on: key
+// ownership, a join splitting an arc, and a leave merging one.
+func Example() {
+	r := ring.New[string]()
+	a, _ := r.Insert(ids.FromUint64(100), "a")
+	b, _ := r.Insert(ids.FromUint64(200), "b")
+	_ = a
+	// Keys 150 and 180 fall in (100, 200]: node b owns them.
+	if err := r.Seed([]ids.ID{ids.FromUint64(150), ids.FromUint64(180)}); err != nil {
+		panic(err)
+	}
+	fmt.Println("b owns", b.Workload())
+
+	// A node joining at 160 takes the keys in (100, 160].
+	c, _ := r.Insert(ids.FromUint64(160), "c")
+	fmt.Println("after join: b owns", b.Workload(), "- c owns", c.Workload())
+
+	// When c leaves, its keys fall back to its successor b.
+	if err := r.Remove(c); err != nil {
+		panic(err)
+	}
+	fmt.Println("after leave: b owns", b.Workload())
+	// Output:
+	// b owns 2
+	// after join: b owns 1 - c owns 1
+	// after leave: b owns 2
+}
+
+func ExampleRing_Owner() {
+	r := ring.New[int]()
+	r.Insert(ids.FromUint64(10), 0)
+	r.Insert(ids.FromUint64(20), 0)
+	// Key 25 wraps past the highest node to the lowest.
+	fmt.Println(r.Owner(ids.FromUint64(15)).ID().Equal(ids.FromUint64(20)))
+	fmt.Println(r.Owner(ids.FromUint64(25)).ID().Equal(ids.FromUint64(10)))
+	// Output:
+	// true
+	// true
+}

@@ -1,0 +1,71 @@
+package ring
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"chordbalance/internal/ids"
+)
+
+// FuzzOperationSequences drives the ring through arbitrary operation
+// sequences decoded from fuzz input and checks the structural invariants
+// after every step. Each input byte pair is (op, operand).
+func FuzzOperationSequences(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 1, 0, 2, 0, 3, 1})
+	f.Add([]byte{0, 5, 3, 9, 1, 0, 1, 1, 1, 2, 2, 7})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		r := New[int]()
+		r.SetConsumeMode(ConsumeMode(len(program) % 3))
+		expectedKeys := 0
+		for i := 0; i+1 < len(program) && i < 400; i += 2 {
+			op, arg := program[i]%4, program[i+1]
+			switch op {
+			case 0: // insert at a derived ID
+				id := derivedID(arg, i)
+				if _, err := r.Insert(id, i); err != nil && err != ErrOccupied {
+					t.Fatalf("insert: %v", err)
+				}
+			case 1: // remove an existing node
+				if r.Len() > 1 {
+					n := r.At(int(arg) % r.Len())
+					if err := r.Remove(n); err != nil {
+						t.Fatalf("remove: %v", err)
+					}
+				}
+			case 2: // seed a batch of keys
+				if r.Len() > 0 {
+					batch := make([]ids.ID, int(arg)%8)
+					for j := range batch {
+						batch[j] = derivedID(arg+byte(j), i+1000)
+					}
+					if err := r.Seed(batch); err != nil {
+						t.Fatalf("seed: %v", err)
+					}
+					expectedKeys += len(batch)
+				}
+			case 3: // consume
+				if r.Len() > 0 {
+					n := r.At(int(arg) % r.Len())
+					if _, ok := n.Consume(); ok {
+						expectedKeys--
+					}
+				}
+			}
+			if err := r.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i/2, err)
+			}
+		}
+		if r.TotalKeys() != expectedKeys {
+			t.Fatalf("key accounting drifted: ring %d, expected %d",
+				r.TotalKeys(), expectedKeys)
+		}
+	})
+}
+
+// derivedID spreads fuzz operands across the ring deterministically.
+func derivedID(arg byte, salt int) ids.ID {
+	var raw [20]byte
+	binary.BigEndian.PutUint64(raw[:8], uint64(arg)*0x9e3779b97f4a7c15+uint64(salt))
+	binary.BigEndian.PutUint64(raw[8:16], uint64(salt)*0xbf58476d1ce4e5b9+uint64(arg))
+	return ids.FromBytes(raw[:])
+}

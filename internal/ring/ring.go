@@ -1,0 +1,378 @@
+// Package ring implements the "oracle" Chord ring the simulator runs on:
+// a totally ordered set of virtual nodes plus exact per-node task-key
+// ownership, with the Chord invariant that a node owns the keys in
+// (predecessor, self].
+//
+// The paper assumes nodes maintain perfectly fresh successor/predecessor
+// lists through active, aggressive maintenance (§V); this package realizes
+// that assumption directly, so joins and leaves move exactly the keys the
+// protocol would move, without simulating the message exchange (the
+// internal/chord package models the protocol itself and its costs).
+//
+// Key lists are kept in ring order ascending from the owner's predecessor.
+// A join therefore splits a key list at a binary-searched index with zero
+// copying (the two halves share the backing array, and owners only ever
+// shrink their windows), and a leave concatenates the departing node's
+// list onto its successor's.
+package ring
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"chordbalance/internal/ids"
+)
+
+// Errors returned by ring mutations.
+var (
+	ErrOccupied = errors.New("ring: identifier already occupied")
+	ErrLastNode = errors.New("ring: cannot remove the last node while keys remain")
+	ErrRemoved  = errors.New("ring: node no longer on the ring")
+	ErrEmpty    = errors.New("ring: empty ring")
+)
+
+// ConsumeMode selects which end of its arc a node consumes keys from.
+// The choice is invisible to totals but decides where the *remaining* keys
+// sit inside an arc, which in turn decides how much work a later join or
+// Sybil split acquires — a first-order effect on the neighbor-injection
+// and invitation strategies (see DESIGN.md §3 and the consumption-order
+// ablation bench).
+type ConsumeMode int
+
+const (
+	// ConsumeFront works through the arc in ring order starting at the
+	// predecessor edge, so remaining keys cluster toward the node's own
+	// ID. This matches the paper's observed behavior (§VI-C: Sybils
+	// placed mid-arc often acquire no work) and is the default.
+	ConsumeFront ConsumeMode = iota
+	// ConsumeBack works from the node's own ID backwards.
+	ConsumeBack
+	// ConsumeAlternate alternates ends, keeping remaining keys spread
+	// across the arc — the least-biased model of a node that executes
+	// tasks in arbitrary order.
+	ConsumeAlternate
+)
+
+// Ring is a set of virtual nodes ordered by identifier, each owning a
+// contiguous arc of the key space. T is caller data attached to each node
+// (the simulator stores its host bookkeeping there).
+type Ring[T any] struct {
+	nodes     []*Node[T] // ascending by ID
+	totalKeys int
+	mode      ConsumeMode
+}
+
+// SetConsumeMode selects the consumption order for all nodes on the ring.
+func (r *Ring[T]) SetConsumeMode(m ConsumeMode) { r.mode = m }
+
+// ConsumeModeSetting returns the ring's current consumption order.
+func (r *Ring[T]) ConsumeModeSetting() ConsumeMode { return r.mode }
+
+// Node is one virtual node on the ring. The zero value is not usable;
+// nodes are created only by Ring.Insert.
+type Node[T any] struct {
+	id   ids.ID
+	Data T
+
+	// keys[head:] are the unconsumed task keys this node owns, in ring
+	// order ascending from the node's predecessor. The window only ever
+	// shrinks (consumption) or is split/replaced (join/leave), so windows
+	// from a split may safely share a backing array.
+	keys []ids.ID
+	head int
+	// fromBack alternates the consumption end so that remaining keys stay
+	// spread across the arc instead of piling up at one edge, which would
+	// bias every later split.
+	fromBack bool
+
+	r *Ring[T]
+}
+
+// New returns an empty ring.
+func New[T any]() *Ring[T] { return &Ring[T]{} }
+
+// Len returns the number of nodes on the ring.
+func (r *Ring[T]) Len() int { return len(r.nodes) }
+
+// TotalKeys returns the number of unconsumed keys across all nodes.
+func (r *Ring[T]) TotalKeys() int { return r.totalKeys }
+
+// At returns the i-th node in ascending ID order. It panics if i is out of
+// range, mirroring slice indexing.
+func (r *Ring[T]) At(i int) *Node[T] { return r.nodes[i] }
+
+// Get returns the node with exactly the given ID, if present.
+func (r *Ring[T]) Get(id ids.ID) (*Node[T], bool) {
+	i := r.searchID(id)
+	if i < len(r.nodes) && r.nodes[i].id == id {
+		return r.nodes[i], true
+	}
+	return nil, false
+}
+
+// searchID returns the insertion index for id: the first position whose
+// node ID is >= id.
+func (r *Ring[T]) searchID(id ids.ID) int {
+	return sort.Search(len(r.nodes), func(i int) bool {
+		return id.Compare(r.nodes[i].id) <= 0
+	})
+}
+
+// Owner returns the node responsible for key: the first node clockwise at
+// or after the key. It returns nil on an empty ring.
+func (r *Ring[T]) Owner(key ids.ID) *Node[T] {
+	if len(r.nodes) == 0 {
+		return nil
+	}
+	i := r.searchID(key)
+	if i == len(r.nodes) {
+		i = 0 // wraps past the highest ID to the lowest
+	}
+	return r.nodes[i]
+}
+
+// indexOf locates n on the ring. It panics if n was removed; the caller
+// holding a stale node is a logic error worth failing loudly on.
+func (r *Ring[T]) indexOf(n *Node[T]) int {
+	if n.r != r {
+		panic(ErrRemoved)
+	}
+	i := r.searchID(n.id)
+	if i >= len(r.nodes) || r.nodes[i] != n {
+		panic(fmt.Sprintf("ring: node %s not found at its index", n.id.Short()))
+	}
+	return i
+}
+
+// Succ returns the k-th successor of n clockwise (k >= 1 typical; k == 0
+// returns n itself). Wraps around the ring.
+func (r *Ring[T]) Succ(n *Node[T], k int) *Node[T] {
+	i := r.indexOf(n)
+	m := len(r.nodes)
+	return r.nodes[((i+k)%m+m)%m]
+}
+
+// Pred returns the k-th predecessor of n counterclockwise.
+func (r *Ring[T]) Pred(n *Node[T], k int) *Node[T] {
+	return r.Succ(n, -k)
+}
+
+// Insert places a new node at id carrying data, splitting the key range of
+// the current owner of id. It returns ErrOccupied if a node already has
+// that ID.
+func (r *Ring[T]) Insert(id ids.ID, data T) (*Node[T], error) {
+	i := r.searchID(id)
+	if i < len(r.nodes) && r.nodes[i].id == id {
+		return nil, ErrOccupied
+	}
+	n := &Node[T]{id: id, Data: data, r: r}
+	if len(r.nodes) == 0 {
+		r.nodes = []*Node[T]{n}
+		return n, nil
+	}
+	// The node that currently owns id (n's successor-to-be).
+	si := i
+	if si == len(r.nodes) {
+		si = 0
+	}
+	succ := r.nodes[si]
+	// n's predecessor is the node before the insertion point.
+	pred := r.nodes[((i-1)%len(r.nodes)+len(r.nodes))%len(r.nodes)]
+
+	// Split succ's keys: n takes those in (pred, id], i.e. the active
+	// prefix whose ring distance from pred.id is <= dist(pred, id).
+	active := succ.keys[succ.head:]
+	limit := pred.id.Distance(id)
+	cut := sort.Search(len(active), func(j int) bool {
+		return pred.id.Distance(active[j]).Compare(limit) > 0
+	})
+	n.keys = active[:cut]
+	succ.keys = active[cut:]
+	succ.head = 0
+
+	// Splice into the ordered slice.
+	r.nodes = append(r.nodes, nil)
+	copy(r.nodes[i+1:], r.nodes[i:])
+	r.nodes[i] = n
+	return n, nil
+}
+
+// Remove takes n off the ring, handing its unconsumed keys to its
+// successor (Chord's failure/departure behavior under active backup).
+// Removing the final node is only allowed once no keys remain.
+func (r *Ring[T]) Remove(n *Node[T]) error {
+	if n.r != r {
+		return ErrRemoved
+	}
+	i := r.indexOf(n)
+	if len(r.nodes) == 1 {
+		if n.Workload() > 0 {
+			return ErrLastNode
+		}
+		r.nodes = r.nodes[:0]
+		n.r = nil
+		return nil
+	}
+	succ := r.nodes[(i+1)%len(r.nodes)]
+	if w := n.Workload(); w > 0 {
+		// n's keys precede succ's in ring order from n's predecessor.
+		merged := make([]ids.ID, 0, w+succ.Workload())
+		merged = append(merged, n.keys[n.head:]...)
+		merged = append(merged, succ.keys[succ.head:]...)
+		succ.keys = merged
+		succ.head = 0
+	}
+	copy(r.nodes[i:], r.nodes[i+1:])
+	r.nodes = r.nodes[:len(r.nodes)-1]
+	n.r = nil
+	n.keys = nil
+	return nil
+}
+
+// Seed distributes task keys to their owners. It may be called on a ring
+// whose nodes already hold keys; new keys are merged in ring order. It
+// returns ErrEmpty if the ring has no nodes.
+func (r *Ring[T]) Seed(taskKeys []ids.ID) error {
+	if len(r.nodes) == 0 {
+		return ErrEmpty
+	}
+	buckets := make([][]ids.ID, len(r.nodes))
+	for _, k := range taskKeys {
+		i := r.searchID(k)
+		if i == len(r.nodes) {
+			i = 0
+		}
+		buckets[i] = append(buckets[i], k)
+	}
+	for i, b := range buckets {
+		if len(b) == 0 {
+			continue
+		}
+		n := r.nodes[i]
+		pred := r.nodes[((i-1)%len(r.nodes)+len(r.nodes))%len(r.nodes)]
+		all := append(b, n.keys[n.head:]...)
+		sort.Slice(all, func(a, b int) bool {
+			return pred.id.Distance(all[a]).Compare(pred.id.Distance(all[b])) < 0
+		})
+		n.keys = all
+		n.head = 0
+	}
+	r.totalKeys += len(taskKeys)
+	return nil
+}
+
+// Workloads returns every node's residual key count in ring order.
+func (r *Ring[T]) Workloads() []int {
+	out := make([]int, len(r.nodes))
+	for i, n := range r.nodes {
+		out[i] = n.Workload()
+	}
+	return out
+}
+
+// CheckInvariants verifies structural invariants; tests and the simulator's
+// debug mode call it. It returns a descriptive error on the first
+// violation found.
+func (r *Ring[T]) CheckInvariants() error {
+	total := 0
+	for i, n := range r.nodes {
+		if i > 0 && !r.nodes[i-1].id.Less(n.id) {
+			return fmt.Errorf("ring: nodes out of order at %d", i)
+		}
+		if n.r != r {
+			return fmt.Errorf("ring: node %s has stale ring pointer", n.id.Short())
+		}
+		pred := r.nodes[((i-1)%len(r.nodes)+len(r.nodes))%len(r.nodes)]
+		var prev ids.ID
+		for j, k := range n.keys[n.head:] {
+			if len(r.nodes) > 1 && !ids.BetweenRightIncl(k, pred.id, n.id) {
+				return fmt.Errorf("ring: node %s holds foreign key %s", n.id.Short(), k.Short())
+			}
+			d := pred.id.Distance(k)
+			if j > 0 && d.Compare(prev) < 0 {
+				return fmt.Errorf("ring: node %s keys out of ring order", n.id.Short())
+			}
+			prev = d
+		}
+		total += n.Workload()
+	}
+	if total != r.totalKeys {
+		return fmt.Errorf("ring: key count drift: counted %d, tracked %d", total, r.totalKeys)
+	}
+	return nil
+}
+
+// ID returns the node's ring identifier.
+func (n *Node[T]) ID() ids.ID { return n.id }
+
+// OnRing reports whether the node is still part of its ring.
+func (n *Node[T]) OnRing() bool { return n.r != nil }
+
+// Workload returns the number of unconsumed keys the node owns.
+func (n *Node[T]) Workload() int { return len(n.keys) - n.head }
+
+// PredID returns the node's current predecessor ID (its own ID when it is
+// alone on the ring). The arc (PredID, ID] is the node's responsibility.
+func (n *Node[T]) PredID() ids.ID {
+	i := n.r.indexOf(n)
+	m := len(n.r.nodes)
+	return n.r.nodes[((i-1)%m+m)%m].id
+}
+
+// Keys returns a copy of the node's unconsumed keys in ring order.
+func (n *Node[T]) Keys() []ids.ID {
+	return append([]ids.ID(nil), n.keys[n.head:]...)
+}
+
+// Consume removes and returns one task key from the end selected by the
+// ring's ConsumeMode. ok is false when the node has no work.
+func (n *Node[T]) Consume() (key ids.ID, ok bool) {
+	if n.Workload() == 0 {
+		return ids.Zero, false
+	}
+	back := false
+	switch n.r.mode {
+	case ConsumeBack:
+		back = true
+	case ConsumeAlternate:
+		back = n.fromBack
+		n.fromBack = !n.fromBack
+	}
+	if back {
+		key = n.keys[len(n.keys)-1]
+		n.keys = n.keys[:len(n.keys)-1]
+	} else {
+		key = n.keys[n.head]
+		n.head++
+	}
+	n.r.totalKeys--
+	return key, true
+}
+
+// SplitKey returns the identifier that splits the node's *remaining* keys
+// exactly in half: a new node inserted at the returned ID takes over
+// ceil(w/2) keys. ok is false when the node holds fewer than two keys.
+// This powers the paper's §VII extension where nodes may choose Sybil IDs
+// freely instead of estimating by arc size.
+func (n *Node[T]) SplitKey() (id ids.ID, ok bool) {
+	w := n.Workload()
+	if w < 2 {
+		return ids.Zero, false
+	}
+	// Keys are in ring order from the predecessor; the key at the median
+	// position is the last key the new (earlier) node would own.
+	return n.keys[n.head+(w-1)/2], true
+}
+
+// ConsumeN consumes up to max keys and returns how many were consumed.
+func (n *Node[T]) ConsumeN(max int) int {
+	done := 0
+	for done < max {
+		if _, ok := n.Consume(); !ok {
+			break
+		}
+		done++
+	}
+	return done
+}

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"chordbalance/internal/strategy"
+)
+
+func TestEventLogMatchesCounters(t *testing.T) {
+	cfg := Config{Nodes: 80, Tasks: 8000, ChurnRate: 0.02, Seed: 3,
+		Strategy: strategy.NewRandomInjection(), RecordEvents: true}
+	res := run(t, cfg)
+	counts := map[EventKind]int{}
+	for _, e := range res.Events {
+		counts[e.Kind]++
+		if e.Tick < 1 || e.Tick > res.Ticks {
+			t.Fatalf("event tick %d outside run (1..%d)", e.Tick, res.Ticks)
+		}
+		if e.Moved < 0 {
+			t.Fatalf("negative moved work: %+v", e)
+		}
+	}
+	if counts[EventJoin] != res.Messages.Joins {
+		t.Errorf("join events %d != counter %d", counts[EventJoin], res.Messages.Joins)
+	}
+	if counts[EventLeave] != res.Messages.Leaves {
+		t.Errorf("leave events %d != counter %d", counts[EventLeave], res.Messages.Leaves)
+	}
+	if counts[EventSybilCreate] != res.Messages.SybilsCreated {
+		t.Errorf("create events %d != counter %d", counts[EventSybilCreate], res.Messages.SybilsCreated)
+	}
+	if counts[EventSybilDrop] != res.Messages.SybilsDropped {
+		t.Errorf("drop events %d != counter %d", counts[EventSybilDrop], res.Messages.SybilsDropped)
+	}
+}
+
+func TestEventLogOffByDefault(t *testing.T) {
+	res := run(t, Config{Nodes: 20, Tasks: 400, ChurnRate: 0.05, Seed: 4})
+	if len(res.Events) != 0 {
+		t.Errorf("events recorded without RecordEvents: %d", len(res.Events))
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	cases := map[EventKind]string{
+		EventJoin: "join", EventLeave: "leave",
+		EventSybilCreate: "sybil-create", EventSybilDrop: "sybil-drop",
+		EventKind(99): "EventKind(99)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestWriteEventsCSV(t *testing.T) {
+	events := []Event{
+		{Tick: 3, Kind: EventJoin, Host: 7, Moved: 12},
+		{Tick: 5, Kind: EventSybilCreate, Host: 2, Moved: 0},
+	}
+	var b strings.Builder
+	if err := WriteEventsCSV(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "tick,kind,host,id,moved\n") {
+		t.Errorf("header wrong: %q", out)
+	}
+	if !strings.Contains(out, "3,join,7,") || !strings.Contains(out, "5,sybil-create,2,") {
+		t.Errorf("rows wrong:\n%s", out)
+	}
+}

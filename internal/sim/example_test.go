@@ -1,0 +1,54 @@
+package sim_test
+
+import (
+	"fmt"
+	"log"
+
+	"chordbalance/internal/sim"
+	"chordbalance/internal/strategy"
+)
+
+// Example runs the paper's headline comparison on a small network: the
+// same job with and without random Sybil injection.
+func Example() {
+	base := sim.Config{Nodes: 100, Tasks: 10000, Seed: 7}
+	baseline, err := sim.Run(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base.Strategy = strategy.NewRandomInjection()
+	balanced, err := sim.Run(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ideal ticks:", baseline.IdealTicks)
+	fmt.Println("baseline completed:", baseline.Completed)
+	fmt.Println("random injection faster:", balanced.Ticks < baseline.Ticks)
+	// Output:
+	// ideal ticks: 100
+	// baseline completed: true
+	// random injection faster: true
+}
+
+// ExampleRun_snapshots captures the workload distribution at the ticks
+// the paper's figures use.
+func ExampleRun_snapshots() {
+	res, err := sim.Run(sim.Config{
+		Nodes: 50, Tasks: 5000, Seed: 3,
+		SnapshotTicks: []int{0, 35},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, snap := range res.Snapshots {
+		total := 0
+		for _, w := range snap.HostWorkloads {
+			total += w
+		}
+		fmt.Printf("tick %d: %d hosts, %d tasks remaining\n",
+			snap.Tick, snap.AliveHosts, total)
+	}
+	// Output:
+	// tick 0: 50 hosts, 5000 tasks remaining
+	// tick 35: 50 hosts, 3523 tasks remaining
+}

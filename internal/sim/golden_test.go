@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"chordbalance/internal/strategy"
+)
+
+// TestGoldenDeterminism pins the exact outcome of one fixed-seed run per
+// strategy. These numbers are not meaningful in themselves; the test
+// exists so that any change to the engine's event ordering, RNG
+// consumption, or strategy logic is *visible* — the figures and tables
+// are all derived from runs like these, and silent drift would
+// invalidate EXPERIMENTS.md. If you change behavior intentionally,
+// update the constants and re-run the experiments.
+func TestGoldenDeterminism(t *testing.T) {
+	golden := []struct {
+		strategyName string
+		churn        float64
+		wantTicks    int
+	}{
+		{"none", 0, 486},
+		{"none", 0.01, 353},
+		{"random", 0, 201},
+		{"neighbor", 0, 323},
+		{"smart-neighbor", 0, 286},
+		{"invitation", 0, 330},
+		{"targeted", 0, 215},
+		{"oracle", 0, 104},
+	}
+	for _, g := range golden {
+		name := fmt.Sprintf("%s/churn=%g", g.strategyName, g.churn)
+		t.Run(name, func(t *testing.T) {
+			st, ok := strategy.ByName(g.strategyName)
+			if !ok {
+				t.Fatalf("unknown strategy %q", g.strategyName)
+			}
+			res, err := Run(Config{
+				Nodes: 300, Tasks: 30000, Seed: 12345,
+				Strategy: st, ChurnRate: g.churn,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Completed {
+				t.Fatal("did not complete")
+			}
+			if res.Ticks != g.wantTicks {
+				t.Errorf("ticks = %d, golden value %d — engine behavior "+
+					"changed; if intentional, update golden_test.go and "+
+					"regenerate EXPERIMENTS.md", res.Ticks, g.wantTicks)
+			}
+		})
+	}
+}

@@ -1,0 +1,785 @@
+// Package sim is the discrete-time simulation engine of the paper's
+// evaluation (§V): a Chord DHT holding a fixed job of tasks, advanced in
+// abstract ticks. Each tick every live host consumes work, churn moves
+// hosts between the network and a waiting pool, and every few ticks the
+// configured strategy runs one autonomous load-balancing decision pass.
+//
+// The engine implements strategy.World, so the policies in
+// internal/strategy mutate the network only through the same local
+// operations a real deployment would have.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"chordbalance/internal/ids"
+	"chordbalance/internal/keys"
+	"chordbalance/internal/ring"
+	"chordbalance/internal/strategy"
+	"chordbalance/internal/sybil"
+	"chordbalance/internal/xrand"
+)
+
+// Config describes one experiment run (§V-B, "Experimental Variables").
+type Config struct {
+	// Nodes is the initial network size. The churn waiting pool starts at
+	// the same size (§IV-A).
+	Nodes int
+	// Tasks is the job size in tasks.
+	Tasks int
+	// Strategy is the balancing policy; nil means the no-op baseline.
+	Strategy strategy.Strategy
+	// ChurnRate is each host's per-tick probability of leaving (and each
+	// waiting host's probability of joining). Default 0.
+	ChurnRate float64
+	// ChurnModel shapes how churn arrives over time; the default
+	// (ChurnConstant) is the paper's assumption of a constant rate.
+	ChurnModel ChurnModel
+	// BurstPeriod and BurstDuty configure ChurnBursty: churn happens only
+	// during the first BurstDuty fraction of each BurstPeriod-tick cycle,
+	// at a rate scaled up so the *average* rate still equals ChurnRate.
+	// Defaults: period 50, duty 0.2.
+	BurstPeriod int
+	BurstDuty   float64
+	// Heterogeneous draws host strengths from U{1..MaxSybils}.
+	Heterogeneous bool
+	// WorkByStrength makes a host consume Strength tasks per tick instead
+	// of one.
+	WorkByStrength bool
+	// MaxSybils caps Sybils per host (default 5).
+	MaxSybils int
+	// SybilThreshold is the workload at or below which a host seeks work
+	// (default 0).
+	SybilThreshold int
+	// InviteThreshold is the workload above which a node invites help.
+	// 0 derives the default (twice the initial fair share); negative
+	// values mean literally zero.
+	InviteThreshold int
+	// NumSuccessors is the successor/predecessor list length (default 5).
+	NumSuccessors int
+	// DecisionEvery is the strategy cadence in ticks (default 5).
+	DecisionEvery int
+	// AvoidRepeats enables the neighbor strategy's failed-arc blacklist.
+	AvoidRepeats bool
+	// ZipfObjects switches the workload from the paper's uniform task
+	// keys to file-sharing-style popularity: tasks reference this many
+	// distinct objects with Zipf(ZipfExponent) popularity, so tasks for
+	// one popular object pile onto a single ring position. 0 (default)
+	// keeps the paper's uniform keys.
+	ZipfObjects int
+	// ZipfExponent is the skew (default 1.0 when ZipfObjects > 0).
+	ZipfExponent float64
+	// StreamTasks adds tasks that arrive *during* the run — StreamRate
+	// per tick until exhausted — instead of all being present at tick 0
+	// (the paper assumes a static job, §V). The ideal runtime accounts
+	// for both the extra work and the arrival horizon.
+	StreamTasks int
+	// StreamRate is the arrival rate in tasks/tick (required > 0 when
+	// StreamTasks > 0).
+	StreamRate int
+	// StaticVNodes gives every host this many additional virtual nodes at
+	// random IDs from the start — the classic static virtual-server
+	// load-balancing scheme (Chord's own suggestion of O(log n) virtual
+	// nodes per host). It is the literature's standard baseline against
+	// which the paper's *dynamic* Sybil strategies can be judged; the
+	// static copies never move, count against no Sybil cap, and exist
+	// before the job begins. A host that churns out loses its copies and
+	// rejoins with a single virtual node, as any fresh joiner would.
+	StaticVNodes int
+	// Seed makes the run fully deterministic.
+	Seed uint64
+	// MaxTicks aborts runaway runs; 0 derives 200×ideal+1000.
+	MaxTicks int
+	// ConsumeMode selects which end of its arc a node works through; see
+	// ring.ConsumeMode. The default (ConsumeFront) reproduces the paper's
+	// observed strategy behavior; ConsumeAlternate is the unbiased
+	// alternative studied in the consumption-order ablation.
+	ConsumeMode ring.ConsumeMode
+	// SnapshotTicks lists ticks at which to capture workload snapshots
+	// (tick 0 is the initial distribution).
+	SnapshotTicks []int
+	// RecordWorkPerTick keeps the per-tick consumption series.
+	RecordWorkPerTick bool
+	// RecordEvents keeps a log of every topology change (join, leave,
+	// Sybil creation/withdrawal) with the tick it happened and the work
+	// it moved; dhtsim can dump it as CSV for debugging and visualization.
+	RecordEvents bool
+	// CheckInvariants validates ring invariants every tick (slow; tests).
+	CheckInvariants bool
+}
+
+// ChurnModel selects the temporal pattern of churn.
+type ChurnModel int
+
+const (
+	// ChurnConstant applies ChurnRate every tick (the paper's model,
+	// shared with most churn analyses it cites).
+	ChurnConstant ChurnModel = iota
+	// ChurnBursty concentrates the same average turnover into periodic
+	// bursts — flash crowds and correlated failures — to test whether the
+	// speedup from churn survives realistic arrival patterns.
+	ChurnBursty
+)
+
+func (c Config) withDefaults() Config {
+	if c.MaxSybils == 0 {
+		c.MaxSybils = 5
+	}
+	if c.BurstPeriod == 0 {
+		c.BurstPeriod = 50
+	}
+	if c.BurstDuty == 0 {
+		c.BurstDuty = 0.2
+	}
+	if c.NumSuccessors == 0 {
+		c.NumSuccessors = 5
+	}
+	if c.DecisionEvery == 0 {
+		c.DecisionEvery = 5
+	}
+	if c.Strategy == nil {
+		c.Strategy = strategy.NewNone()
+	}
+	return c
+}
+
+// Validate reports configuration errors a run would choke on.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes < 1:
+		return fmt.Errorf("sim: Nodes must be >= 1, got %d", c.Nodes)
+	case c.Tasks < 0:
+		return fmt.Errorf("sim: Tasks must be >= 0, got %d", c.Tasks)
+	case c.ChurnRate < 0 || c.ChurnRate > 1:
+		return fmt.Errorf("sim: ChurnRate %v outside [0,1]", c.ChurnRate)
+	case c.MaxSybils < 0:
+		return fmt.Errorf("sim: MaxSybils must be >= 0, got %d", c.MaxSybils)
+	case c.BurstPeriod < 0:
+		return fmt.Errorf("sim: BurstPeriod must be >= 0, got %d", c.BurstPeriod)
+	case c.BurstDuty < 0 || c.BurstDuty > 1:
+		return fmt.Errorf("sim: BurstDuty %v outside [0,1]", c.BurstDuty)
+	case c.ZipfObjects < 0:
+		return fmt.Errorf("sim: ZipfObjects must be >= 0, got %d", c.ZipfObjects)
+	case c.ZipfObjects > 0 && c.ZipfExponent < 0:
+		return fmt.Errorf("sim: ZipfExponent must be >= 0, got %v", c.ZipfExponent)
+	case c.StreamTasks < 0:
+		return fmt.Errorf("sim: StreamTasks must be >= 0, got %d", c.StreamTasks)
+	case c.StreamTasks > 0 && c.StreamRate < 1:
+		return fmt.Errorf("sim: StreamTasks needs StreamRate >= 1, got %d", c.StreamRate)
+	case c.StaticVNodes < 0:
+		return fmt.Errorf("sim: StaticVNodes must be >= 0, got %d", c.StaticVNodes)
+	}
+	return nil
+}
+
+// MessageStats estimates the protocol traffic a real deployment would
+// incur for the run, using the internal/chord cost model: a join (or Sybil
+// creation) needs an O(log n) lookup plus successor-list setup; strategies
+// are charged their queries and announcements.
+type MessageStats struct {
+	Joins          int
+	Leaves         int
+	SybilsCreated  int
+	SybilsDropped  int
+	LookupMessages int
+	Maintenance    int
+	Strategy       map[string]int
+}
+
+// Total sums every message category.
+func (m MessageStats) Total() int {
+	t := m.LookupMessages + m.Maintenance
+	for _, v := range m.Strategy {
+		t += v
+	}
+	return t
+}
+
+// Snapshot captures the workload distribution at one tick; the figures'
+// histograms are built from these.
+type Snapshot struct {
+	Tick int
+	// HostWorkloads is the residual work per live host (all its virtual
+	// nodes combined) — what Figures 4-14 plot.
+	HostWorkloads []int
+	// VNodeWorkloads is the residual work per live virtual node.
+	VNodeWorkloads []int
+	AliveHosts     int
+	VNodes         int
+}
+
+// EventKind classifies a topology change.
+type EventKind int
+
+// Event kinds, in the order a host typically experiences them.
+const (
+	EventJoin EventKind = iota
+	EventLeave
+	EventSybilCreate
+	EventSybilDrop
+)
+
+// String names the event kind for logs and CSV.
+func (k EventKind) String() string {
+	switch k {
+	case EventJoin:
+		return "join"
+	case EventLeave:
+		return "leave"
+	case EventSybilCreate:
+		return "sybil-create"
+	case EventSybilDrop:
+		return "sybil-drop"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event records one topology change during a run.
+type Event struct {
+	Tick int
+	Kind EventKind
+	// Host is the physical machine's index.
+	Host int
+	// ID is the virtual node involved.
+	ID ids.ID
+	// Moved is the number of task keys that changed owner: keys acquired
+	// on a join/creation, keys handed to successors on a leave/drop.
+	Moved int
+}
+
+// WriteEventsCSV dumps events as tick,kind,host,id,moved rows.
+func WriteEventsCSV(w io.Writer, events []Event) error {
+	if _, err := io.WriteString(w, "tick,kind,host,id,moved\n"); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if _, err := fmt.Fprintf(w, "%d,%s,%d,%s,%d\n",
+			e.Tick, e.Kind, e.Host, e.ID.Short(), e.Moved); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Ticks         int
+	IdealTicks    int
+	RuntimeFactor float64
+	Completed     bool
+	Snapshots     []Snapshot
+	WorkPerTick   []int
+	Events        []Event
+	Messages      MessageStats
+	// FinalAliveHosts and FinalVNodes describe the network at the end.
+	FinalAliveHosts int
+	FinalVNodes     int
+	// CompletedByStrength counts tasks completed per strength class —
+	// the measurement behind the §VII hypothesis that weak nodes steal
+	// work from strong ones in heterogeneous networks. Homogeneous runs
+	// have a single class, 1.
+	CompletedByStrength map[int]int
+	// HostsByStrength counts the initially-live hosts per strength class.
+	HostsByStrength map[int]int
+}
+
+// vnode is one virtual node: the engine-side implementation of
+// strategy.VNode.
+type vnode struct {
+	rn      *ring.Node[*vnode]
+	host    *hostState
+	isSybil bool
+}
+
+func (v *vnode) ID() ids.ID          { return v.rn.ID() }
+func (v *vnode) PredID() ids.ID      { return v.rn.PredID() }
+func (v *vnode) Workload() int       { return v.rn.Workload() }
+func (v *vnode) Host() strategy.Host { return v.host }
+
+// hostState is one physical machine: the engine-side implementation of
+// strategy.Host.
+type hostState struct {
+	acct   *sybil.Host
+	vnodes []*vnode // primary first; empty while in the waiting pool
+}
+
+func (h *hostState) Index() int    { return h.acct.Index() }
+func (h *hostState) Strength() int { return h.acct.Strength() }
+func (h *hostState) SybilCount() int {
+	return h.acct.SybilCount()
+}
+func (h *hostState) CanCreateSybil() bool { return h.acct.CanCreateSybil() }
+func (h *hostState) Workload() int {
+	w := 0
+	for _, v := range h.vnodes {
+		w += v.rn.Workload()
+	}
+	return w
+}
+
+// Simulation is a fully constructed, runnable experiment.
+type Simulation struct {
+	cfg    Config
+	params strategy.Params
+	rng    *xrand.Rand
+	ring   *ring.Ring[*vnode]
+	pool   *sybil.Pool
+	hosts  []*hostState
+	msgs   MessageStats
+	ideal  int
+	tick   int
+
+	// tasks produces task keys for the initial seed and streamed
+	// arrivals.
+	tasks *taskStream
+	// events accumulates the topology log when RecordEvents is set.
+	events []Event
+	// completedByStrength counts consumed tasks per host strength class.
+	completedByStrength map[int]int
+	// streamLeft counts tasks still to arrive.
+	streamLeft int
+
+	// scratch buffers reused across ticks
+	leavers []*hostState
+	joiners []*hostState
+}
+
+// taskStream generates task keys: uniform SHA-1 draws (the paper's
+// model) or Zipf-popular object references.
+type taskStream struct {
+	gen     *keys.Generator
+	zipf    *keys.Zipf
+	objects []ids.ID
+	rng     *xrand.Rand
+}
+
+func newTaskStream(cfg Config) *taskStream {
+	ts := &taskStream{gen: keys.NewGenerator(cfg.Seed ^ 0x9e3779b97f4a7c15)}
+	if cfg.ZipfObjects > 0 {
+		s := cfg.ZipfExponent
+		if s == 0 {
+			s = 1
+		}
+		ts.zipf = keys.NewZipf(cfg.ZipfObjects, s)
+		ts.objects = keys.NewGenerator(cfg.Seed ^ 0xd1b54a32d192ed03).NodeIDs(cfg.ZipfObjects)
+		ts.rng = xrand.New(cfg.Seed ^ 0xeb44accab455d165)
+	}
+	return ts
+}
+
+func (ts *taskStream) next(n int) []ids.ID {
+	if ts.zipf == nil {
+		return ts.gen.TaskKeys(n)
+	}
+	out := make([]ids.ID, n)
+	for i := range out {
+		out[i] = ts.objects[ts.zipf.Rank(ts.rng)-1]
+	}
+	return out
+}
+
+// New builds a simulation: hosts with SHA-1 primary IDs, the waiting pool,
+// and the seeded task keys. It returns an error on invalid configuration.
+func New(cfg Config) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	s := &Simulation{
+		cfg:  cfg,
+		rng:  xrand.New(cfg.Seed),
+		ring: ring.New[*vnode](),
+		msgs: MessageStats{Strategy: make(map[string]int)},
+
+		completedByStrength: make(map[int]int),
+	}
+	s.ring.SetConsumeMode(cfg.ConsumeMode)
+	s.pool = sybil.NewPool(sybil.PoolConfig{
+		Hosts:         cfg.Nodes,
+		WaitingHosts:  cfg.Nodes,
+		Heterogeneous: cfg.Heterogeneous,
+		MaxSybils:     cfg.MaxSybils,
+	}, s.rng)
+	s.hosts = make([]*hostState, s.pool.Len())
+	for i := range s.hosts {
+		s.hosts[i] = &hostState{acct: s.pool.Host(i)}
+	}
+	// Place live hosts' primary virtual nodes at SHA-1 identifiers,
+	// followed by any static virtual servers.
+	gen := keys.NewGenerator(cfg.Seed)
+	freshID := func() ids.ID {
+		for {
+			id := gen.Next()
+			if _, occupied := s.ring.Get(id); !occupied {
+				return id
+			}
+		}
+	}
+	for _, h := range s.hosts[:cfg.Nodes] {
+		s.attach(h, freshID(), false)
+	}
+	for i := 0; i < cfg.StaticVNodes; i++ {
+		for _, h := range s.hosts[:cfg.Nodes] {
+			// Static copies are not Sybils: they are permanent ring
+			// members and do not count against the Sybil cap.
+			s.attach(h, freshID(), false)
+		}
+	}
+	// Seed the job's initial task keys; streamed tasks arrive later.
+	s.tasks = newTaskStream(cfg)
+	s.streamLeft = cfg.StreamTasks
+	if err := s.ring.Seed(s.tasks.next(cfg.Tasks)); err != nil {
+		return nil, err
+	}
+	// Ideal runtime: every initial host working at full speed with a
+	// perfectly even split (§V-C). With streaming, the job can also
+	// never end before the last arrival.
+	totalStrength := s.pool.TotalStrength(cfg.WorkByStrength)
+	totalTasks := cfg.Tasks + cfg.StreamTasks
+	s.ideal = (totalTasks + totalStrength - 1) / totalStrength
+	if cfg.StreamTasks > 0 {
+		horizon := (cfg.StreamTasks + cfg.StreamRate - 1) / cfg.StreamRate
+		if horizon > s.ideal {
+			s.ideal = horizon
+		}
+	}
+	if s.ideal == 0 {
+		s.ideal = 1
+	}
+	s.params = strategy.Params{
+		SybilThreshold:  cfg.SybilThreshold,
+		InviteThreshold: cfg.InviteThreshold,
+		NumSuccessors:   cfg.NumSuccessors,
+		DecisionEvery:   cfg.DecisionEvery,
+		AvoidRepeats:    cfg.AvoidRepeats,
+	}.WithDefaults()
+	switch {
+	case cfg.InviteThreshold > 0:
+		s.params.InviteThreshold = cfg.InviteThreshold
+	case cfg.InviteThreshold < 0:
+		s.params.InviteThreshold = 0
+	default:
+		// Twice the initial fair share: a node is "overburdened" once it
+		// holds more than double what an even split would give it.
+		s.params.InviteThreshold = 2 * ((cfg.Tasks + cfg.Nodes - 1) / cfg.Nodes)
+	}
+	return s, nil
+}
+
+// attach puts host h onto the ring at id with a fresh virtual node.
+func (s *Simulation) attach(h *hostState, id ids.ID, isSybil bool) *vnode {
+	v := &vnode{host: h, isSybil: isSybil}
+	rn, err := s.ring.Insert(id, v)
+	if err != nil {
+		panic(fmt.Sprintf("sim: attach at occupied id %s", id.Short()))
+	}
+	v.rn = rn
+	h.vnodes = append(h.vnodes, v)
+	return v
+}
+
+// IdealTicks returns the ideal runtime of the configured job.
+func (s *Simulation) IdealTicks() int { return s.ideal }
+
+// Run advances the simulation until the job completes or MaxTicks is hit,
+// returning the collected metrics.
+func (s *Simulation) Run() *Result {
+	cfg := s.cfg
+	maxTicks := cfg.MaxTicks
+	if maxTicks == 0 {
+		maxTicks = 200*s.ideal + 1000
+	}
+	snapshotAt := make(map[int]bool, len(cfg.SnapshotTicks))
+	for _, t := range cfg.SnapshotTicks {
+		snapshotAt[t] = true
+	}
+	res := &Result{IdealTicks: s.ideal}
+	if snapshotAt[0] {
+		res.Snapshots = append(res.Snapshots, s.snapshot(0))
+	}
+	for (s.ring.TotalKeys() > 0 || s.streamLeft > 0) && s.tick < maxTicks {
+		s.tick++
+		if s.streamLeft > 0 {
+			n := s.cfg.StreamRate
+			if n > s.streamLeft {
+				n = s.streamLeft
+			}
+			if err := s.ring.Seed(s.tasks.next(n)); err != nil {
+				panic(err) // the ring always has at least one node
+			}
+			s.streamLeft -= n
+		}
+		done := s.consume()
+		if cfg.RecordWorkPerTick {
+			res.WorkPerTick = append(res.WorkPerTick, done)
+		}
+		if cfg.ChurnRate > 0 {
+			s.churn()
+		}
+		if s.tick%s.params.DecisionEvery == 0 && s.ring.TotalKeys() > 0 {
+			s.cfg.Strategy.Decide(s)
+		}
+		// Successor-list maintenance: every live virtual node pings its
+		// successor list once per tick (§V-A "Maintenance").
+		s.msgs.Maintenance += s.ring.Len() * s.params.NumSuccessors
+		if snapshotAt[s.tick] {
+			res.Snapshots = append(res.Snapshots, s.snapshot(s.tick))
+		}
+		if cfg.CheckInvariants {
+			if err := s.ring.CheckInvariants(); err != nil {
+				panic(err)
+			}
+		}
+	}
+	res.Ticks = s.tick
+	res.Events = s.events
+	res.Completed = s.ring.TotalKeys() == 0 && s.streamLeft == 0
+	res.RuntimeFactor = float64(res.Ticks) / float64(s.ideal)
+	res.Messages = s.msgs
+	res.FinalAliveHosts = s.pool.AliveCount()
+	res.FinalVNodes = s.ring.Len()
+	res.CompletedByStrength = s.completedByStrength
+	res.HostsByStrength = make(map[int]int)
+	for _, h := range s.hosts[:s.cfg.Nodes] {
+		res.HostsByStrength[h.acct.Strength()]++
+	}
+	return res
+}
+
+// consume runs one tick of work: each live host completes up to its
+// per-tick capacity, drawing from its most-loaded virtual nodes first.
+func (s *Simulation) consume() int {
+	total := 0
+	for _, h := range s.hosts {
+		if !h.acct.Alive() {
+			continue
+		}
+		budget := h.acct.WorkPerTick(s.cfg.WorkByStrength)
+		for budget > 0 {
+			// Pick the host's most-loaded virtual node; a host drains its
+			// heaviest identity first.
+			var best *vnode
+			for _, v := range h.vnodes {
+				if v.rn.Workload() > 0 && (best == nil || v.rn.Workload() > best.rn.Workload()) {
+					best = v
+				}
+			}
+			if best == nil {
+				break
+			}
+			n := best.rn.ConsumeN(budget)
+			budget -= n
+			total += n
+			s.completedByStrength[h.acct.Strength()] += n
+		}
+	}
+	return total
+}
+
+// churn runs one tick of turnover: live hosts leave with probability
+// ChurnRate, waiting hosts join with the same probability (§IV-A). Under
+// ChurnBursty the turnover concentrates into periodic bursts with the
+// same long-run average.
+func (s *Simulation) churn() {
+	rate := s.cfg.ChurnRate
+	if s.cfg.ChurnModel == ChurnBursty {
+		phase := (s.tick - 1) % s.cfg.BurstPeriod
+		if float64(phase) >= s.cfg.BurstDuty*float64(s.cfg.BurstPeriod) {
+			return // quiet part of the cycle
+		}
+		rate = rate / s.cfg.BurstDuty
+		if rate > 1 {
+			rate = 1
+		}
+	}
+	s.leavers = s.leavers[:0]
+	s.joiners = s.joiners[:0]
+	for _, h := range s.hosts {
+		if h.acct.Alive() {
+			if s.rng.Bool(rate) {
+				s.leavers = append(s.leavers, h)
+			}
+		} else if s.rng.Bool(rate) {
+			s.joiners = append(s.joiners, h)
+		}
+	}
+	for _, h := range s.leavers {
+		// Never let the ring empty out: someone must hold the keys.
+		if s.ring.Len() <= len(h.vnodes) {
+			continue
+		}
+		s.recordEvent(EventLeave, h.Index(), h.vnodes[0].ID(), h.Workload())
+		s.detachAll(h)
+		h.acct.SetAlive(false)
+		s.msgs.Leaves++
+	}
+	for _, h := range s.joiners {
+		h.acct.SetAlive(true)
+		v := s.attach(h, s.RandomID(), false)
+		s.recordEvent(EventJoin, h.Index(), v.ID(), v.rn.Workload())
+		s.msgs.Joins++
+		s.chargeLookup()
+	}
+}
+
+// detachAll removes every virtual node of h from the ring (Sybils first so
+// the primary inherits any of their keys that fall back to it last).
+func (s *Simulation) detachAll(h *hostState) {
+	for i := len(h.vnodes) - 1; i >= 0; i-- {
+		if err := s.ring.Remove(h.vnodes[i].rn); err != nil {
+			panic(err)
+		}
+	}
+	h.vnodes = h.vnodes[:0]
+}
+
+// recordEvent appends to the topology log when RecordEvents is on.
+func (s *Simulation) recordEvent(kind EventKind, host int, id ids.ID, moved int) {
+	if !s.cfg.RecordEvents {
+		return
+	}
+	s.events = append(s.events, Event{Tick: s.tick, Kind: kind, Host: host, ID: id, Moved: moved})
+}
+
+// chargeLookup accounts the O(log n) routing messages a join or Sybil
+// placement costs in a real Chord overlay.
+func (s *Simulation) chargeLookup() {
+	n := s.ring.Len()
+	if n < 2 {
+		return
+	}
+	s.msgs.LookupMessages += int(math.Ceil(math.Log2(float64(n))))
+}
+
+func (s *Simulation) snapshot(tick int) Snapshot {
+	snap := Snapshot{Tick: tick}
+	for _, h := range s.hosts {
+		if !h.acct.Alive() {
+			continue
+		}
+		snap.AliveHosts++
+		snap.HostWorkloads = append(snap.HostWorkloads, h.Workload())
+		for _, v := range h.vnodes {
+			snap.VNodeWorkloads = append(snap.VNodeWorkloads, v.rn.Workload())
+		}
+	}
+	snap.VNodes = s.ring.Len()
+	return snap
+}
+
+// Run is the one-call entry point: build and run a configuration.
+func Run(cfg Config) (*Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(), nil
+}
+
+// --- strategy.World implementation ---
+
+// Params implements strategy.World.
+func (s *Simulation) Params() strategy.Params { return s.params }
+
+// RNG implements strategy.World.
+func (s *Simulation) RNG() *xrand.Rand { return s.rng }
+
+// EachHost implements strategy.World: live hosts in stable index order.
+func (s *Simulation) EachHost(fn func(h strategy.Host, primary strategy.VNode)) {
+	for _, h := range s.hosts {
+		if h.acct.Alive() && len(h.vnodes) > 0 {
+			fn(h, h.vnodes[0])
+		}
+	}
+}
+
+// VNodesOf implements strategy.World.
+func (s *Simulation) VNodesOf(h strategy.Host) []strategy.VNode {
+	host := s.hosts[h.Index()]
+	out := make([]strategy.VNode, len(host.vnodes))
+	for i, v := range host.vnodes {
+		out[i] = v
+	}
+	return out
+}
+
+// Successors implements strategy.World.
+func (s *Simulation) Successors(v strategy.VNode, k int) []strategy.VNode {
+	return s.walk(v, k, +1)
+}
+
+// Predecessors implements strategy.World.
+func (s *Simulation) Predecessors(v strategy.VNode, k int) []strategy.VNode {
+	return s.walk(v, k, -1)
+}
+
+func (s *Simulation) walk(v strategy.VNode, k, dir int) []strategy.VNode {
+	vn := v.(*vnode)
+	if k > s.ring.Len()-1 {
+		k = s.ring.Len() - 1
+	}
+	out := make([]strategy.VNode, 0, k)
+	for i := 1; i <= k; i++ {
+		out = append(out, s.ring.Succ(vn.rn, dir*i).Data)
+	}
+	return out
+}
+
+// CreateSybil implements strategy.World.
+func (s *Simulation) CreateSybil(h strategy.Host, id ids.ID) (int, bool) {
+	host := s.hosts[h.Index()]
+	if !host.acct.CanCreateSybil() {
+		return 0, false
+	}
+	if _, occupied := s.ring.Get(id); occupied {
+		return 0, false
+	}
+	v := s.attach(host, id, true)
+	host.acct.CreatedSybil()
+	s.msgs.SybilsCreated++
+	s.chargeLookup()
+	s.recordEvent(EventSybilCreate, host.Index(), v.ID(), v.rn.Workload())
+	return v.rn.Workload(), true
+}
+
+// DropSybils implements strategy.World.
+func (s *Simulation) DropSybils(h strategy.Host) {
+	host := s.hosts[h.Index()]
+	kept := host.vnodes[:0]
+	for _, v := range host.vnodes {
+		if !v.isSybil {
+			kept = append(kept, v)
+			continue
+		}
+		s.recordEvent(EventSybilDrop, host.Index(), v.ID(), v.rn.Workload())
+		if err := s.ring.Remove(v.rn); err != nil {
+			panic(err)
+		}
+		host.acct.DroppedSybil()
+		s.msgs.SybilsDropped++
+	}
+	host.vnodes = kept
+}
+
+// RandomID implements strategy.World.
+func (s *Simulation) RandomID() ids.ID {
+	for {
+		id := ids.Random(s.rng)
+		if _, occupied := s.ring.Get(id); !occupied {
+			return id
+		}
+	}
+}
+
+// SplitPoint implements strategy.World: the ID that halves v's remaining
+// keys (used only by the §VII chosen-ID extension strategies).
+func (s *Simulation) SplitPoint(v strategy.VNode) (ids.ID, bool) {
+	return v.(*vnode).rn.SplitKey()
+}
+
+// ChargeMessages implements strategy.World.
+func (s *Simulation) ChargeMessages(kind string, n int) {
+	s.msgs.Strategy[kind] += n
+}

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"testing"
+
+	"chordbalance/internal/strategy"
+)
+
+func TestValidateWorkloadOptions(t *testing.T) {
+	bad := []Config{
+		{Nodes: 10, Tasks: 10, ZipfObjects: -1},
+		{Nodes: 10, Tasks: 10, ZipfObjects: 5, ZipfExponent: -1},
+		{Nodes: 10, Tasks: 10, StreamTasks: -1},
+		{Nodes: 10, Tasks: 10, StreamTasks: 5}, // missing StreamRate
+		{Nodes: 10, Tasks: 10, BurstPeriod: -1},
+		{Nodes: 10, Tasks: 10, BurstDuty: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d must be rejected", i)
+		}
+	}
+}
+
+func TestZipfWorkloadIsHarder(t *testing.T) {
+	uniform := run(t, Config{Nodes: 100, Tasks: 20000, Seed: 3})
+	skewed := run(t, Config{Nodes: 100, Tasks: 20000, Seed: 3,
+		ZipfObjects: 200, ZipfExponent: 1.1})
+	if skewed.RuntimeFactor <= uniform.RuntimeFactor {
+		t.Errorf("zipf workload (%.2f) should be more imbalanced than uniform (%.2f)",
+			skewed.RuntimeFactor, uniform.RuntimeFactor)
+	}
+	if !skewed.Completed {
+		t.Error("skewed run did not complete")
+	}
+}
+
+func TestZipfWorkloadStillBalanceable(t *testing.T) {
+	// Random injection also helps under skew, even though it cannot split
+	// a single hot key across nodes (tasks for one object share one ID).
+	none := run(t, Config{Nodes: 100, Tasks: 20000, Seed: 4,
+		ZipfObjects: 2000, ZipfExponent: 0.9})
+	rnd := run(t, Config{Nodes: 100, Tasks: 20000, Seed: 4,
+		ZipfObjects: 2000, ZipfExponent: 0.9,
+		Strategy: strategy.NewRandomInjection()})
+	if rnd.RuntimeFactor >= none.RuntimeFactor {
+		t.Errorf("random injection (%.2f) should beat none (%.2f) under zipf",
+			rnd.RuntimeFactor, none.RuntimeFactor)
+	}
+}
+
+func TestStreamingConservation(t *testing.T) {
+	cfg := Config{Nodes: 50, Tasks: 1000, StreamTasks: 4000, StreamRate: 100,
+		Seed: 5, RecordWorkPerTick: true, CheckInvariants: true,
+		Strategy: strategy.NewRandomInjection()}
+	res := run(t, cfg)
+	if !res.Completed {
+		t.Fatal("streaming run did not complete")
+	}
+	total := 0
+	for _, w := range res.WorkPerTick {
+		total += w
+	}
+	if total != cfg.Tasks+cfg.StreamTasks {
+		t.Errorf("work done = %d, want %d", total, cfg.Tasks+cfg.StreamTasks)
+	}
+	// Arrivals take 40 ticks; the run cannot end before that.
+	if res.Ticks < 40 {
+		t.Errorf("ticks = %d, impossible before the last arrival", res.Ticks)
+	}
+}
+
+func TestStreamingIdealAccountsForHorizon(t *testing.T) {
+	// 50 hosts consume 50/tick; 1000+1000 tasks need 40 ideal ticks of
+	// work, but arrivals at 10/tick take 100 ticks: ideal must be 100.
+	s, err := New(Config{Nodes: 50, Tasks: 1000, StreamTasks: 1000,
+		StreamRate: 10, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IdealTicks() != 100 {
+		t.Errorf("ideal = %d, want 100 (arrival horizon)", s.IdealTicks())
+	}
+}
+
+func TestStreamingOnlyJob(t *testing.T) {
+	// No initial tasks at all: everything arrives over time.
+	res := run(t, Config{Nodes: 20, Tasks: 0, StreamTasks: 500, StreamRate: 50, Seed: 7})
+	if !res.Completed || res.Ticks < 10 {
+		t.Errorf("streaming-only: %+v", res)
+	}
+}
+
+func TestBurstyChurnStillConserves(t *testing.T) {
+	cfg := Config{Nodes: 60, Tasks: 6000, ChurnRate: 0.02,
+		ChurnModel: ChurnBursty, BurstPeriod: 20, BurstDuty: 0.25,
+		Seed: 8, RecordWorkPerTick: true, CheckInvariants: true}
+	res := run(t, cfg)
+	if !res.Completed {
+		t.Fatal("bursty run did not complete")
+	}
+	total := 0
+	for _, w := range res.WorkPerTick {
+		total += w
+	}
+	if total != cfg.Tasks {
+		t.Errorf("work done = %d, want %d", total, cfg.Tasks)
+	}
+	if res.Messages.Joins == 0 || res.Messages.Leaves == 0 {
+		t.Error("bursty churn produced no turnover")
+	}
+}
+
+func TestStaticVNodesSmoothTheLoad(t *testing.T) {
+	base := run(t, Config{Nodes: 100, Tasks: 20000, Seed: 11})
+	static := run(t, Config{Nodes: 100, Tasks: 20000, Seed: 11, StaticVNodes: 5})
+	if static.RuntimeFactor >= base.RuntimeFactor {
+		t.Errorf("5 virtual servers (%.2f) must beat single vnodes (%.2f)",
+			static.RuntimeFactor, base.RuntimeFactor)
+	}
+	if static.FinalVNodes != 600 {
+		t.Errorf("final vnodes = %d, want 100*(1+5)", static.FinalVNodes)
+	}
+}
+
+func TestStaticVNodesValidate(t *testing.T) {
+	if _, err := Run(Config{Nodes: 10, Tasks: 10, StaticVNodes: -1}); err == nil {
+		t.Error("negative StaticVNodes must be rejected")
+	}
+}
+
+func TestStaticVNodesWithChurnConserve(t *testing.T) {
+	cfg := Config{Nodes: 40, Tasks: 4000, StaticVNodes: 3, ChurnRate: 0.02,
+		Seed: 12, RecordWorkPerTick: true, CheckInvariants: true}
+	res := run(t, cfg)
+	if !res.Completed {
+		t.Fatal("did not complete")
+	}
+	total := 0
+	for _, w := range res.WorkPerTick {
+		total += w
+	}
+	if total != cfg.Tasks {
+		t.Errorf("work done = %d, want %d", total, cfg.Tasks)
+	}
+}
+
+func TestBurstyChurnQuietPhase(t *testing.T) {
+	// duty 0.1, period 10: churn only on the first tick of each cycle.
+	// With rate 0.05 scaled by 1/duty the in-burst rate caps at 0.5.
+	res := run(t, Config{Nodes: 40, Tasks: 2000, ChurnRate: 0.05,
+		ChurnModel: ChurnBursty, BurstPeriod: 10, BurstDuty: 0.1, Seed: 9})
+	if !res.Completed {
+		t.Fatal("did not complete")
+	}
+}

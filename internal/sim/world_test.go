@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"testing"
+
+	"chordbalance/internal/ids"
+	"chordbalance/internal/strategy"
+)
+
+// newWorld builds a small simulation for exercising the strategy.World
+// surface directly.
+func newWorld(t *testing.T, cfg Config) *Simulation {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWorldEachHostOrderAndCount(t *testing.T) {
+	s := newWorld(t, Config{Nodes: 20, Tasks: 400, Seed: 1})
+	var indices []int
+	s.EachHost(func(h strategy.Host, primary strategy.VNode) {
+		indices = append(indices, h.Index())
+		if primary.Host().Index() != h.Index() {
+			t.Fatal("primary vnode host mismatch")
+		}
+	})
+	if len(indices) != 20 {
+		t.Fatalf("visited %d hosts", len(indices))
+	}
+	for i := 1; i < len(indices); i++ {
+		if indices[i] <= indices[i-1] {
+			t.Fatal("EachHost must iterate in stable index order")
+		}
+	}
+}
+
+func TestWorldSuccessorWindows(t *testing.T) {
+	s := newWorld(t, Config{Nodes: 10, Tasks: 100, Seed: 2})
+	var primary strategy.VNode
+	s.EachHost(func(h strategy.Host, p strategy.VNode) {
+		if primary == nil {
+			primary = p
+		}
+	})
+	succs := s.Successors(primary, 3)
+	if len(succs) != 3 {
+		t.Fatalf("successors = %d", len(succs))
+	}
+	// The first successor's predecessor is the asking vnode.
+	if succs[0].PredID() != primary.ID() {
+		t.Errorf("succ[0].PredID() = %v, want %v", succs[0].PredID(), primary.ID())
+	}
+	preds := s.Predecessors(primary, 3)
+	if len(preds) != 3 {
+		t.Fatalf("predecessors = %d", len(preds))
+	}
+	if primary.PredID() != preds[0].ID() {
+		t.Errorf("pred window mismatch")
+	}
+	// Window capped at ring size - 1.
+	if got := s.Successors(primary, 50); len(got) != 9 {
+		t.Errorf("oversized window = %d, want 9", len(got))
+	}
+}
+
+func TestWorldCreateSybilPaths(t *testing.T) {
+	s := newWorld(t, Config{Nodes: 5, Tasks: 500, Seed: 3, MaxSybils: 1})
+	var host strategy.Host
+	var primary strategy.VNode
+	s.EachHost(func(h strategy.Host, p strategy.VNode) {
+		if host == nil {
+			host, primary = h, p
+		}
+	})
+	// Occupied ID refused.
+	if _, ok := s.CreateSybil(host, primary.ID()); ok {
+		t.Fatal("creating a Sybil on an occupied ID must fail")
+	}
+	// Free ID succeeds and reports acquired work.
+	acquired, ok := s.CreateSybil(host, s.RandomID())
+	if !ok {
+		t.Fatal("free-ID creation failed")
+	}
+	if acquired < 0 {
+		t.Fatal("negative acquisition")
+	}
+	if host.SybilCount() != 1 {
+		t.Fatalf("sybil count = %d", host.SybilCount())
+	}
+	// Cap reached: refused.
+	if _, ok := s.CreateSybil(host, s.RandomID()); ok {
+		t.Fatal("cap must refuse")
+	}
+	// DropSybils removes exactly the Sybil identities.
+	before := s.ring.Len()
+	s.DropSybils(host)
+	if host.SybilCount() != 0 || s.ring.Len() != before-1 {
+		t.Fatalf("drop bookkeeping wrong: count=%d ring=%d", host.SybilCount(), s.ring.Len())
+	}
+	if err := s.ring.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldRandomIDIsFree(t *testing.T) {
+	s := newWorld(t, Config{Nodes: 50, Tasks: 100, Seed: 4})
+	for i := 0; i < 100; i++ {
+		id := s.RandomID()
+		if _, occupied := s.ring.Get(id); occupied {
+			t.Fatal("RandomID returned an occupied identifier")
+		}
+	}
+}
+
+func TestWorldSplitPoint(t *testing.T) {
+	s := newWorld(t, Config{Nodes: 2, Tasks: 1000, Seed: 5})
+	var heavy strategy.VNode
+	s.EachHost(func(h strategy.Host, p strategy.VNode) {
+		if heavy == nil || p.Workload() > heavy.Workload() {
+			heavy = p
+		}
+	})
+	id, ok := s.SplitPoint(heavy)
+	if !ok {
+		t.Fatal("split point missing for a loaded vnode")
+	}
+	if !ids.BetweenRightIncl(id, heavy.PredID(), heavy.ID()) {
+		t.Fatal("split point outside the vnode's arc")
+	}
+	before := heavy.Workload()
+	var helper strategy.Host
+	s.EachHost(func(h strategy.Host, p strategy.VNode) {
+		if p.ID() != heavy.ID() {
+			helper = h
+		}
+	})
+	acquired, ok := s.CreateSybil(helper, id)
+	if !ok {
+		t.Fatal("split-point creation failed")
+	}
+	// The split takes ceil(w/2) keys.
+	if acquired != (before+1)/2 {
+		t.Errorf("acquired %d, want %d", acquired, (before+1)/2)
+	}
+}
+
+func TestWorldVNodesOf(t *testing.T) {
+	s := newWorld(t, Config{Nodes: 4, Tasks: 400, Seed: 6})
+	var host strategy.Host
+	s.EachHost(func(h strategy.Host, _ strategy.VNode) {
+		if host == nil {
+			host = h
+		}
+	})
+	if got := s.VNodesOf(host); len(got) != 1 {
+		t.Fatalf("fresh host vnodes = %d", len(got))
+	}
+	if _, ok := s.CreateSybil(host, s.RandomID()); !ok {
+		t.Fatal("creation failed")
+	}
+	got := s.VNodesOf(host)
+	if len(got) != 2 {
+		t.Fatalf("after sybil: vnodes = %d", len(got))
+	}
+	for _, v := range got {
+		if v.Host().Index() != host.Index() {
+			t.Fatal("foreign vnode in VNodesOf")
+		}
+	}
+}
+
+func TestWorldChargeMessages(t *testing.T) {
+	s := newWorld(t, Config{Nodes: 3, Tasks: 30, Seed: 7})
+	s.ChargeMessages("test-kind", 5)
+	s.ChargeMessages("test-kind", 2)
+	if s.msgs.Strategy["test-kind"] != 7 {
+		t.Errorf("charge accumulation wrong: %v", s.msgs.Strategy)
+	}
+}

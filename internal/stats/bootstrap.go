@@ -1,0 +1,71 @@
+package stats
+
+import "sort"
+
+// BootstrapSource is the randomness the bootstrap needs; *xrand.Rand
+// satisfies it.
+type BootstrapSource interface {
+	Intn(n int) int
+}
+
+// BootstrapCI estimates a percentile confidence interval for an arbitrary
+// statistic by case resampling: it draws `resamples` bootstrap samples
+// from xs (with replacement), applies stat to each, and returns the
+// (alpha/2, 1-alpha/2) quantiles of the resulting distribution. The
+// harness uses it for Table I's median, where the normal approximation
+// behind Online.ConfidenceInterval95 does not apply.
+//
+// It panics on an empty sample, resamples < 1, or alpha outside (0, 1).
+func BootstrapCI(xs []float64, stat func([]float64) float64, resamples int, alpha float64, src BootstrapSource) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: BootstrapCI of empty sample")
+	}
+	if resamples < 1 {
+		panic("stats: BootstrapCI needs resamples >= 1")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		panic("stats: BootstrapCI alpha outside (0,1)")
+	}
+	estimates := make([]float64, resamples)
+	scratch := make([]float64, len(xs))
+	for r := range estimates {
+		for i := range scratch {
+			scratch[i] = xs[src.Intn(len(xs))]
+		}
+		estimates[r] = stat(scratch)
+	}
+	sort.Float64s(estimates)
+	return quantileSorted(estimates, alpha/2), quantileSorted(estimates, 1-alpha/2)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := q * float64(len(sorted)-1)
+	lo := int(rank)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Median is a convenience statistic for BootstrapCI.
+func Median(xs []float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return medianSorted(sorted)
+}
+
+// Mean is a convenience statistic for BootstrapCI.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"testing"
+
+	"chordbalance/internal/xrand"
+)
+
+func TestBootstrapCIMeanCoversTruth(t *testing.T) {
+	rng := xrand.New(1)
+	// Sample of 200 from a distribution with mean 10.
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 10 + rng.NormFloat64()
+	}
+	lo, hi := BootstrapCI(xs, Mean, 500, 0.05, rng)
+	if lo > 10 || hi < 10 {
+		t.Errorf("95%% CI [%v, %v] misses the true mean 10", lo, hi)
+	}
+	if hi-lo > 1 {
+		t.Errorf("CI width %v implausibly wide for n=200, sd=1", hi-lo)
+	}
+	if lo >= hi {
+		t.Errorf("degenerate CI [%v, %v]", lo, hi)
+	}
+}
+
+func TestBootstrapCIMedian(t *testing.T) {
+	rng := xrand.New(2)
+	xs := make([]float64, 301)
+	for i := range xs {
+		xs[i] = float64(i) // median exactly 150
+	}
+	lo, hi := BootstrapCI(xs, Median, 400, 0.05, rng)
+	if lo > 150 || hi < 150 {
+		t.Errorf("median CI [%v, %v] misses 150", lo, hi)
+	}
+}
+
+func TestBootstrapCIPanics(t *testing.T) {
+	rng := xrand.New(3)
+	for _, f := range []func(){
+		func() { BootstrapCI(nil, Mean, 10, 0.05, rng) },
+		func() { BootstrapCI([]float64{1}, Mean, 0, 0.05, rng) },
+		func() { BootstrapCI([]float64{1}, Mean, 10, 0, rng) },
+		func() { BootstrapCI([]float64{1}, Mean, 10, 1, rng) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBootstrapCISingleValue(t *testing.T) {
+	rng := xrand.New(4)
+	lo, hi := BootstrapCI([]float64{7}, Mean, 50, 0.05, rng)
+	if lo != 7 || hi != 7 {
+		t.Errorf("constant sample CI = [%v, %v], want [7, 7]", lo, hi)
+	}
+}
+
+func TestMeanMedianHelpers(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean wrong")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Error("Median wrong")
+	}
+	xs := []float64{5, 1}
+	if Median(xs) != 3 {
+		t.Error("even median wrong")
+	}
+	if xs[0] != 5 {
+		t.Error("Median mutated input")
+	}
+}
+
+func TestQuantileSorted(t *testing.T) {
+	xs := []float64{0, 10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 0}, {1, 40}, {0.5, 20}, {0.25, 10}, {0.125, 5},
+	}
+	for _, c := range cases {
+		if got := quantileSorted(xs, c.q); got != c.want {
+			t.Errorf("quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package strategy
+
+import "sort"
+
+// Oracle is an omniscient rebalancer: every decision pass it ranks all
+// virtual nodes by residual workload globally and has the idlest hosts
+// split the heaviest arcs at their exact key medians. It violates the
+// paper's decentralization requirement on purpose — it exists as an
+// upper bound, showing how much headroom the local strategies leave on
+// the table (compare `dhtsweep -exp extensions`).
+type Oracle struct{}
+
+// NewOracle returns the global upper-bound strategy.
+func NewOracle() Strategy { return Oracle{} }
+
+// Name implements Strategy.
+func (Oracle) Name() string { return "oracle" }
+
+// Decide implements Strategy.
+func (Oracle) Decide(w World) {
+	p := w.Params()
+	var idle []Host
+	var all []VNode
+	w.EachHost(func(h Host, primary VNode) {
+		if h.Workload() == 0 && h.SybilCount() > 0 {
+			w.DropSybils(h)
+		}
+		if h.Workload() <= p.SybilThreshold && h.CanCreateSybil() {
+			idle = append(idle, h)
+		}
+		all = append(all, w.VNodesOf(h)...)
+	})
+	if len(idle) == 0 || len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Workload() > all[j].Workload() })
+
+	vi := 0
+	for _, h := range idle {
+		// Advance past victims not worth splitting or owned by the
+		// helper itself.
+		for vi < len(all) && (all[vi].Workload() < 2 || all[vi].Host().Index() == h.Index()) {
+			vi++
+		}
+		if vi >= len(all) {
+			return
+		}
+		if id, ok := w.SplitPoint(all[vi]); ok {
+			w.CreateSybil(h, id)
+		}
+		vi++
+	}
+}

@@ -1,0 +1,336 @@
+// Package strategy implements the paper's four autonomous load-balancing
+// strategies (plus the "smart" neighbor-injection variant of §VI-C). Each
+// strategy makes purely local decisions: a host sees only its own workload
+// and the successor/predecessor windows its virtual nodes already maintain,
+// never any global state — the decentralization requirement of §I.
+//
+// Strategies act through the World interface, implemented by the
+// simulation engine in internal/sim. A Strategy instance may carry
+// per-run state (the neighbor strategy's retry blacklist), so build a
+// fresh instance per simulation run and do not share instances across
+// concurrently running simulations.
+package strategy
+
+import (
+	"chordbalance/internal/ids"
+	"chordbalance/internal/xrand"
+)
+
+// Params are the strategy-relevant knobs of §V-B.
+type Params struct {
+	// SybilThreshold is the residual workload at or below which a host
+	// tries to acquire work by creating a Sybil. Paper default: 0.
+	SybilThreshold int
+	// InviteThreshold is the workload strictly above which a node using
+	// the Invitation strategy announces that it needs help. The engine
+	// derives the default (twice the initial fair share) when it is 0;
+	// see DESIGN.md §3.
+	InviteThreshold int
+	// NumSuccessors is how many successors (and predecessors) each node
+	// tracks. Paper default: 5.
+	NumSuccessors int
+	// DecisionEvery is the cadence of decision passes in ticks. Paper: 5.
+	DecisionEvery int
+	// AvoidRepeats makes neighbor injection skip arcs where a previous
+	// Sybil acquired no work (the "mark that range as invalid" refinement
+	// of §IV-C).
+	AvoidRepeats bool
+}
+
+// WithDefaults fills unset fields with the paper's defaults.
+func (p Params) WithDefaults() Params {
+	if p.NumSuccessors == 0 {
+		p.NumSuccessors = 5
+	}
+	if p.DecisionEvery == 0 {
+		p.DecisionEvery = 5
+	}
+	return p
+}
+
+// Host is a read-only view of one physical machine.
+type Host interface {
+	// Index is the host's stable identity.
+	Index() int
+	// Workload is the residual task count across all the host's virtual
+	// nodes — information a real host has locally (§V: nodes can examine
+	// the amount of work they have).
+	Workload() int
+	// SybilCount is the number of live Sybil identities.
+	SybilCount() int
+	// CanCreateSybil reports whether the host is below its Sybil cap.
+	CanCreateSybil() bool
+	// Strength is the host's compute strength.
+	Strength() int
+}
+
+// VNode is a read-only view of one virtual node on the ring.
+type VNode interface {
+	ID() ids.ID
+	// PredID is the current predecessor's ID; (PredID, ID] is the arc the
+	// node is responsible for.
+	PredID() ids.ID
+	// Workload is this virtual node's own residual task count.
+	Workload() int
+	// Host is the machine projecting this virtual node.
+	Host() Host
+}
+
+// World is the mutable simulation surface a strategy acts through during
+// one decision pass.
+type World interface {
+	Params() Params
+	RNG() *xrand.Rand
+	// EachHost calls fn for every live host along with its primary
+	// virtual node, in stable host order.
+	EachHost(fn func(h Host, primary VNode))
+	// VNodesOf returns all of h's virtual nodes, primary first. A host
+	// always knows its own identities; strategies that enumerate OTHER
+	// hosts' vnodes through EachHost+VNodesOf are using global knowledge
+	// and must say so (see Oracle).
+	VNodesOf(h Host) []VNode
+	// Successors returns up to k immediate successors of v clockwise,
+	// nearest first (the node's successor list).
+	Successors(v VNode, k int) []VNode
+	// Predecessors returns up to k immediate predecessors of v
+	// counterclockwise, nearest first.
+	Predecessors(v VNode, k int) []VNode
+	// CreateSybil inserts a new Sybil for h at id. acquired is the number
+	// of task keys the Sybil took over; ok is false when the ID is
+	// occupied or the host is at capacity (the Sybil is then not created).
+	CreateSybil(h Host, id ids.ID) (acquired int, ok bool)
+	// DropSybils removes all of h's Sybil identities from the ring.
+	DropSybils(h Host)
+	// RandomID draws a uniformly random currently-unoccupied ring ID.
+	RandomID() ids.ID
+	// SplitPoint returns the identifier that would split v's remaining
+	// keys exactly in half, and false when v holds fewer than two keys.
+	// Only the §VII extension strategies use it: it presumes nodes may
+	// choose Sybil IDs freely, which base Chord does not allow.
+	SplitPoint(v VNode) (ids.ID, bool)
+	// ChargeMessages accounts the protocol traffic a deployment would
+	// incur for this decision activity (workload queries, invitations).
+	ChargeMessages(kind string, n int)
+}
+
+// Strategy is one autonomous load-balancing policy. Decide runs one
+// decision pass; the engine calls it every Params.DecisionEvery ticks.
+type Strategy interface {
+	Name() string
+	Decide(w World)
+}
+
+// None is the baseline: no Sybils, no reaction. With a nonzero churn rate
+// it is the paper's Induced Churn strategy (churn is an engine-level
+// process, not a decision rule).
+type None struct{}
+
+// NewNone returns the do-nothing strategy.
+func NewNone() Strategy { return None{} }
+
+// Name implements Strategy.
+func (None) Name() string { return "none" }
+
+// Decide implements Strategy; it does nothing.
+func (None) Decide(World) {}
+
+// RandomInjection is §IV-B: under-utilized hosts project a Sybil at a
+// uniformly random identifier; hosts whose Sybils found no work withdraw
+// them and re-roll on a later pass.
+type RandomInjection struct{}
+
+// NewRandomInjection returns the random-injection strategy.
+func NewRandomInjection() Strategy { return RandomInjection{} }
+
+// Name implements Strategy.
+func (RandomInjection) Name() string { return "random" }
+
+// Decide implements Strategy.
+func (RandomInjection) Decide(w World) {
+	p := w.Params()
+	w.EachHost(func(h Host, primary VNode) {
+		if h.Workload() == 0 && h.SybilCount() > 0 {
+			// The Sybils acquired nothing (or it was all consumed):
+			// withdraw them so a later pass can try fresh locations.
+			w.DropSybils(h)
+		}
+		if h.Workload() <= p.SybilThreshold && h.CanCreateSybil() {
+			// One Sybil per decision to avoid overwhelming the network
+			// (§IV-B).
+			w.CreateSybil(h, w.RandomID())
+		}
+	})
+}
+
+// NeighborInjection is §IV-C: an under-utilized host injects a Sybil into
+// the largest arc among its successors — an estimate, requiring no
+// workload queries — splitting that arc at its midpoint.
+type NeighborInjection struct {
+	// tried[host] records arc-owner IDs where this host's Sybil acquired
+	// nothing, so AvoidRepeats can skip them. Cleared when the host
+	// acquires work.
+	tried map[int]map[ids.ID]struct{}
+}
+
+// NewNeighborInjection returns the estimate-based neighbor strategy.
+func NewNeighborInjection() Strategy {
+	return &NeighborInjection{tried: make(map[int]map[ids.ID]struct{})}
+}
+
+// Name implements Strategy.
+func (*NeighborInjection) Name() string { return "neighbor" }
+
+// Decide implements Strategy.
+func (s *NeighborInjection) Decide(w World) {
+	p := w.Params()
+	w.EachHost(func(h Host, primary VNode) {
+		if h.Workload() > p.SybilThreshold || !h.CanCreateSybil() {
+			if h.Workload() > p.SybilThreshold {
+				delete(s.tried, h.Index()) // acquired work: forget failures
+			}
+			return
+		}
+		succs := w.Successors(primary, p.NumSuccessors)
+		var best VNode
+		var bestArc ids.ID
+		for _, v := range succs {
+			if v.Host().Index() == h.Index() {
+				continue // never steal from ourselves
+			}
+			if p.AvoidRepeats {
+				if _, bad := s.tried[h.Index()][v.ID()]; bad {
+					continue
+				}
+			}
+			arc := v.PredID().Distance(v.ID())
+			if best == nil || arc.Compare(bestArc) > 0 {
+				best, bestArc = v, arc
+			}
+		}
+		if best == nil {
+			return
+		}
+		mid := ids.Midpoint(best.PredID(), best.ID())
+		acquired, ok := w.CreateSybil(h, mid)
+		if ok && acquired == 0 && p.AvoidRepeats {
+			m := s.tried[h.Index()]
+			if m == nil {
+				m = make(map[ids.ID]struct{})
+				s.tried[h.Index()] = m
+			}
+			m[best.ID()] = struct{}{}
+		}
+	})
+}
+
+// SmartNeighbor is the §VI-C refinement: instead of estimating by arc
+// size, the host queries each successor's actual workload (costing
+// NumSuccessors messages) and splits the most-loaded successor's arc.
+type SmartNeighbor struct{}
+
+// NewSmartNeighbor returns the query-based neighbor strategy.
+func NewSmartNeighbor() Strategy { return SmartNeighbor{} }
+
+// Name implements Strategy.
+func (SmartNeighbor) Name() string { return "smart-neighbor" }
+
+// Decide implements Strategy.
+func (SmartNeighbor) Decide(w World) {
+	p := w.Params()
+	w.EachHost(func(h Host, primary VNode) {
+		if h.Workload() > p.SybilThreshold || !h.CanCreateSybil() {
+			return
+		}
+		succs := w.Successors(primary, p.NumSuccessors)
+		w.ChargeMessages("workload-query", len(succs))
+		var best VNode
+		for _, v := range succs {
+			if v.Host().Index() == h.Index() {
+				continue
+			}
+			if best == nil || v.Workload() > best.Workload() {
+				best = v
+			}
+		}
+		if best == nil || best.Workload() == 0 {
+			return // nothing worth stealing in the neighborhood
+		}
+		w.CreateSybil(h, ids.Midpoint(best.PredID(), best.ID()))
+	})
+}
+
+// Invitation is §IV-D: the reactive strategy. An overloaded node announces
+// to its predecessors that it needs help; the least-loaded predecessor at
+// or below the Sybil threshold (with spare Sybil capacity) injects a Sybil
+// into the overloaded node's arc. Invitations are refused when no
+// predecessor qualifies.
+type Invitation struct{}
+
+// NewInvitation returns the invitation strategy.
+func NewInvitation() Strategy { return Invitation{} }
+
+// Name implements Strategy.
+func (Invitation) Name() string { return "invitation" }
+
+// Decide implements Strategy.
+func (Invitation) Decide(w World) {
+	p := w.Params()
+	// A host helps at most once per pass, even if several of its
+	// successors invite it.
+	helped := make(map[int]bool)
+	w.EachHost(func(h Host, primary VNode) {
+		if primary.Workload() <= p.InviteThreshold {
+			return
+		}
+		preds := w.Predecessors(primary, p.NumSuccessors)
+		w.ChargeMessages("invitation", len(preds))
+		var helper Host
+		for _, v := range preds {
+			cand := v.Host()
+			if cand.Index() == h.Index() || helped[cand.Index()] {
+				continue
+			}
+			if cand.Workload() > p.SybilThreshold || !cand.CanCreateSybil() {
+				continue
+			}
+			if helper == nil || cand.Workload() < helper.Workload() {
+				helper = cand
+			}
+		}
+		if helper == nil {
+			return // invitation refused
+		}
+		if _, ok := w.CreateSybil(helper, ids.Midpoint(primary.PredID(), primary.ID())); ok {
+			helped[helper.Index()] = true
+		}
+	})
+}
+
+// ByName returns a fresh strategy instance for a harness-facing name.
+// Recognized names: none, churn (an alias of none — churn is an engine
+// parameter), random, neighbor, smart-neighbor, invitation, the §VII
+// extensions strength-invitation, strength-random, and targeted, and the
+// non-decentralized upper bound oracle.
+func ByName(name string) (Strategy, bool) {
+	switch name {
+	case "none", "churn":
+		return NewNone(), true
+	case "random":
+		return NewRandomInjection(), true
+	case "neighbor":
+		return NewNeighborInjection(), true
+	case "smart-neighbor", "smart":
+		return NewSmartNeighbor(), true
+	case "invitation":
+		return NewInvitation(), true
+	case "strength-invitation":
+		return NewStrengthInvitation(), true
+	case "strength-random":
+		return NewStrengthAwareRandom(), true
+	case "targeted":
+		return NewTargetedInjection(), true
+	case "oracle":
+		return NewOracle(), true
+	}
+	return nil, false
+}

@@ -1,0 +1,30 @@
+package sybil_test
+
+import (
+	"fmt"
+
+	"chordbalance/internal/sybil"
+)
+
+// Example shows the host bookkeeping behind the Sybil strategies.
+func Example() {
+	pool := sybil.NewPool(sybil.PoolConfig{
+		Hosts:        3,
+		WaitingHosts: 3,
+		MaxSybils:    2,
+	}, nil)
+
+	h := pool.Host(0)
+	fmt.Println("can create:", h.CanCreateSybil())
+	h.CreatedSybil()
+	h.CreatedSybil()
+	fmt.Println("at cap:", !h.CanCreateSybil(), "- sybils:", h.SybilCount())
+
+	// Leaving the network withdraws every Sybil identity.
+	h.SetAlive(false)
+	fmt.Println("after leave:", h.SybilCount(), "sybils,", pool.AliveCount(), "hosts alive")
+	// Output:
+	// can create: true
+	// at cap: true - sybils: 2
+	// after leave: 0 sybils, 2 hosts alive
+}

@@ -1,0 +1,140 @@
+package sybil
+
+import (
+	"testing"
+
+	"chordbalance/internal/xrand"
+)
+
+func TestHostSybilAccounting(t *testing.T) {
+	h := &Host{index: 3, strength: 1, maxSybil: 2, alive: true}
+	if !h.CanCreateSybil() {
+		t.Fatal("fresh host must allow Sybils")
+	}
+	h.CreatedSybil()
+	h.CreatedSybil()
+	if h.CanCreateSybil() {
+		t.Error("host at cap must refuse")
+	}
+	if h.SybilCount() != 2 {
+		t.Errorf("count = %d", h.SybilCount())
+	}
+	h.DroppedSybil()
+	if h.SybilCount() != 1 || !h.CanCreateSybil() {
+		t.Error("drop must free capacity")
+	}
+}
+
+func TestHostCreatePastCapPanics(t *testing.T) {
+	h := &Host{maxSybil: 1, alive: true}
+	h.CreatedSybil()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic past cap")
+		}
+	}()
+	h.CreatedSybil()
+}
+
+func TestHostDropBelowZeroPanics(t *testing.T) {
+	h := &Host{maxSybil: 1, alive: true}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on dropping absent Sybil")
+		}
+	}()
+	h.DroppedSybil()
+}
+
+func TestDeadHostCannotCreate(t *testing.T) {
+	h := &Host{maxSybil: 5, alive: false}
+	if h.CanCreateSybil() {
+		t.Error("waiting-pool host must not create Sybils")
+	}
+}
+
+func TestSetAliveResetsSybils(t *testing.T) {
+	h := &Host{maxSybil: 3, alive: true}
+	h.CreatedSybil()
+	h.CreatedSybil()
+	h.SetAlive(false)
+	if h.SybilCount() != 0 {
+		t.Error("leaving must drop all Sybil identities")
+	}
+	h.SetAlive(true)
+	if !h.Alive() || h.SybilCount() != 0 {
+		t.Error("rejoin state wrong")
+	}
+}
+
+func TestWorkPerTick(t *testing.T) {
+	h := &Host{strength: 4}
+	if h.WorkPerTick(false) != 1 {
+		t.Error("single-task mode must be 1")
+	}
+	if h.WorkPerTick(true) != 4 {
+		t.Error("strength mode must be strength")
+	}
+}
+
+func TestNewPoolHomogeneous(t *testing.T) {
+	p := NewPool(PoolConfig{Hosts: 10, WaitingHosts: 10, MaxSybils: 5}, nil)
+	if p.Len() != 20 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if p.AliveCount() != 10 || len(p.Alive()) != 10 || len(p.Waiting()) != 10 {
+		t.Error("alive/waiting split wrong")
+	}
+	for i := 0; i < p.Len(); i++ {
+		h := p.Host(i)
+		if h.Strength() != 1 || h.MaxSybils() != 5 {
+			t.Fatalf("host %d: strength %d cap %d", i, h.Strength(), h.MaxSybils())
+		}
+		if h.Index() != i {
+			t.Fatalf("index mismatch")
+		}
+	}
+	if p.TotalStrength(false) != 10 || p.TotalStrength(true) != 10 {
+		t.Error("homogeneous total strength must equal live hosts")
+	}
+}
+
+func TestNewPoolHeterogeneous(t *testing.T) {
+	rng := xrand.New(42)
+	p := NewPool(PoolConfig{Hosts: 1000, WaitingHosts: 0, Heterogeneous: true, MaxSybils: 5}, rng)
+	counts := map[int]int{}
+	for i := 0; i < p.Len(); i++ {
+		h := p.Host(i)
+		if h.Strength() < 1 || h.Strength() > 5 {
+			t.Fatalf("strength %d out of range", h.Strength())
+		}
+		if h.MaxSybils() != h.Strength() {
+			t.Fatal("heterogeneous cap must equal strength")
+		}
+		counts[h.Strength()]++
+	}
+	for s := 1; s <= 5; s++ {
+		if counts[s] < 120 || counts[s] > 280 {
+			t.Errorf("strength %d count %d, want ~200", s, counts[s])
+		}
+	}
+	if ts := p.TotalStrength(true); ts < 2500 || ts > 3500 {
+		t.Errorf("total strength = %d, want ~3000", ts)
+	}
+}
+
+func TestNewPoolPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewPool(PoolConfig{Hosts: 1, MaxSybils: 0}, nil) },
+		func() { NewPool(PoolConfig{Hosts: 1, MaxSybils: 5, Heterogeneous: true}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,214 @@
+// Package symphony implements the Symphony small-world overlay (Manku,
+// Bawa & Raghavan, USITS 2003) — the protocol underneath the competing
+// P2P MapReduce system the paper discusses in §II (Lee et al.). Nodes sit
+// on the same identifier ring as Chord but route greedily over a few
+// harmonically-distributed long links instead of O(log n) fingers,
+// trading routing state for expected O(log²n / k) hops.
+//
+// Implementing it alongside internal/chord lets the repository quantify
+// the paper's §II positioning ("a loosely-consistent DHT ... can be much
+// slower and fails to maintain the same level of guarantees as an actual
+// DHT, such as Chord"): the overlay-hops experiment routes the same
+// lookups over both substrates and compares hop counts and routing state.
+//
+// The implementation is deliberately static: links are drawn once at
+// construction from the true network size (real Symphony estimates n
+// from arc lengths; the estimate concentrates tightly, so using n keeps
+// the comparison about routing structure, not estimator noise).
+package symphony
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"chordbalance/internal/ids"
+	"chordbalance/internal/xrand"
+)
+
+// Errors returned by lookups.
+var (
+	ErrEmpty   = errors.New("symphony: empty overlay")
+	ErrNoRoute = errors.New("symphony: lookup exceeded hop budget")
+)
+
+// Config tunes the overlay.
+type Config struct {
+	// LongLinks is k, the number of long-distance links per node.
+	// Symphony's sweet spot is small (the paper uses k <= 8); default 4.
+	LongLinks int
+	// ShortLinks is the number of immediate successors each node keeps
+	// (route of last resort and correctness anchor). Default 2.
+	ShortLinks int
+	// MaxHops bounds one lookup. Default 4096 — generous because greedy
+	// clockwise routing on short links alone needs O(n) in the worst case.
+	MaxHops int
+}
+
+func (c Config) withDefaults() Config {
+	if c.LongLinks == 0 {
+		c.LongLinks = 4
+	}
+	if c.ShortLinks == 0 {
+		c.ShortLinks = 2
+	}
+	if c.MaxHops == 0 {
+		c.MaxHops = 4096
+	}
+	return c
+}
+
+// Node is one Symphony participant.
+type Node struct {
+	id ids.ID
+	// short are the ShortLinks immediate successors, nearest first.
+	short []ids.ID
+	// long are the harmonic long-distance links.
+	long []ids.ID
+}
+
+// ID returns the node's ring identifier.
+func (n *Node) ID() ids.ID { return n.id }
+
+// Links returns all outgoing links (short then long).
+func (n *Node) Links() []ids.ID {
+	out := make([]ids.ID, 0, len(n.short)+len(n.long))
+	out = append(out, n.short...)
+	out = append(out, n.long...)
+	return out
+}
+
+// Network is a fully built Symphony overlay.
+type Network struct {
+	cfg    Config
+	sorted []ids.ID // ascending
+	nodes  map[ids.ID]*Node
+	msgs   int
+}
+
+// Build constructs the overlay for the given node IDs with links drawn
+// from rng. It panics on duplicate IDs (caller bug) and returns an error
+// for an empty ID list.
+func Build(nodeIDs []ids.ID, cfg Config, rng *xrand.Rand) (*Network, error) {
+	if len(nodeIDs) == 0 {
+		return nil, ErrEmpty
+	}
+	cfg = cfg.withDefaults()
+	sorted := append([]ids.ID(nil), nodeIDs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			panic(fmt.Sprintf("symphony: duplicate node ID %s", sorted[i].Short()))
+		}
+	}
+	nw := &Network{cfg: cfg, sorted: sorted, nodes: make(map[ids.ID]*Node, len(sorted))}
+	n := len(sorted)
+	for i, id := range sorted {
+		node := &Node{id: id}
+		for s := 1; s <= cfg.ShortLinks && s < n; s++ {
+			node.short = append(node.short, sorted[(i+s)%n])
+		}
+		// Harmonic long links: distance fraction x = exp(ln n * (u - 1))
+		// lands in [1/n, 1) with pdf ~ 1/(x ln n). Link to the manager of
+		// own + x*2^160.
+		for l := 0; l < cfg.LongLinks && n > cfg.ShortLinks+1; l++ {
+			x := math.Exp(math.Log(float64(n)) * (rng.Float64() - 1))
+			target := id.Add(fractionID(x))
+			mgr := nw.managerOf(target)
+			if mgr != id {
+				node.long = append(node.long, mgr)
+			}
+		}
+		nw.nodes[id] = node
+	}
+	return nw, nil
+}
+
+// fractionID converts x in [0,1) to an ID offset x * 2^160.
+func fractionID(x float64) ids.ID {
+	if x <= 0 {
+		return ids.Zero
+	}
+	if x >= 1 {
+		return ids.Max
+	}
+	// Top 64 bits of the fraction.
+	hi := uint64(x * math.Exp2(64))
+	var off ids.ID
+	for i := 0; i < 8; i++ {
+		off[i] = byte(hi >> (56 - 8*i))
+	}
+	return off
+}
+
+// managerOf returns the node responsible for key: Symphony, like Chord,
+// assigns each key to the first node clockwise at or after it.
+func (nw *Network) managerOf(key ids.ID) ids.ID {
+	i := sort.Search(len(nw.sorted), func(i int) bool {
+		return key.Compare(nw.sorted[i]) <= 0
+	})
+	if i == len(nw.sorted) {
+		i = 0
+	}
+	return nw.sorted[i]
+}
+
+// Len returns the number of nodes.
+func (nw *Network) Len() int { return len(nw.sorted) }
+
+// Node returns the node with the given ID, or nil.
+func (nw *Network) Node(id ids.ID) *Node { return nw.nodes[id] }
+
+// Messages returns the routed message count so far.
+func (nw *Network) Messages() int { return nw.msgs }
+
+// RoutingState returns the mean number of outgoing links per node — the
+// state a node must maintain, Symphony's headline saving over Chord.
+func (nw *Network) RoutingState() float64 {
+	total := 0
+	for _, n := range nw.nodes {
+		total += len(n.short) + len(n.long)
+	}
+	return float64(total) / float64(len(nw.nodes))
+}
+
+// Lookup routes greedily from the given start node to the manager of
+// key: each hop forwards to the link that minimizes the remaining
+// clockwise distance without overshooting the target. Returns the owner
+// and hop count.
+func (nw *Network) Lookup(from ids.ID, key ids.ID) (ids.ID, int, error) {
+	cur, ok := nw.nodes[from]
+	if !ok {
+		return ids.Zero, 0, fmt.Errorf("symphony: unknown start node %s", from.Short())
+	}
+	owner := nw.managerOf(key)
+	hops := 0
+	for cur.id != owner {
+		if hops >= nw.cfg.MaxHops {
+			return ids.Zero, hops, ErrNoRoute
+		}
+		// Remaining clockwise distance from cur to the owner.
+		remain := cur.id.Distance(owner)
+		var next ids.ID
+		best := remain
+		for _, link := range cur.Links() {
+			// Distance from link onward; overshooting the owner shows up
+			// as a larger (wrapped) distance, so min() rejects it.
+			d := link.Distance(owner)
+			if d.Compare(best) < 0 {
+				best = d
+				next = link
+			}
+		}
+		if best == remain {
+			// No link advances us (possible only with degenerate
+			// configurations); fall back to the first successor.
+			next = cur.short[0]
+		}
+		nw.msgs++
+		hops++
+		cur = nw.nodes[next]
+	}
+	return owner, hops, nil
+}

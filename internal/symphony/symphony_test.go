@@ -1,0 +1,177 @@
+package symphony
+
+import (
+	"math"
+	"testing"
+
+	"chordbalance/internal/ids"
+	"chordbalance/internal/keys"
+	"chordbalance/internal/xrand"
+)
+
+func build(t testing.TB, n int, cfg Config, seed uint64) *Network {
+	t.Helper()
+	g := keys.NewGenerator(seed)
+	nw, err := Build(g.NodeIDs(n), cfg, xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Config{}, xrand.New(1)); err != ErrEmpty {
+		t.Errorf("empty build: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate IDs must panic")
+		}
+	}()
+	dup := []ids.ID{ids.FromUint64(1), ids.FromUint64(1)}
+	Build(dup, Config{}, xrand.New(1))
+}
+
+func TestSingleNode(t *testing.T) {
+	nw := build(t, 1, Config{}, 2)
+	owner, hops, err := nw.Lookup(nw.sorted[0], ids.FromUint64(42))
+	if err != nil || hops != 0 || owner != nw.sorted[0] {
+		t.Errorf("single node lookup = %v, %d, %v", owner, hops, err)
+	}
+}
+
+func TestLookupMatchesOracle(t *testing.T) {
+	nw := build(t, 64, Config{}, 3)
+	rng := xrand.New(4)
+	start := nw.sorted[0]
+	for i := 0; i < 300; i++ {
+		key := ids.Random(rng)
+		owner, _, err := nw.Lookup(start, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner != nw.managerOf(key) {
+			t.Fatalf("lookup owner %s != manager %s", owner.Short(), nw.managerOf(key).Short())
+		}
+	}
+	if nw.Messages() == 0 {
+		t.Error("no messages counted")
+	}
+}
+
+func TestLookupFromEveryNode(t *testing.T) {
+	nw := build(t, 32, Config{LongLinks: 2}, 5)
+	key := ids.Random(xrand.New(6))
+	want := nw.managerOf(key)
+	for _, start := range nw.sorted {
+		owner, _, err := nw.Lookup(start, key)
+		if err != nil {
+			t.Fatalf("from %s: %v", start.Short(), err)
+		}
+		if owner != want {
+			t.Fatalf("from %s: owner %s != %s", start.Short(), owner.Short(), want.Short())
+		}
+	}
+}
+
+func TestUnknownStartNode(t *testing.T) {
+	nw := build(t, 8, Config{}, 7)
+	if _, _, err := nw.Lookup(ids.FromUint64(12345), ids.FromUint64(1)); err == nil {
+		t.Error("unknown start must fail")
+	}
+}
+
+func TestHopsScaleSubLinear(t *testing.T) {
+	// Symphony's expected path length is O(log^2 n / k): going 64 -> 512
+	// nodes (8x) must grow hops far less than 8x.
+	mean := func(n int) float64 {
+		nw := build(t, n, Config{LongLinks: 4}, 11)
+		rng := xrand.New(12)
+		total := 0
+		const trials = 200
+		for i := 0; i < trials; i++ {
+			start := nw.sorted[rng.Intn(len(nw.sorted))]
+			_, hops, err := nw.Lookup(start, ids.Random(rng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += hops
+		}
+		return float64(total) / trials
+	}
+	m64, m512 := mean(64), mean(512)
+	if m512 > m64*4 {
+		t.Errorf("hops grew superlinearly: %v @64 -> %v @512", m64, m512)
+	}
+	// And the theory line: ~log2(n)^2 / (2k) with k=4.
+	predict := func(n int) float64 {
+		l := math.Log2(float64(n))
+		return l * l / 8
+	}
+	if m512 > 4*predict(512) {
+		t.Errorf("hops @512 = %v, theory ~%v", m512, predict(512))
+	}
+}
+
+func TestMoreLongLinksFewerHops(t *testing.T) {
+	mean := func(k int) float64 {
+		nw := build(t, 256, Config{LongLinks: k}, 13)
+		rng := xrand.New(14)
+		total := 0
+		const trials = 300
+		for i := 0; i < trials; i++ {
+			start := nw.sorted[rng.Intn(len(nw.sorted))]
+			_, hops, err := nw.Lookup(start, ids.Random(rng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += hops
+		}
+		return float64(total) / trials
+	}
+	k1, k8 := mean(1), mean(8)
+	if k8 >= k1 {
+		t.Errorf("k=8 (%v hops) must beat k=1 (%v hops)", k8, k1)
+	}
+}
+
+func TestRoutingState(t *testing.T) {
+	nw := build(t, 128, Config{LongLinks: 4, ShortLinks: 2}, 15)
+	rs := nw.RoutingState()
+	// At most short+long per node; long links that would self-loop are
+	// dropped, so the mean sits at or just under 6.
+	if rs > 6.01 || rs < 3 {
+		t.Errorf("routing state = %v, want ~6", rs)
+	}
+}
+
+func TestFractionID(t *testing.T) {
+	if fractionID(0) != ids.Zero {
+		t.Error("fraction 0 must be zero offset")
+	}
+	if fractionID(1.5) != ids.Max {
+		t.Error("fraction >= 1 must clamp")
+	}
+	half := fractionID(0.5)
+	if half != ids.PowerOfTwo(159) {
+		t.Errorf("fraction 0.5 = %v, want 2^159", half)
+	}
+}
+
+func TestNodeLinks(t *testing.T) {
+	nw := build(t, 16, Config{LongLinks: 3, ShortLinks: 2}, 16)
+	n := nw.Node(nw.sorted[0])
+	if n == nil {
+		t.Fatal("node lookup failed")
+	}
+	links := n.Links()
+	if len(links) < 2 {
+		t.Errorf("links = %d, want at least the short links", len(links))
+	}
+	if links[0] != nw.sorted[1] {
+		t.Error("first short link must be the immediate successor")
+	}
+	if n.ID() != nw.sorted[0] {
+		t.Error("ID accessor wrong")
+	}
+}

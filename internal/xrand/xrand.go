@@ -1,0 +1,212 @@
+// Package xrand provides small, fast, deterministic pseudo-random number
+// generators for simulation work.
+//
+// The simulator runs hundreds of independent trials in parallel; each trial
+// owns a private *Rand seeded from the trial index, so results are exactly
+// reproducible regardless of goroutine scheduling. The generator is
+// xoshiro256** seeded through SplitMix64, the standard recipe from
+// Blackman & Vigna; it is not cryptographically secure and must never be
+// used for anything but simulation.
+package xrand
+
+import "math"
+
+// splitMix64 advances the SplitMix64 state and returns the next output.
+// It is used only to expand a single seed into the xoshiro state.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256** generator. It is not safe for concurrent use;
+// give each goroutine its own instance (see NewStream).
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from a single 64-bit seed. Distinct seeds
+// give statistically independent streams.
+func New(seed uint64) *Rand {
+	var r Rand
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// xoshiro requires a nonzero state; SplitMix64 output of any seed is
+	// astronomically unlikely to be all zero, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+// NewStream derives an independent generator for substream i of the given
+// base seed. Use it to give each parallel trial its own deterministic RNG.
+func NewStream(seed uint64, i int) *Rand {
+	// Mix the stream index through SplitMix64 so that adjacent indices do
+	// not produce correlated xoshiro states.
+	sm := seed
+	_ = splitMix64(&sm)
+	sm ^= 0x6a09e667f3bcc909 * (uint64(i) + 1)
+	return New(splitMix64(&sm))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform integer in [0, n). It panics if n == 0.
+// Lemire's multiply-shift rejection method avoids modulo bias.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n(0)")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	thresh := -n % n
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= thresh {
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	ahi, alo := a>>32, a&mask
+	bhi, blo := b>>32, b&mask
+	t := ahi*blo + (alo*blo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += alo * bhi
+	hi = ahi*bhi + w2 + (w1 >> 32)
+	lo = a * b
+	return
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// IntRange returns a uniform int in [lo, hi] inclusive. It panics if
+// hi < lo.
+func (r *Rand) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("xrand: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle randomizes the order of n elements using the provided swap
+// function (Fisher-Yates).
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// NormFloat64 returns a standard normal variate via the polar
+// (Marsaglia) method.
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *Rand) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Binomial returns a draw from Binomial(n, p). For small n it sums
+// Bernoulli trials; for large n it uses a normal approximation with
+// continuity correction, which is accurate to well under one part in a
+// thousand for the n*p regimes this simulator uses (churn arrivals).
+func (r *Rand) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n <= 64 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	mean := float64(n) * p
+	sd := math.Sqrt(mean * (1 - p))
+	k := int(math.Round(mean + sd*r.NormFloat64()))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}

@@ -1,0 +1,284 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	s0, s1 := NewStream(7, 0), NewStream(7, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if s0.Uint64() == s1.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("streams 0 and 1 collided %d times", same)
+	}
+	// Same (seed, index) must reproduce.
+	a, b := NewStream(7, 3), NewStream(7, 3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("stream reproduction failed")
+		}
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(5)
+	for _, n := range []uint64{1, 2, 3, 10, 1 << 20, 1<<63 + 12345} {
+		for i := 0; i < 200; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64n(0) must panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestUint64nUniform(t *testing.T) {
+	r := New(99)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(11)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(3, 7)
+		if v < 3 || v > 7 {
+			t.Fatalf("IntRange(3,7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("IntRange(3,7) covered %d values, want 5", len(seen))
+	}
+	if r.IntRange(4, 4) != 4 {
+		t.Error("degenerate range must return its endpoint")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(13)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(17)
+	if r.Bool(0) {
+		t.Error("Bool(0) must be false")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) must be true")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) rate = %v", p)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(19)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(23)
+	f := func(seed uint64) bool {
+		rr := New(seed)
+		xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+		rr.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+		seen := make([]bool, len(xs))
+		for _, v := range xs {
+			if v < 0 || v >= len(xs) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	_ = r
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(29)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %v", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(31)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatal("exponential variate negative")
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean = %v", mean)
+	}
+}
+
+func TestBinomialSmall(t *testing.T) {
+	r := New(37)
+	if r.Binomial(0, 0.5) != 0 || r.Binomial(10, 0) != 0 {
+		t.Error("degenerate binomials must be 0")
+	}
+	if r.Binomial(10, 1) != 10 {
+		t.Error("Binomial(n,1) must be n")
+	}
+	const n, trials = 20, 50000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		k := r.Binomial(n, 0.25)
+		if k < 0 || k > n {
+			t.Fatalf("Binomial out of range: %d", k)
+		}
+		sum += float64(k)
+	}
+	if mean := sum / trials; math.Abs(mean-5) > 0.1 {
+		t.Errorf("Binomial(20,0.25) mean = %v, want ~5", mean)
+	}
+}
+
+func TestBinomialLargeApproximation(t *testing.T) {
+	r := New(41)
+	const n, trials = 1000, 20000
+	p := 0.01
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		k := float64(r.Binomial(n, p))
+		sum += k
+		sumSq += k * k
+	}
+	mean := sum / trials
+	variance := sumSq/trials - mean*mean
+	if math.Abs(mean-10) > 0.3 {
+		t.Errorf("large binomial mean = %v, want ~10", mean)
+	}
+	if math.Abs(variance-9.9) > 1.5 {
+		t.Errorf("large binomial variance = %v, want ~9.9", variance)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Float64()
+	}
+}
