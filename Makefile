@@ -3,19 +3,23 @@
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench sweep figures fuzz clean
+.PHONY: all build lint test test-race cover bench sweep figures fuzz clean
 
-all: build test
+all: build lint test
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
+# Determinism & concurrency linter; see docs/LINTING.md.
+lint:
+	$(GO) run ./cmd/dhtlint ./...
+
 test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/chord/ ./internal/parallel/
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./internal/...

@@ -195,7 +195,7 @@ func writeSVG(path string, render func(io.Writer) error) error {
 		return err
 	}
 	if err := render(f); err != nil {
-		f.Close()
+		_ = f.Close() // best-effort cleanup; the render error wins
 		return err
 	}
 	return f.Close()

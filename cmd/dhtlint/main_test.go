@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module under a temp dir and chdirs
+// into it so run() resolves the module root there.
+func writeModule(t *testing.T, files map[string]string) {
+	t.Helper()
+	dir := t.TempDir()
+	all := map[string]string{"go.mod": "module tmpmod\n\ngo 1.22\n"}
+	for name, src := range files {
+		all[name] = src
+	}
+	for name, src := range all {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(dir)
+}
+
+func TestRunFindsViolations(t *testing.T) {
+	writeModule(t, map[string]string{
+		"internal/badpkg/bad.go": `package badpkg
+
+import "math/rand"
+
+func Draw() int { return rand.Int() }
+`,
+	})
+	var out, errw bytes.Buffer
+	code := run([]string{"./..."}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "[norand]") {
+		t.Errorf("missing [norand] finding in output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "internal/badpkg/bad.go:3:") {
+		t.Errorf("finding not anchored at the import line:\n%s", out.String())
+	}
+	if !strings.Contains(errw.String(), "finding(s)") {
+		t.Errorf("missing summary on stderr: %s", errw.String())
+	}
+}
+
+func TestRunCleanTreeExitsZero(t *testing.T) {
+	writeModule(t, map[string]string{
+		"internal/goodpkg/good.go": `package goodpkg
+
+func Add(a, b int) int { return a + b }
+`,
+	})
+	var out, errw bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errw); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errw.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean tree produced output: %s", out.String())
+	}
+}
+
+func TestRunIgnoreDirectiveSuppresses(t *testing.T) {
+	writeModule(t, map[string]string{
+		"internal/badpkg/bad.go": `package badpkg
+
+//lint:ignore norand exercising the suppression path end to end
+import "math/rand"
+
+func Draw() int { return rand.Int() }
+`,
+	})
+	var out, errw bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errw); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errw.String())
+	}
+}
+
+func TestRunRulesSubset(t *testing.T) {
+	// The file violates norand, but running only nowallclock must pass.
+	writeModule(t, map[string]string{
+		"internal/badpkg/bad.go": `package badpkg
+
+import "math/rand"
+
+func Draw() int { return rand.Int() }
+`,
+	})
+	var out, errw bytes.Buffer
+	if code := run([]string{"-rules", "nowallclock", "./..."}, &out, &errw); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr: %s", code, errw.String())
+	}
+	if code := run([]string{"-rules", "nosuchrule"}, &out, &errw); code != 2 {
+		t.Fatalf("unknown rule: exit = %d, want 2", code)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	writeModule(t, nil)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, rule := range []string{"norand", "nowallclock", "maporder", "mutexcopy", "seedflow", "errcheck-lite"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("-list output missing rule %s:\n%s", rule, out.String())
+		}
+	}
+}

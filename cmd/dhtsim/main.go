@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -118,7 +119,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		if err := sim.WriteEventsCSV(f, res.Events); err != nil {
-			f.Close()
+			_ = f.Close() // best-effort cleanup; the write error wins
 			return err
 		}
 		if err := f.Close(); err != nil {
@@ -137,8 +138,15 @@ func run(args []string, out io.Writer) error {
 	if *verbose {
 		fmt.Fprintf(out, "lookup-msgs=%d maintenance-msgs=%d\n",
 			res.Messages.LookupMessages, res.Messages.Maintenance)
-		for kind, n := range res.Messages.Strategy {
-			fmt.Fprintf(out, "strategy-msgs[%s]=%d\n", kind, n)
+		// Print strategy counters in sorted order so dhtsim output is
+		// byte-identical run to run (map iteration order is not).
+		kinds := make([]string, 0, len(res.Messages.Strategy))
+		for kind := range res.Messages.Strategy {
+			kinds = append(kinds, kind)
+		}
+		sort.Strings(kinds)
+		for _, kind := range kinds {
+			fmt.Fprintf(out, "strategy-msgs[%s]=%d\n", kind, res.Messages.Strategy[kind])
 		}
 	}
 	for _, snap := range res.Snapshots {

@@ -193,6 +193,14 @@ func run(args []string, out io.Writer) error {
 	runOne := func(name string) error {
 		for _, e := range all {
 			if e.name == name {
+				// Wall-clock audit: this is the only time.Now/Since pair
+				// in the sweep driver, and it measures operator-facing
+				// progress ("how long did this experiment take to run")
+				// exclusively. The measured duration never reaches a
+				// seed, a Config, or any reported statistic, so it
+				// cannot perturb reproducibility. The nowallclock lint
+				// rule exempts cmd/ for exactly this use; see
+				// docs/LINTING.md.
 				start := time.Now()
 				fmt.Fprintf(out, "== %s ==\n", e.what)
 				if err := e.run(opt); err != nil {

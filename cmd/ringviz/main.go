@@ -55,7 +55,7 @@ func run(args []string, out io.Writer) error {
 		}
 		title := fmt.Sprintf("Figure %d: 10 nodes, 100 tasks (%s placement)", fig, *mode)
 		if err := report.SVGRing(f, title, pts); err != nil {
-			f.Close()
+			_ = f.Close() // best-effort cleanup; the render error wins
 			return err
 		}
 		if err := f.Close(); err != nil {

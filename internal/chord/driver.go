@@ -44,6 +44,10 @@ func (d *Driver) Start() {
 	d.done = make(chan struct{})
 	go func() {
 		defer close(d.done)
+		// The driver is the one deliberately real-time component: it
+		// paces background maintenance for live deployments and its
+		// timing never feeds simulation state or results.
+		//lint:ignore nowallclock driver paces real-time maintenance; never feeds sim results
 		ticker := time.NewTicker(d.interval)
 		defer ticker.Stop()
 		for {

@@ -3,9 +3,10 @@ package ids
 import (
 	"encoding/binary"
 	"math"
-	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"chordbalance/internal/xrand"
 )
 
 func idFrom2(hi, lo uint64) ID {
@@ -311,7 +312,7 @@ func TestTextMarshaling(t *testing.T) {
 }
 
 func TestRandomUniform(t *testing.T) {
-	src := rand.New(rand.NewSource(1))
+	src := xrand.New(1)
 	const n = 20000
 	var sum float64
 	for i := 0; i < n; i++ {
@@ -324,7 +325,7 @@ func TestRandomUniform(t *testing.T) {
 }
 
 func TestUniformInRange(t *testing.T) {
-	src := rand.New(rand.NewSource(7))
+	src := xrand.New(7)
 	a, b := FromUint64(100), FromUint64(200)
 	for i := 0; i < 1000; i++ {
 		x, err := UniformInRange(src, a, b)
@@ -338,7 +339,7 @@ func TestUniformInRange(t *testing.T) {
 }
 
 func TestUniformInRangeWrapping(t *testing.T) {
-	src := rand.New(rand.NewSource(9))
+	src := xrand.New(9)
 	a := Max.Sub(FromUint64(2))
 	b := FromUint64(3)
 	seen := map[ID]bool{}
@@ -359,7 +360,7 @@ func TestUniformInRangeWrapping(t *testing.T) {
 }
 
 func TestUniformInRangeEmpty(t *testing.T) {
-	src := rand.New(rand.NewSource(3))
+	src := xrand.New(3)
 	a := FromUint64(5)
 	if _, err := UniformInRange(src, a, a.Succ()); err != ErrEmptyRange {
 		t.Errorf("expected ErrEmptyRange, got %v", err)
@@ -367,7 +368,7 @@ func TestUniformInRangeEmpty(t *testing.T) {
 }
 
 func TestUniformInRangeFullRing(t *testing.T) {
-	src := rand.New(rand.NewSource(4))
+	src := xrand.New(4)
 	a := FromUint64(5)
 	for i := 0; i < 100; i++ {
 		x, err := UniformInRange(src, a, a)

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheckLite flags call statements that silently drop an error result
+// when the callee is module-local or from io/os — the call sites where a
+// swallowed error means lost keys, truncated reports, or a sim that
+// diverges without anyone noticing. Explicitly assigning to _ is an
+// accepted, greppable opt-out; simply not looking is not. Test files are
+// exempt (failures surface through the test itself).
+func ErrCheckLite(modulePath string) *Rule {
+	inScope := func(path string) bool {
+		switch path {
+		case "io", "os", modulePath:
+			return true
+		}
+		return strings.HasPrefix(path, modulePath+"/")
+	}
+	return &Rule{
+		Name: "errcheck-lite",
+		Doc:  "flag dropped error results from module-local and io/os calls",
+		Skip: func(relFile string, isTest bool) bool { return isTest },
+		Check: func(pkg *Package, file *ast.File, report ReportFunc) {
+			check := func(call *ast.CallExpr, how string) {
+				fn := calleeFunc(pkg, call.Fun)
+				if fn == nil || fn.Pkg() == nil || !inScope(fn.Pkg().Path()) {
+					return
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok {
+					return
+				}
+				for i := 0; i < sig.Results().Len(); i++ {
+					if types.Identical(sig.Results().At(i).Type(), types.Universe.Lookup("error").Type()) {
+						report(call, "%s drops the error returned by %s.%s; handle it or assign to _ explicitly", how, fn.Pkg().Name(), fn.Name())
+						return
+					}
+				}
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := st.X.(*ast.CallExpr); ok {
+						check(call, "call statement")
+					}
+				case *ast.DeferStmt:
+					check(st.Call, "deferred call")
+				case *ast.GoStmt:
+					check(st.Call, "go statement")
+				}
+				return true
+			})
+		},
+	}
+}

@@ -1,0 +1,99 @@
+package lint
+
+import "testing"
+
+func TestErrCheckLiteDroppedModuleError(t *testing.T) {
+	src := `package fixture
+
+import (
+	"chordbalance/internal/ids"
+	"chordbalance/internal/ring"
+)
+
+func f(r *ring.Ring[int]) {
+	r.Seed([]ids.ID{ids.FromUint64(1)})
+}
+`
+	got := checkFixture(t, ErrCheckLite("chordbalance"), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "errcheck-lite", 9)
+}
+
+func TestErrCheckLiteDroppedOSError(t *testing.T) {
+	src := `package fixture
+
+import "os"
+
+func f() {
+	os.Remove("/tmp/x")
+	defer os.Remove("/tmp/y")
+}
+`
+	got := checkFixture(t, ErrCheckLite("chordbalance"), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "errcheck-lite", 6, 7)
+}
+
+func TestErrCheckLiteIoWriterMethod(t *testing.T) {
+	src := `package fixture
+
+import "io"
+
+func f(w io.Writer) {
+	w.Write([]byte("x"))
+}
+`
+	got := checkFixture(t, ErrCheckLite("chordbalance"), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "errcheck-lite", 6)
+}
+
+func TestErrCheckLiteHandledAndBlankClean(t *testing.T) {
+	src := `package fixture
+
+import (
+	"fmt"
+	"os"
+
+	"chordbalance/internal/ids"
+	"chordbalance/internal/ring"
+)
+
+func f(r *ring.Ring[int]) error {
+	if err := r.Seed(nil); err != nil {
+		return err
+	}
+	_ = os.Remove("/tmp/x")
+	// fmt is outside the rule's scope: stdlib noise stays quiet.
+	fmt.Println("ok")
+	_ = ids.Zero
+	return nil
+}
+`
+	got := checkFixture(t, ErrCheckLite("chordbalance"), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "errcheck-lite")
+}
+
+func TestErrCheckLiteExemptsTests(t *testing.T) {
+	src := `package fixture
+
+import "os"
+
+func f() {
+	os.Remove("/tmp/x")
+}
+`
+	got := checkFixture(t, ErrCheckLite("chordbalance"), map[string]string{"internal/fix/a_test.go": src})
+	wantFindings(t, got, "errcheck-lite")
+}
+
+func TestErrCheckLiteRespectsIgnore(t *testing.T) {
+	src := `package fixture
+
+import "os"
+
+func f() {
+	//lint:ignore errcheck-lite best-effort cleanup, failure is acceptable here
+	os.Remove("/tmp/x")
+}
+`
+	got := checkFixture(t, ErrCheckLite("chordbalance"), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "errcheck-lite")
+}

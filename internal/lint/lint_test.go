@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader amortizes stdlib source type-checking across all fixture
+// tests in this package; a Loader is safe here because the tests run its
+// methods sequentially per call site via loaderOnce.
+var (
+	loaderOnce sync.Once
+	loaderMu   sync.Mutex
+	shared     *Loader
+)
+
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, modPath, err := FindModule(".")
+		if err != nil {
+			t.Fatalf("FindModule: %v", err)
+		}
+		shared = NewLoader(root, modPath)
+	})
+	if shared == nil {
+		t.Skip("loader unavailable")
+	}
+	return shared
+}
+
+// checkFixture type-checks the given sources as one synthetic package
+// and runs a single rule over it, returning the findings.
+func checkFixture(t *testing.T, rule *Rule, sources map[string]string) []Finding {
+	t.Helper()
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	l := fixtureLoader(t)
+	pkg, err := l.CheckSource("chordbalance/internal/lintfixture", sources)
+	if err != nil {
+		t.Fatalf("CheckSource: %v", err)
+	}
+	runner := &Runner{Rules: []*Rule{rule}}
+	return runner.Check(pkg)
+}
+
+// wantFindings asserts the findings hit exactly the given lines (in any
+// file of the fixture).
+func wantFindings(t *testing.T, got []Finding, rule string, lines ...int) {
+	t.Helper()
+	if len(got) != len(lines) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(got), len(lines), renderFindings(got))
+	}
+	for i, f := range got {
+		if f.Rule != rule {
+			t.Errorf("finding %d rule = %q, want %q", i, f.Rule, rule)
+		}
+		if f.Pos.Line != lines[i] {
+			t.Errorf("finding %d at line %d, want %d: %s", i, f.Pos.Line, lines[i], f)
+		}
+	}
+}
+
+func renderFindings(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString("  " + f.String() + "\n")
+	}
+	return b.String()
+}
+
+func TestIgnoreDirectiveParsing(t *testing.T) {
+	rule := NoRand()
+	src := `package fixture
+
+import _ "math/rand" //lint:ignore norand fixture exercises the suppression path
+`
+	got := checkFixture(t, rule, map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "norand")
+}
+
+func TestIgnoreDirectiveLineAbove(t *testing.T) {
+	rule := NoRand()
+	src := `package fixture
+
+//lint:ignore norand reason documented here
+import _ "math/rand"
+`
+	got := checkFixture(t, rule, map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "norand")
+}
+
+func TestIgnoreDirectiveWrongRule(t *testing.T) {
+	src := `package fixture
+
+//lint:ignore maporder wrong rule name does not suppress
+import _ "math/rand"
+`
+	got := checkFixture(t, NoRand(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "norand", 4)
+}
+
+func TestIgnoreDirectiveAll(t *testing.T) {
+	src := `package fixture
+
+//lint:ignore all blanket suppression with a reason
+import _ "math/rand"
+`
+	got := checkFixture(t, NoRand(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "norand")
+}
+
+func TestMalformedIgnoreDirective(t *testing.T) {
+	src := `package fixture
+
+//lint:ignore norand
+import _ "math/rand"
+`
+	got := checkFixture(t, NoRand(), map[string]string{"internal/fix/a.go": src})
+	if len(got) != 2 {
+		t.Fatalf("want malformed-directive finding plus the unsuppressed norand finding, got:\n%s", renderFindings(got))
+	}
+	if got[0].Rule != "lint-directive" {
+		t.Errorf("first finding rule = %q, want lint-directive", got[0].Rule)
+	}
+	if got[1].Rule != "norand" {
+		t.Errorf("second finding rule = %q, want norand (reasonless directives must not suppress)", got[1].Rule)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	src := `package fixture
+
+import _ "crypto/rand"
+`
+	got := checkFixture(t, NoRand(), map[string]string{"internal/fix/a.go": src})
+	if len(got) != 1 {
+		t.Fatalf("findings:\n%s", renderFindings(got))
+	}
+	s := got[0].String()
+	if !strings.HasPrefix(s, "internal/fix/a.go:3:8 [norand] ") {
+		t.Errorf("finding format = %q, want file:line:col [rule] message", s)
+	}
+}
+
+func TestDefaultRulesRegistry(t *testing.T) {
+	rules := DefaultRules("chordbalance")
+	want := []string{"norand", "nowallclock", "maporder", "mutexcopy", "seedflow", "errcheck-lite"}
+	if len(rules) != len(want) {
+		t.Fatalf("registry has %d rules, want %d", len(rules), len(want))
+	}
+	for i, r := range rules {
+		if r.Name != want[i] {
+			t.Errorf("rule %d = %q, want %q", i, r.Name, want[i])
+		}
+		if r.Doc == "" {
+			t.Errorf("rule %q has no doc line", r.Name)
+		}
+	}
+}
+
+func TestFindModule(t *testing.T) {
+	root, path, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != "chordbalance" {
+		t.Errorf("module path = %q", path)
+	}
+	if root == "" {
+		t.Error("empty module root")
+	}
+}

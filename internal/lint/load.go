@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages of one module using only the
+// standard library: module-local imports are resolved recursively from
+// the module tree, everything else is delegated to the stdlib source
+// importer. Type errors never abort a load — rules run over whatever
+// information resolved, so the linter stays useful on a tree that is
+// mid-refactor — but they are recorded on the Package for diagnosis.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleRoot string
+	ModulePath string
+
+	std     types.Importer
+	exports map[string]*types.Package
+	loading map[string]bool
+}
+
+// NewLoader builds a loader for the module rooted at moduleRoot with the
+// given module path (the `module` line of go.mod).
+func NewLoader(moduleRoot, modulePath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModuleRoot: moduleRoot,
+		ModulePath: modulePath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		exports:    make(map[string]*types.Package),
+		loading:    make(map[string]bool),
+	}
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, modulePath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(abs, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return abs, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", abs)
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// Import implements types.Importer: module-local paths load from source
+// under ModuleRoot, everything else (the standard library) goes through
+// the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		return l.importModule(path)
+	}
+	return l.std.Import(path)
+}
+
+// importModule type-checks the export view (non-test files) of a
+// module-local package, caching the result.
+func (l *Loader) importModule(path string) (*types.Package, error) {
+	if pkg, ok := l.exports[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+	dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+	files, err := l.parseDir(dir, func(name string) bool {
+		return !strings.HasSuffix(name, "_test.go")
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	conf := types.Config{Importer: l, Error: func(error) {}}
+	pkg, _ := conf.Check(path, l.Fset, files, nil)
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: type-checking %s produced no package", path)
+	}
+	l.exports[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses every .go file in dir accepted by keep, in sorted
+// order so diagnostics are deterministic.
+func (l *Loader) parseDir(dir string, keep func(name string) bool) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || !keep(e.Name()) {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// newInfo allocates the types.Info maps the rules consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// check type-checks one lint unit (a set of parsed files forming a
+// single package), tolerating type errors.
+func (l *Loader) check(path string, files []*ast.File) *Package {
+	pkg := &Package{
+		Path:  path,
+		Fset:  l.Fset,
+		Files: files,
+		Info:  newInfo(),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, pkg.Info)
+	pkg.Types = tpkg
+	return pkg
+}
+
+// LoadDir parses and type-checks the package in dir, returning one lint
+// unit for the package (non-test plus in-package test files) and, when
+// present, a second unit for the external _test package.
+func (l *Loader) LoadDir(dir string) ([]*Package, error) {
+	files, err := l.parseDir(dir, func(string) bool { return true })
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil {
+		return nil, err
+	}
+	importPath := l.ModulePath
+	if rel != "." {
+		importPath = l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+
+	// Split into the base package and an external test package (pkg_test).
+	byName := make(map[string][]*ast.File)
+	var nameOrder []string
+	for _, f := range files {
+		name := f.Name.Name
+		if _, seen := byName[name]; !seen {
+			nameOrder = append(nameOrder, name)
+		}
+		byName[name] = append(byName[name], f)
+	}
+	sort.Slice(nameOrder, func(i, j int) bool {
+		// Base package first, external test package second.
+		return !strings.HasSuffix(nameOrder[i], "_test")
+	})
+	var out []*Package
+	for _, name := range nameOrder {
+		path := importPath
+		if strings.HasSuffix(name, "_test") {
+			path += "_test"
+		}
+		out = append(out, l.check(path, byName[name]))
+	}
+	return out, nil
+}
+
+// CheckSource type-checks in-memory sources (filename -> content) as a
+// single package. It exists for fixture-driven rule tests; the synthetic
+// filenames are used verbatim as the "module-relative" paths the rules'
+// exemption logic sees.
+func (l *Loader) CheckSource(importPath string, sources map[string]string) (*Package, error) {
+	var names []string
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, name, sources[name], parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return l.check(importPath, files), nil
+}

@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ringSimMutators are methods that mutate ring/simulation state; calling
+// them once per map entry applies the mutations in nondeterministic
+// order, which changes which node wins ties, which keys move first, and
+// therefore every downstream number.
+var ringSimMutators = map[string]bool{
+	"Insert":         true,
+	"Remove":         true,
+	"Seed":           true,
+	"Consume":        true,
+	"ConsumeN":       true,
+	"SetConsumeMode": true,
+	"CreateSybil":    true,
+	"DropSybils":     true,
+	"SetAlive":       true,
+	"CreatedSybil":   true,
+	"DroppedSybil":   true,
+}
+
+// MapOrder flags `range` over a map whose body is order-sensitive:
+// drawing from an RNG (the stream order becomes schedule-dependent),
+// appending to a slice that outlives the loop (contents end up in map
+// order), mutating ring/sim state, or writing output. Pure reductions
+// (summing values, filling another map) are order-independent and pass.
+func MapOrder() *Rule {
+	return &Rule{
+		Name: "maporder",
+		Doc:  "flag order-sensitive bodies inside range-over-map (RNG draws, escaping appends, ring/sim mutation, output)",
+		Skip: func(relFile string, isTest bool) bool { return isTest },
+		Check: func(pkg *Package, file *ast.File, report ReportFunc) {
+			var stack []ast.Node
+			ast.Inspect(file, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				stack = append(stack, n)
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pkg.Info.TypeOf(rng.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if reason := mapOrderHazard(pkg, rng, enclosingFunc(stack)); reason != "" {
+					report(rng, "range over map: %s — map iteration order is nondeterministic; iterate a sorted key slice instead", reason)
+				}
+				return true
+			})
+		},
+	}
+}
+
+// enclosingFunc returns the innermost function declaration or literal on
+// the traversal stack, or nil.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// mapOrderHazard scans the body of a range-over-map for the first
+// order-sensitive operation and describes it. Empty string means clean.
+// fn is the enclosing function, used to excuse the canonical
+// gather-keys-then-sort idiom.
+func mapOrderHazard(pkg *Package, rng *ast.RangeStmt, fn ast.Node) string {
+	var reason string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isEscapingAppend(pkg, call, rng, fn):
+			reason = "body appends to a slice that outlives the loop"
+		case isRNGCall(pkg, call):
+			reason = "body draws from an RNG, making the random stream order map-dependent"
+		case isRingSimMutation(pkg, call):
+			reason = "body mutates ring/sim state once per entry"
+		case isOutputCall(pkg, call):
+			reason = "body writes output once per entry"
+		}
+		return reason == ""
+	})
+	return reason
+}
+
+// isEscapingAppend reports append(x, ...) where x is rooted outside the
+// range statement, so the slice's final element order follows map order.
+// The canonical remediation — gather keys, then sort them — is excused:
+// an append target that is later passed to a sorting call in the same
+// function is order-insensitive by construction.
+func isEscapingAppend(pkg *Package, call *ast.CallExpr, rng *ast.RangeStmt, fn ast.Node) bool {
+	ident, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || ident.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	if obj := pkg.Info.Uses[ident]; obj != nil {
+		if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+			return false // locally shadowed append
+		}
+	}
+	switch target := ast.Unparen(call.Args[0]).(type) {
+	case *ast.Ident:
+		obj := pkg.Info.Uses[target]
+		if obj == nil {
+			return true // unresolved: be conservative
+		}
+		if obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
+			return false // declared inside the loop; dies with it
+		}
+		return !sortedAfter(pkg, obj, rng.End(), fn)
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return true // field or element of an outer structure
+	}
+	return false
+}
+
+// sortedAfter reports whether obj is passed to a sorting call after pos
+// within fn: sort.* / slices.Sort* from the stdlib, or any local helper
+// whose name starts with "sort" (e.g. sortIDs).
+func sortedAfter(pkg *Package, obj types.Object, pos token.Pos, fn ast.Node) bool {
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= pos {
+			return true
+		}
+		if !isSortingCall(pkg, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortingCall recognizes stdlib sort/slices calls and sort-named local
+// helpers.
+func isSortingCall(pkg *Package, call *ast.CallExpr) bool {
+	if fn := calleeFunc(pkg, call.Fun); fn != nil {
+		if fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "sort", "slices":
+				return true
+			}
+		}
+		return strings.HasPrefix(strings.ToLower(fn.Name()), "sort")
+	}
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return strings.HasPrefix(strings.ToLower(f.Name), "sort")
+	case *ast.SelectorExpr:
+		return strings.HasPrefix(strings.ToLower(f.Sel.Name), "sort")
+	}
+	return false
+}
+
+// isRNGCall reports a call that advances a random stream: a method on
+// xrand.Rand or any function from the xrand package.
+func isRNGCall(pkg *Package, call *ast.CallExpr) bool {
+	if named := methodRecvNamed(pkg, call.Fun); named != nil {
+		if named.Obj().Name() == "Rand" && pkgPathSuffix(named.Obj().Pkg(), "xrand") {
+			return true
+		}
+	}
+	if fn := calleeFunc(pkg, call.Fun); fn != nil && pkgPathSuffix(fn.Pkg(), "xrand") {
+		return true
+	}
+	return false
+}
+
+// isRingSimMutation reports a known mutator method called on a type from
+// the ring or sim packages.
+func isRingSimMutation(pkg *Package, call *ast.CallExpr) bool {
+	named := methodRecvNamed(pkg, call.Fun)
+	if named == nil {
+		return false
+	}
+	p := named.Obj().Pkg()
+	if !pkgPathSuffix(p, "ring") && !pkgPathSuffix(p, "sim") {
+		return false
+	}
+	sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ringSimMutators[sel.Sel.Name]
+}
+
+// isOutputCall reports writes whose emission order would follow map
+// order: fmt print functions, io.WriteString, and Write* methods.
+func isOutputCall(pkg *Package, call *ast.CallExpr) bool {
+	if fn := calleeFunc(pkg, call.Fun); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt":
+			if strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint") {
+				return true
+			}
+		case "io":
+			if fn.Name() == "WriteString" {
+				return true
+			}
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if methodRecvNamed(pkg, call.Fun) != nil || pkg.Info.Selections[sel] != nil {
+			switch sel.Sel.Name {
+			case "Write", "WriteString", "WriteByte", "WriteRune":
+				return true
+			}
+		}
+	}
+	return false
+}

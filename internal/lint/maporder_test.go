@@ -1,0 +1,177 @@
+package lint
+
+import "testing"
+
+func TestMapOrderEscapingAppend(t *testing.T) {
+	src := `package fixture
+
+func f(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+`
+	got := checkFixture(t, MapOrder(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "maporder", 5)
+}
+
+func TestMapOrderLocalAppendClean(t *testing.T) {
+	src := `package fixture
+
+func f(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+`
+	got := checkFixture(t, MapOrder(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "maporder")
+}
+
+func TestMapOrderGatherThenSortClean(t *testing.T) {
+	src := `package fixture
+
+import "sort"
+
+func f(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }
+
+func g(m map[int]bool) []int {
+	var xs []int
+	for k := range m {
+		xs = append(xs, k)
+	}
+	sortInts(xs)
+	return xs
+}
+`
+	got := checkFixture(t, MapOrder(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "maporder")
+}
+
+func TestMapOrderRNGDraw(t *testing.T) {
+	src := `package fixture
+
+import "chordbalance/internal/xrand"
+
+func f(m map[int]bool, rng *xrand.Rand) int {
+	n := 0
+	for k := range m {
+		n += k + rng.Intn(10)
+	}
+	return n
+}
+`
+	got := checkFixture(t, MapOrder(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "maporder", 7)
+}
+
+func TestMapOrderRingMutation(t *testing.T) {
+	src := `package fixture
+
+import (
+	"chordbalance/internal/ids"
+	"chordbalance/internal/ring"
+)
+
+func f(r *ring.Ring[int], m map[uint64]int) {
+	for raw, v := range m {
+		r.Insert(ids.FromUint64(raw), v)
+	}
+}
+`
+	got := checkFixture(t, MapOrder(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "maporder", 9)
+}
+
+func TestMapOrderOutput(t *testing.T) {
+	src := `package fixture
+
+import "fmt"
+
+func f(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+`
+	got := checkFixture(t, MapOrder(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "maporder", 6)
+}
+
+func TestMapOrderPureReductionClean(t *testing.T) {
+	src := `package fixture
+
+func f(m map[int]int) (int, map[int]int) {
+	total := 0
+	inverted := make(map[int]int)
+	for k, v := range m {
+		total += v
+		inverted[v] = k
+	}
+	return total, inverted
+}
+`
+	got := checkFixture(t, MapOrder(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "maporder")
+}
+
+func TestMapOrderSliceRangeClean(t *testing.T) {
+	src := `package fixture
+
+import "fmt"
+
+func f(s []int) {
+	for _, v := range s {
+		fmt.Println(v)
+	}
+}
+`
+	got := checkFixture(t, MapOrder(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "maporder")
+}
+
+func TestMapOrderExemptsTests(t *testing.T) {
+	src := `package fixture
+
+import "fmt"
+
+func f(m map[string]int) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+`
+	got := checkFixture(t, MapOrder(), map[string]string{"internal/fix/a_test.go": src})
+	wantFindings(t, got, "maporder")
+}
+
+func TestMapOrderRespectsIgnore(t *testing.T) {
+	src := `package fixture
+
+import "fmt"
+
+func f(m map[string]int) {
+	//lint:ignore maporder output order validated downstream by sorting
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+`
+	got := checkFixture(t, MapOrder(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "maporder")
+}

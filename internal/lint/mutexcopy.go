@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// lockTypes are the sync types whose by-value copy silently forks their
+// internal state: a copied mutex can be unlocked while the original is
+// held, and a copied WaitGroup's counter diverges.
+var lockTypes = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"WaitGroup": true,
+	"Once":      true,
+	"Cond":      true,
+}
+
+// MutexCopy flags by-value copies of values whose type (transitively,
+// through struct fields and arrays) contains a sync.Mutex, sync.RWMutex,
+// sync.WaitGroup, sync.Once, or sync.Cond: assignments, var
+// initializers, returns, and range value variables. Taking a pointer or
+// constructing a fresh composite literal is fine; copying an existing
+// value is not.
+func MutexCopy() *Rule {
+	return &Rule{
+		Name: "mutexcopy",
+		Doc:  "flag by-value copies of types containing sync.Mutex/RWMutex/WaitGroup/Once/Cond",
+		Check: func(pkg *Package, file *ast.File, report ReportFunc) {
+			seen := make(map[types.Type]bool)
+			flag := func(expr ast.Expr, context string) {
+				if !denotesExistingValue(pkg, expr) {
+					return
+				}
+				t := pkg.Info.TypeOf(expr)
+				if lock := lockPath(t, seen); lock != "" {
+					report(expr, "%s copies %s, which contains %s; use a pointer", context, types.TypeString(t, nil), lock)
+				}
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					for i, rhs := range st.Rhs {
+						// Assigning to _ discards the copy; harmless.
+						if len(st.Lhs) == len(st.Rhs) && isBlank(st.Lhs[i]) {
+							continue
+						}
+						flag(rhs, "assignment")
+					}
+				case *ast.ValueSpec:
+					for _, v := range st.Values {
+						flag(v, "variable initialization")
+					}
+				case *ast.ReturnStmt:
+					for _, res := range st.Results {
+						flag(res, "return")
+					}
+				case *ast.RangeStmt:
+					if st.Value == nil || isBlank(st.Value) {
+						return true
+					}
+					if elem := rangeElemType(pkg.Info.TypeOf(st.X)); elem != nil {
+						if lock := lockPath(elem, seen); lock != "" {
+							report(st.Value, "range value copies %s, which contains %s; range over indices or pointers", types.TypeString(elem, nil), lock)
+						}
+					}
+				}
+				return true
+			})
+		},
+	}
+}
+
+func isBlank(expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// denotesExistingValue reports whether expr names an already-live value
+// (so evaluating it copies): identifiers, field selections, derefs, and
+// index expressions. Calls, conversions, and composite literals produce
+// fresh values and pass.
+func denotesExistingValue(pkg *Package, expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		_, isVar := pkg.Info.Uses[e].(*types.Var)
+		return isVar
+	case *ast.SelectorExpr:
+		if s := pkg.Info.Selections[e]; s != nil {
+			return s.Kind() == types.FieldVal
+		}
+		_, isVar := pkg.Info.Uses[e.Sel].(*types.Var)
+		return isVar
+	case *ast.StarExpr:
+		return true
+	case *ast.IndexExpr:
+		// Indexing a map/slice/array yields a stored value; a generic
+		// instantiation does not.
+		t := pkg.Info.TypeOf(e.X)
+		if t == nil {
+			return false
+		}
+		switch t.Underlying().(type) {
+		case *types.Map, *types.Slice, *types.Array, *types.Pointer:
+			return true
+		}
+	}
+	return false
+}
+
+// rangeElemType returns the per-iteration value type of ranging over t.
+func rangeElemType(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return u.Elem()
+	case *types.Array:
+		return u.Elem()
+	case *types.Map:
+		return u.Elem()
+	case *types.Pointer:
+		if arr, ok := u.Elem().Underlying().(*types.Array); ok {
+			return arr.Elem()
+		}
+	}
+	return nil
+}
+
+// lockPath reports the sync type t transitively contains ("" if none),
+// e.g. "sync.Mutex (via field mu)".
+func lockPath(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	defer delete(seen, t)
+	switch u := t.(type) {
+	case *types.Named:
+		obj := u.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockTypes[obj.Name()] {
+			return "sync." + obj.Name()
+		}
+		return lockPath(u.Underlying(), seen)
+	case *types.Alias:
+		return lockPath(types.Unalias(u), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if lock := lockPath(f.Type(), seen); lock != "" {
+				return lock + " (via field " + f.Name() + ")"
+			}
+		}
+	case *types.Array:
+		return lockPath(u.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,120 @@
+package lint
+
+import "testing"
+
+func TestMutexCopyAssignment(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func f(g guarded) guarded {
+	h := g
+	return h
+}
+`
+	got := checkFixture(t, MutexCopy(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "mutexcopy", 11, 12)
+}
+
+func TestMutexCopyWaitGroupAndDeref(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+func f(wg *sync.WaitGroup) {
+	w := *wg
+	w.Wait()
+}
+`
+	got := checkFixture(t, MutexCopy(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "mutexcopy", 6)
+}
+
+func TestMutexCopyRangeValue(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.RWMutex
+}
+
+func f(gs []guarded) {
+	for _, g := range gs {
+		_ = g
+	}
+}
+`
+	got := checkFixture(t, MutexCopy(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "mutexcopy", 10)
+}
+
+func TestMutexCopyPointerAndLiteralClean(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+}
+
+func f() *guarded {
+	g := &guarded{}
+	fresh := guarded{}
+	_ = fresh
+	p := g
+	return p
+}
+
+func g(gs []guarded) {
+	for i := range gs {
+		gs[i].mu.Lock()
+		gs[i].mu.Unlock()
+	}
+}
+`
+	got := checkFixture(t, MutexCopy(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "mutexcopy")
+}
+
+func TestMutexCopyNestedField(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type inner struct{ wg sync.WaitGroup }
+
+type outer struct {
+	in  inner
+	arr [2]inner
+}
+
+func f(o *outer) inner {
+	return o.in
+}
+`
+	got := checkFixture(t, MutexCopy(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "mutexcopy", 13)
+}
+
+func TestMutexCopyRespectsIgnore(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type guarded struct{ mu sync.Mutex }
+
+func f(g guarded) {
+	//lint:ignore mutexcopy snapshot taken before any goroutine can lock it
+	h := g
+	_ = h
+}
+`
+	got := checkFixture(t, MutexCopy(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "mutexcopy")
+}

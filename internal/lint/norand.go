@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// forbiddenRandImports lists randomness sources that break seed-stable
+// reproduction. math/rand's global stream is shared across goroutines
+// (schedule-dependent) and crypto/rand is unseedable by design; every
+// simulation draw must flow through internal/xrand's per-trial streams.
+var forbiddenRandImports = map[string]string{
+	"math/rand":    "math/rand is not seed-stable across goroutines",
+	"math/rand/v2": "math/rand/v2 is not seed-stable across goroutines",
+	"crypto/rand":  "crypto/rand is unseedable and never reproducible",
+}
+
+// NoRand forbids importing math/rand (v1 and v2) and crypto/rand
+// anywhere in the module. Exemption: fuzz harnesses (*fuzz_test.go),
+// whose inputs come from the fuzzing engine and may legitimately mix in
+// stdlib randomness.
+func NoRand() *Rule {
+	return &Rule{
+		Name: "norand",
+		Doc:  "forbid math/rand and crypto/rand; simulation randomness must come from internal/xrand",
+		Skip: func(relFile string, isTest bool) bool {
+			// Fuzz harnesses only; ordinary tests must be seed-stable too.
+			return strings.HasSuffix(relFile, "fuzz_test.go")
+		},
+		Check: func(pkg *Package, file *ast.File, report ReportFunc) {
+			for _, imp := range file.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if why, bad := forbiddenRandImports[path]; bad {
+					report(imp, "import of %s: %s; use internal/xrand so trials stay reproducible", path, why)
+				}
+			}
+		},
+	}
+}

@@ -1,0 +1,55 @@
+package lint
+
+import "testing"
+
+func TestNoRandFiresOnImports(t *testing.T) {
+	src := `package fixture
+
+import (
+	_ "crypto/rand"
+	_ "math/rand"
+	_ "math/rand/v2"
+)
+`
+	got := checkFixture(t, NoRand(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "norand", 4, 5, 6)
+}
+
+func TestNoRandAppliesToOrdinaryTests(t *testing.T) {
+	src := `package fixture
+
+import _ "math/rand"
+`
+	got := checkFixture(t, NoRand(), map[string]string{"internal/fix/a_test.go": src})
+	wantFindings(t, got, "norand", 3)
+}
+
+func TestNoRandExemptsFuzzHarnesses(t *testing.T) {
+	src := `package fixture
+
+import _ "math/rand"
+`
+	got := checkFixture(t, NoRand(), map[string]string{"internal/fix/fuzz_test.go": src})
+	wantFindings(t, got, "norand")
+}
+
+func TestNoRandRespectsIgnore(t *testing.T) {
+	src := `package fixture
+
+//lint:ignore norand documented reason for this exception
+import _ "math/rand"
+
+import _ "crypto/rand"
+`
+	got := checkFixture(t, NoRand(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "norand", 6)
+}
+
+func TestNoRandCleanFile(t *testing.T) {
+	src := `package fixture
+
+import _ "chordbalance/internal/xrand"
+`
+	got := checkFixture(t, NoRand(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "norand")
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeedFlow polices how xrand generators are seeded. A seed must be
+// derivable from the experiment description alone — constants, config
+// fields, trial indices. Seeds laundered through pointer values
+// (uintptr/unsafe conversions), map lengths, or the wall clock are
+// allocation- or schedule-dependent and quietly destroy reproducibility
+// while still "looking random".
+func SeedFlow() *Rule {
+	return &Rule{
+		Name: "seedflow",
+		Doc:  "flag xrand.New/NewStream seeds derived from pointer values, map lengths, or the wall clock",
+		Check: func(pkg *Package, file *ast.File, report ReportFunc) {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := xrandConstructor(pkg, call)
+				if name == "" || len(call.Args) == 0 {
+					return true
+				}
+				seedHazards(pkg, call.Args[0], func(node ast.Node, what string) {
+					report(node, "xrand.%s seeded from %s; derive seeds from constants, config, or trial indices only", name, what)
+				})
+				return true
+			})
+		},
+	}
+}
+
+// xrandConstructor returns "New" or "NewStream" when call constructs an
+// xrand generator (qualified or, inside the xrand package itself,
+// unqualified), else "".
+func xrandConstructor(pkg *Package, call *ast.CallExpr) string {
+	fn := calleeFunc(pkg, call.Fun)
+	if fn == nil || !pkgPathSuffix(fn.Pkg(), "xrand") {
+		return ""
+	}
+	if fn.Name() == "New" || fn.Name() == "NewStream" {
+		return fn.Name()
+	}
+	return ""
+}
+
+// seedHazards walks a seed expression and reports each nondeterministic
+// source it is built from.
+func seedHazards(pkg *Package, seed ast.Expr, emit func(node ast.Node, what string)) {
+	ast.Inspect(seed, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// len(m) on a map: data-structure-dependent, impossible to pin.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "len" && len(call.Args) == 1 {
+			obj := pkg.Info.Uses[id]
+			if _, isBuiltin := obj.(*types.Builtin); isBuiltin || obj == nil {
+				if t := pkg.Info.TypeOf(call.Args[0]); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						emit(call, "the length of a map (data-dependent, drifts as the structure evolves)")
+					}
+				}
+			}
+		}
+		// uintptr(...) / unsafe.Pointer(...) conversions: pointer identity
+		// varies per allocation and per run.
+		if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+			switch t := tv.Type.(type) {
+			case *types.Basic:
+				if t.Kind() == types.Uintptr || t.Kind() == types.UnsafePointer {
+					emit(call, "a pointer value (allocation addresses differ every run)")
+				}
+			}
+		}
+		// time.* package-level calls: the wall clock. (Methods like
+		// UnixNano are reached only through such a call, so flagging the
+		// package function alone avoids double reports.)
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			fn := calleeFunc(pkg, call.Fun)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+					emit(sel, "the wall clock (time."+fn.Name()+")")
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,105 @@
+package lint
+
+import "testing"
+
+func TestSeedFlowMapLength(t *testing.T) {
+	src := `package fixture
+
+import "chordbalance/internal/xrand"
+
+func f(m map[int]bool) *xrand.Rand {
+	return xrand.New(uint64(len(m)))
+}
+`
+	got := checkFixture(t, SeedFlow(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "seedflow", 6)
+}
+
+func TestSeedFlowPointerValue(t *testing.T) {
+	src := `package fixture
+
+import (
+	"unsafe"
+
+	"chordbalance/internal/xrand"
+)
+
+func f(p *int) *xrand.Rand {
+	return xrand.New(uint64(uintptr(unsafe.Pointer(p))))
+}
+`
+	got := checkFixture(t, SeedFlow(), map[string]string{"internal/fix/a.go": src})
+	if len(got) < 1 {
+		t.Fatalf("want at least one seedflow finding, got:\n%s", renderFindings(got))
+	}
+	for _, f := range got {
+		if f.Rule != "seedflow" || f.Pos.Line != 10 {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+func TestSeedFlowWallClock(t *testing.T) {
+	src := `package fixture
+
+import (
+	"time"
+
+	"chordbalance/internal/xrand"
+)
+
+func f() *xrand.Rand {
+	return xrand.New(uint64(time.Now().UnixNano()))
+}
+`
+	got := checkFixture(t, SeedFlow(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "seedflow", 10)
+}
+
+func TestSeedFlowNewStream(t *testing.T) {
+	src := `package fixture
+
+import "chordbalance/internal/xrand"
+
+func f(m map[int]int, i int) *xrand.Rand {
+	return xrand.NewStream(uint64(len(m)), i)
+}
+`
+	got := checkFixture(t, SeedFlow(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "seedflow", 6)
+}
+
+func TestSeedFlowCleanSeeds(t *testing.T) {
+	src := `package fixture
+
+import "chordbalance/internal/xrand"
+
+const base = 0x9e3779b97f4a7c15
+
+type cfg struct{ Seed uint64 }
+
+func f(c cfg, trial int, ks []int) *xrand.Rand {
+	_ = xrand.New(1)
+	_ = xrand.New(c.Seed ^ base)
+	_ = xrand.NewStream(c.Seed, trial)
+	// len of a slice is deterministic and allowed.
+	return xrand.New(uint64(len(ks)))
+}
+`
+	got := checkFixture(t, SeedFlow(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "seedflow")
+}
+
+func TestSeedFlowRespectsIgnore(t *testing.T) {
+	src := `package fixture
+
+import "chordbalance/internal/xrand"
+
+func f(m map[int]bool) *xrand.Rand {
+	//lint:ignore seedflow documented: this generator is non-reproducible on purpose
+	return xrand.New(uint64(len(m)))
+}
+`
+	got := checkFixture(t, SeedFlow(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "seedflow")
+}

@@ -1,12 +1,12 @@
 package ring
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"chordbalance/internal/ids"
 	"chordbalance/internal/keys"
+	"chordbalance/internal/xrand"
 )
 
 func u(v uint64) ids.ID { return ids.FromUint64(v) }
@@ -332,7 +332,7 @@ func TestWorkloadsSnapshot(t *testing.T) {
 // keys, and ownership stays exactly (pred, self].
 func TestKeyConservationUnderChurn(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(uint64(seed))
 		r := New[int]()
 		g := keys.NewGenerator(uint64(seed))
 		for i := 0; i < 20; i++ {
@@ -380,7 +380,7 @@ func TestKeyConservationUnderChurn(t *testing.T) {
 // for many random configurations.
 func TestSplitExactness(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := xrand.New(uint64(seed))
 		r := New[int]()
 		g := keys.NewGenerator(uint64(seed) ^ 0xabcd)
 		for i := 0; i < 5; i++ {
@@ -533,7 +533,7 @@ func BenchmarkInsertRemove(b *testing.B) {
 	if err := r.Seed(g.TaskKeys(100000)); err != nil {
 		b.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(2))
+	rng := xrand.New(2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		id := ids.Random(rng)
@@ -555,7 +555,7 @@ func BenchmarkOwner(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	rng := rand.New(rand.NewSource(4))
+	rng := xrand.New(4)
 	probe := make([]ids.ID, 1024)
 	for i := range probe {
 		probe[i] = ids.Random(rng)

@@ -1,0 +1,123 @@
+package sim_test
+
+// Determinism regression tests: the entire simulation must be a pure
+// function of its Config (seed included). Two runs with the same seed
+// must agree byte for byte, and the parallel experiment driver must
+// produce exactly the bytes the serial driver does — otherwise every
+// figure in the paper reproduction becomes schedule-dependent. These
+// tests are the executable counterpart of the dhtlint rules (norand,
+// nowallclock, maporder, seedflow); see docs/LINTING.md.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"chordbalance/internal/experiments"
+	"chordbalance/internal/sim"
+	"chordbalance/internal/strategy"
+)
+
+// determinismStrategies are the four policies exercised by the
+// regression: the baseline, the paper's headline random strategy, a
+// neighbor-coordination strategy, and an invitation strategy. Between
+// them they cover every RNG consumer in the engine: churn draws, Sybil
+// placement, arc selection, and invitation targeting.
+var determinismStrategies = []string{"none", "random", "neighbor", "invitation"}
+
+// summarize flattens a Result into a single string covering every field
+// that could expose nondeterminism, with map-typed fields emitted in
+// sorted key order.
+func summarize(res *sim.Result) string {
+	s := fmt.Sprintf("ticks=%d ideal=%d factor=%.9f completed=%v hosts=%d vnodes=%d",
+		res.Ticks, res.IdealTicks, res.RuntimeFactor, res.Completed,
+		res.FinalAliveHosts, res.FinalVNodes)
+	s += fmt.Sprintf(" joins=%d leaves=%d sybils=%d/%d lookups=%d maint=%d",
+		res.Messages.Joins, res.Messages.Leaves,
+		res.Messages.SybilsCreated, res.Messages.SybilsDropped,
+		res.Messages.LookupMessages, res.Messages.Maintenance)
+	kinds := make([]string, 0, len(res.Messages.Strategy))
+	for k := range res.Messages.Strategy {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		s += fmt.Sprintf(" strat[%s]=%d", k, res.Messages.Strategy[k])
+	}
+	strengths := make([]int, 0, len(res.CompletedByStrength))
+	for k := range res.CompletedByStrength {
+		strengths = append(strengths, k)
+	}
+	sort.Ints(strengths)
+	for _, k := range strengths {
+		s += fmt.Sprintf(" done[%d]=%d", k, res.CompletedByStrength[k])
+	}
+	for _, snap := range res.Snapshots {
+		s += fmt.Sprintf(" snap%d=%v", snap.Tick, snap.HostWorkloads)
+	}
+	return s
+}
+
+func determinismConfig(t *testing.T, name string, seed uint64) sim.Config {
+	t.Helper()
+	st, ok := strategy.ByName(name)
+	if !ok {
+		t.Fatalf("unknown strategy %q", name)
+	}
+	return sim.Config{
+		Nodes:         150,
+		Tasks:         6000,
+		Strategy:      st,
+		ChurnRate:     0.01,
+		Heterogeneous: true,
+		Seed:          seed,
+		SnapshotTicks: []int{0, 5},
+	}
+}
+
+// TestRunSeedReproducible runs each strategy twice with the same seed
+// and demands byte-identical summaries.
+func TestRunSeedReproducible(t *testing.T) {
+	for _, name := range determinismStrategies {
+		t.Run(name, func(t *testing.T) {
+			var got [2]string
+			for i := range got {
+				res, err := sim.Run(determinismConfig(t, name, 42))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got[i] = summarize(res)
+			}
+			if got[0] != got[1] {
+				t.Errorf("same seed, different outcome:\n run1: %s\n run2: %s", got[0], got[1])
+			}
+		})
+	}
+}
+
+// TestSerialParallelIdentical runs the experiment driver once with a
+// single worker and once with several, over the same seeds, and demands
+// byte-identical aggregate statistics. The parallel driver may schedule
+// trials in any order, but each trial's seed — and therefore its result
+// — must not depend on which goroutine ran it.
+func TestSerialParallelIdentical(t *testing.T) {
+	for _, name := range determinismStrategies {
+		t.Run(name, func(t *testing.T) {
+			fn := func(seed uint64) sim.Config {
+				return determinismConfig(t, name, seed)
+			}
+			var got [2]string
+			for i, workers := range []int{1, 4} {
+				stat, err := experiments.FactorStat(fn, 0,
+					experiments.Options{Trials: 6, Seed: 7, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got[i] = fmt.Sprintf("%v min=%.9f max=%.9f", stat, stat.Min, stat.Max)
+			}
+			if got[0] != got[1] {
+				t.Errorf("serial and parallel drivers disagree:\n serial:   %s\n parallel: %s", got[0], got[1])
+			}
+		})
+	}
+}
