@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test test-race cover bench sweep figures fuzz clean
+.PHONY: all build lint test test-race cover bench sweep figures fuzz chaos clean
 
 all: build lint test
 
@@ -47,6 +47,26 @@ figures:
 fuzz:
 	$(GO) test -fuzz=FuzzOperationSequences -fuzztime=30s ./internal/ring/
 	$(GO) test -fuzz=FuzzArithmeticLaws -fuzztime=30s ./internal/ids/
+	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=30s ./internal/sim/
+
+# Fault-matrix smoke (docs/FAULTS.md): 3 seeds x {crash bursts, 10%
+# message loss, partition+heal} on both the engine and the protocol,
+# mirroring the CI job.
+chaos:
+	@for seed in 1 2 3; do \
+	  echo "== seed $$seed: crash bursts =="; \
+	  $(GO) run ./cmd/dhtsim -nodes 100 -tasks 10000 -strategy random \
+	    -crash-rate 0.002 -crash-burst-every 25 -crash-burst-size 2 -seed $$seed || exit 1; \
+	  echo "== seed $$seed: crash bursts, no replication =="; \
+	  $(GO) run ./cmd/dhtsim -nodes 100 -tasks 10000 -strategy random \
+	    -crash-rate 0.002 -crash-burst-every 25 -crash-burst-size 2 -replicas -1 -seed $$seed || exit 1; \
+	  echo "== seed $$seed: partition+heal =="; \
+	  $(GO) run ./cmd/dhtsim -nodes 100 -tasks 10000 -strategy random -churn 0.02 \
+	    -partition 0.3 -partition-start 10 -partition-heal 60 -seed $$seed || exit 1; \
+	  echo "== seed $$seed: protocol chaos (10% loss + crashes) =="; \
+	  printf 'create 24\nput k v\nmaint 5\nplan crash=0.01 burst-every=10 burst-size=2 drop=0.1 seed=%s\nchaos 30\nheal\nget k\nquit\n' $$seed \
+	    | $(GO) run ./cmd/chordnet || exit 1; \
+	done
 
 clean:
 	$(GO) clean -testcache

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"chordbalance/internal/chord"
+	"chordbalance/internal/faults"
 	"chordbalance/internal/ids"
 	"chordbalance/internal/keys"
 )
@@ -89,8 +90,13 @@ func (s *session) dispatch(cmd string, args []string) error {
   dist               primary-key count per node (Table I at protocol level)
   ring               list live nodes with stored-key counts
   maint [N]          run N maintenance rounds (default 1)
-  heal               run maintenance until the ring converges
-  stats              message counters
+  heal               lift any partition, then run maintenance until the ring converges
+  plan [k=v ...]     set the fault plan (drop, crash, burst-every, burst-size,
+                     retries, seed); 'plan off' clears it, bare 'plan' shows it
+  chaos [T [R]]      run T chaos ticks of the installed plan (default 20),
+                     stabilizing each crash wave within R rounds (default 200)
+  partition FRAC     force a two-sided partition at FRAC of the ID space
+  stats              message and fault-transport counters
   quit               leave the shell
 `)
 		return nil
@@ -207,11 +213,50 @@ func (s *session) dispatch(cmd string, args []string) error {
 		fmt.Fprintf(s.out, "ran %d rounds\n", n)
 		return nil
 	case "heal":
+		if s.d.HealPartition() {
+			fmt.Fprintln(s.out, "partition lifted")
+		}
 		rounds := s.healRing()
 		if err := s.d.VerifyRing(); err != nil {
 			return fmt.Errorf("still inconsistent after %d rounds: %w", rounds, err)
 		}
 		fmt.Fprintf(s.out, "converged after %d rounds\n", rounds)
+		return nil
+	case "plan":
+		return s.planCmd(args)
+	case "chaos":
+		ticks, err := atoiArg(args, 0, 20)
+		if err != nil || ticks < 1 {
+			return fmt.Errorf("usage: chaos [TICKS [MAXROUNDS]]")
+		}
+		maxRounds, err := atoiArg(args, 1, 200)
+		if err != nil || maxRounds < 1 {
+			return fmt.Errorf("usage: chaos [TICKS [MAXROUNDS]]")
+		}
+		if _, ok := s.d.FaultPlan(); !ok {
+			return fmt.Errorf("no fault plan installed: run 'plan crash=0.01' first")
+		}
+		rep := s.d.RunChaos(ticks, maxRounds)
+		fmt.Fprintf(s.out, "ticks=%d crashed=%d waves=%d unconverged=%d\n",
+			rep.Ticks, rep.Crashed, rep.Waves, rep.Unconverged)
+		fmt.Fprintf(s.out, "mean-time-to-repair=%.2f max=%d rounds\n",
+			rep.MeanTimeToRepair(), rep.MaxRepairRounds)
+		fmt.Fprintf(s.out, "keys: tracked=%d recovered=%d lost=%d probe-failures=%d (success %.1f%%)\n",
+			rep.KeysTracked, rep.KeysRecovered, rep.KeysLost, rep.ProbeFailures,
+			100*rep.LookupSuccessRate())
+		return nil
+	case "partition":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: partition FRAC (0 < FRAC < 1)")
+		}
+		frac, err := strconv.ParseFloat(args[0], 64)
+		if err != nil {
+			return fmt.Errorf("usage: partition FRAC (0 < FRAC < 1)")
+		}
+		if err := s.d.Partition(frac); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "partitioned at %g of the ID space\n", frac)
 		return nil
 	case "stats":
 		st := s.d.Stats()
@@ -219,9 +264,85 @@ func (s *session) dispatch(cmd string, args []string) error {
 			st.AliveNodes, st.DeadNodes, st.Messages, s.d.MaintenanceRounds())
 		fmt.Fprintf(s.out, "primary-keys=%d stored-entries=%d mean-replication=%.2f ring-ok=%v\n",
 			st.PrimaryKeys, st.TotalKeys, st.MeanReplication, st.RingConsistent)
+		if _, ok := s.d.FaultPlan(); ok {
+			ts := s.d.TransportStats()
+			fmt.Fprintf(s.out, "sends=%d drops=%d retries=%d timeouts=%d backoff-ticks=%d partition-refusals=%d\n",
+				ts.Sends, ts.Drops, ts.Retries, ts.Timeouts, ts.BackoffTicks, ts.PartitionRefusals)
+			fmt.Fprintf(s.out, "lookups=%d failures=%d (success %.1f%%)\n",
+				ts.Lookups, ts.LookupFailures, 100*ts.LookupSuccessRate())
+		}
 		return nil
 	}
 	return fmt.Errorf("unknown command %q (try: help)", cmd)
+}
+
+// planCmd sets, clears, or shows the overlay's fault plan.
+func (s *session) planCmd(args []string) error {
+	if len(args) == 0 {
+		p, ok := s.d.FaultPlan()
+		if !ok {
+			fmt.Fprintln(s.out, "no fault plan installed")
+			return nil
+		}
+		fmt.Fprintf(s.out, "drop=%g crash=%g burst-every=%d burst-size=%d retries=%d seed=%d\n",
+			p.DropRate, p.CrashRate, p.BurstEvery, p.BurstSize, p.MaxRetries, p.Seed)
+		return nil
+	}
+	if len(args) == 1 && args[0] == "off" {
+		if err := s.d.SetFaultPlan(faults.Plan{}); err != nil {
+			return err
+		}
+		fmt.Fprintln(s.out, "fault plan cleared")
+		return nil
+	}
+	var p faults.Plan
+	if cur, ok := s.d.FaultPlan(); ok {
+		p = cur
+	}
+	for _, kv := range args {
+		k, v, found := strings.Cut(kv, "=")
+		if !found {
+			return fmt.Errorf("bad plan setting %q (want key=value)", kv)
+		}
+		switch k {
+		case "drop", "crash":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fmt.Errorf("bad %s value %q", k, v)
+			}
+			if k == "drop" {
+				p.DropRate = f
+			} else {
+				p.CrashRate = f
+			}
+		case "burst-every", "burst-size", "retries":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("bad %s value %q", k, v)
+			}
+			switch k {
+			case "burst-every":
+				p.BurstEvery = n
+			case "burst-size":
+				p.BurstSize = n
+			default:
+				p.MaxRetries = n
+			}
+		case "seed":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad seed value %q", v)
+			}
+			p.Seed = n
+		default:
+			return fmt.Errorf("unknown plan key %q (drop, crash, burst-every, burst-size, retries, seed)", k)
+		}
+	}
+	if err := s.d.SetFaultPlan(p); err != nil {
+		return err
+	}
+	fmt.Fprintln(s.out, "fault plan installed")
+	return nil
 }
 
 // healRing runs maintenance until convergence (bounded) and returns the

@@ -139,3 +139,56 @@ func TestCommentsAndBlankLines(t *testing.T) {
 		t.Errorf("help missing:\n%s", out)
 	}
 }
+
+func TestPlanChaosPartitionHeal(t *testing.T) {
+	out := script(t,
+		"create 16",
+		"put k important",
+		"maint 5",
+		"plan",
+		"plan crash=0.02 burst-every=5 burst-size=1 seed=9",
+		"plan",
+		"chaos 20 200",
+		"heal",
+		"get k",
+		"partition 0.5",
+		"stats",
+		"heal",
+		"get k",
+		"plan off",
+		"quit")
+	for _, want := range []string{
+		"no fault plan installed",
+		"fault plan installed",
+		"crash=0.02",
+		"mean-time-to-repair=",
+		"keys: tracked=1 recovered=1 lost=0",
+		"partitioned at 0.5",
+		"partition lifted",
+		"converged after",
+		"important",
+		"fault plan cleared",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestChaosWithoutPlanErrors(t *testing.T) {
+	out := script(t,
+		"create 4",
+		"chaos 5",
+		"partition 2",
+		"plan nonsense",
+		"quit")
+	for _, want := range []string{
+		"no fault plan installed",
+		"outside (0,1)",
+		"bad plan setting",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"chordbalance/internal/faults"
 	"chordbalance/internal/ring"
 	"chordbalance/internal/sim"
 	"chordbalance/internal/stats"
@@ -57,6 +58,16 @@ func run(args []string, out io.Writer) error {
 		bursty    = fs.Bool("bursty-churn", false, "concentrate churn into periodic bursts")
 		burstP    = fs.Int("burst-period", 50, "burst cycle length in ticks")
 		burstD    = fs.Float64("burst-duty", 0.2, "fraction of each cycle with churn on")
+
+		// Deterministic fault plan (docs/FAULTS.md).
+		crashRate  = fs.Float64("crash-rate", 0, "per-host per-tick crash-stop probability")
+		crashEvery = fs.Int("crash-burst-every", 0, "correlated crash burst cadence in ticks")
+		crashSize  = fs.Int("crash-burst-size", 0, "hosts per correlated crash burst")
+		partFrac   = fs.Float64("partition", 0, "partition fraction of the ID space (0 = none)")
+		partStart  = fs.Int("partition-start", 0, "tick the partition forms")
+		partHeal   = fs.Int("partition-heal", 0, "tick the partition heals (0 = never)")
+		faultSeed  = fs.Uint64("fault-seed", 0, "fault plan seed (0 = derive from -seed)")
+		replicas   = fs.Int("replicas", 0, "replication degree for crashes: 0 = default min(3, successors), -1 = off")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,6 +114,19 @@ func run(args []string, out io.Writer) error {
 	if *bursty {
 		cfg.ChurnModel = sim.ChurnBursty
 	}
+	cfg.Replicas = *replicas
+	cfg.Faults = faults.Plan{
+		Seed:           *faultSeed,
+		CrashRate:      *crashRate,
+		BurstEvery:     *crashEvery,
+		BurstSize:      *crashSize,
+		PartitionFrac:  *partFrac,
+		PartitionStart: *partStart,
+		PartitionHeal:  *partHeal,
+	}
+	if cfg.Faults.Seed == 0 {
+		cfg.Faults.Seed = *seed
+	}
 	cfg.RecordEvents = *events != ""
 	res, err := sim.Run(cfg)
 	if err != nil {
@@ -135,6 +159,16 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "joins=%d leaves=%d sybils-created=%d sybils-dropped=%d final-vnodes=%d\n",
 		res.Messages.Joins, res.Messages.Leaves, res.Messages.SybilsCreated,
 		res.Messages.SybilsDropped, res.FinalVNodes)
+	if !cfg.Faults.Zero() {
+		f := res.Faults
+		fmt.Fprintf(out, "crashes=%d keys-lost=%d keys-recovered=%d resubmitted=%d mttr=%.2f repair-msgs=%d\n",
+			f.Crashes, f.KeysLost, f.KeysRecovered, f.Resubmitted,
+			f.MeanTimeToRepair(), f.RepairMessages)
+		if f.PartitionTicks > 0 || f.BlockedJoins > 0 || f.BlockedSybils > 0 {
+			fmt.Fprintf(out, "partition-ticks=%d blocked-joins=%d blocked-sybils=%d\n",
+				f.PartitionTicks, f.BlockedJoins, f.BlockedSybils)
+		}
+	}
 	if *verbose {
 		fmt.Fprintf(out, "lookup-msgs=%d maintenance-msgs=%d\n",
 			res.Messages.LookupMessages, res.Messages.Maintenance)

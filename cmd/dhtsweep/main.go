@@ -173,6 +173,13 @@ func run(args []string, out io.Writer) error {
 			}
 			return table(t)
 		}},
+		{"chaos", "runtime under deterministic fault plans (crashes, bursts, partitions)", func(o experiments.Options) error {
+			cells, err := experiments.Chaos(o)
+			if err != nil {
+				return err
+			}
+			return table(experiments.ChaosReport(cells))
+		}},
 		{"arcs", "§III arc-length analysis vs the exponential model", func(o experiments.Options) error {
 			t, err := experiments.ArcTable(o)
 			if err != nil {

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 
+	"chordbalance/internal/faults"
 	"chordbalance/internal/ids"
 )
 
@@ -38,7 +39,10 @@ type Config struct {
 	// each node tracks for failure tolerance. Default 8.
 	SuccessorListLen int
 	// Replicas is how many successors mirror each key (the paper's
-	// "active and aggressive" backup assumption, §V). Default 3.
+	// "active and aggressive" backup assumption, §V). Default 3; a
+	// negative value disables replication entirely, which is how the
+	// fault experiments demonstrate that crash-stop failures lose keys
+	// without it.
 	Replicas int
 	// MaxHops bounds a single lookup; lookups that exceed it return
 	// ErrNoRoute. Default 3*160.
@@ -67,14 +71,26 @@ type Network struct {
 
 	latency      LatencyModel
 	totalLatency float64
+
+	// faults is the optional fault injector every RPC is threaded
+	// through (see transport.go); tstats accumulates its activity and
+	// tick is the overlay's logical clock.
+	faults *faults.Injector
+	tstats TransportStats
+	tick   int
+
+	// registry remembers every key ever stored via Put so the repair
+	// instrumentation (repair.go) can audit what survived a failure.
+	registry map[ids.ID]string
 }
 
 // NewNetwork returns an empty overlay.
 func NewNetwork(cfg Config) *Network {
 	return &Network{
-		cfg:   cfg.withDefaults(),
-		nodes: make(map[ids.ID]*Node),
-		msgs:  make(map[string]int),
+		cfg:      cfg.withDefaults(),
+		nodes:    make(map[ids.ID]*Node),
+		msgs:     make(map[string]int),
+		registry: make(map[ids.ID]string),
 	}
 }
 
@@ -182,10 +198,14 @@ func (nw *Network) Join(id ids.ID, bootstrap *Node) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("chord: join lookup: %w", err)
 	}
+	// The join handshake is one RPC to the successor; under faults it can
+	// time out, leaving the joiner outside the ring to try again later.
+	if err := nw.send("join", id, succ.id, false); err != nil {
+		return nil, fmt.Errorf("chord: join handshake: %w", err)
+	}
 	n := newNode(nw, id)
 	nw.nodes[id] = n
 	n.succList = append([]ids.ID{succ.id}, trim(succ.succList, nw.cfg.SuccessorListLen-1)...)
-	nw.charge("join")
 	// Acquire the keys in (pred(succ), id] immediately (§V: a joining
 	// node "acquires all the work it is responsible for").
 	succ.transferTo(n)
@@ -215,9 +235,14 @@ func (nw *Network) Leave(id ids.ID) error {
 		delete(nw.nodes, id)
 		return nil
 	}
-	for k, v := range n.data {
-		succ.data[k] = v
-		nw.charge("transfer")
+	// Push keys in sorted order so per-message fault decisions are
+	// deterministic; a transfer lost in transit means the key departs
+	// with the leaver (visible to ProbeKeys unless a replica survives).
+	for _, k := range sortedDataKeys(n.data) {
+		if err := nw.send("transfer", n.id, succ.id, false); err != nil {
+			continue
+		}
+		succ.data[k] = n.data[k]
 	}
 	n.alive = false
 	delete(nw.nodes, id)

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"chordbalance/internal/faults"
 	"chordbalance/internal/ids"
 )
 
@@ -202,6 +203,75 @@ func (d *Driver) VerifyRing() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.nw.VerifyRing()
+}
+
+// SetFaultPlan installs (or, with a zero plan, effectively clears) the
+// deterministic fault plan every RPC is threaded through.
+func (d *Driver) SetFaultPlan(p faults.Plan) error {
+	inj, err := faults.New(p)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nw.SetFaultInjector(inj)
+	return nil
+}
+
+// FaultPlan returns the installed plan and whether one is installed.
+func (d *Driver) FaultPlan() (faults.Plan, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	inj := d.nw.FaultInjector()
+	if inj == nil {
+		return faults.Plan{}, false
+	}
+	return inj.Plan(), true
+}
+
+// RunChaos drives ticks of the installed fault plan (see Network.RunChaos).
+func (d *Driver) RunChaos(ticks, maxRoundsPerWave int) ChaosReport {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nw.RunChaos(ticks, maxRoundsPerWave)
+}
+
+// Partition forces a two-sided partition at the given identifier-space
+// fraction, installing a default injector if none is present.
+func (d *Driver) Partition(frac float64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	inj := d.nw.FaultInjector()
+	if inj == nil {
+		var err error
+		inj, err = faults.New(faults.Plan{})
+		if err != nil {
+			return err
+		}
+		d.nw.SetFaultInjector(inj)
+	}
+	return inj.ForcePartition(frac)
+}
+
+// HealPartition lifts any active partition. It reports whether a
+// partition was actually active.
+func (d *Driver) HealPartition() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	inj := d.nw.FaultInjector()
+	if inj == nil {
+		return false
+	}
+	active := inj.PartitionActive()
+	inj.Heal()
+	return active
+}
+
+// TransportStats snapshots the overlay's fault-layer counters.
+func (d *Driver) TransportStats() TransportStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nw.TransportStats()
 }
 
 // anyLive returns some live node; callers hold d.mu.

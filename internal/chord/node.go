@@ -58,10 +58,13 @@ func (n *Node) Predecessor() (ids.ID, bool) { return n.pred, n.hasPred }
 // KeyCount returns how many keys (primary + replica) the node stores.
 func (n *Node) KeyCount() int { return len(n.data) }
 
-// remote models an RPC to another node: it charges one message and fails
-// if the callee is dead, the way a timeout would.
+// remote models an RPC to another node: the message goes through the
+// fault-checking transport (drop/retry/backoff, partitions), and a dead
+// callee fails the way a timeout would.
 func (n *Node) remote(to ids.ID, kind string) (*Node, error) {
-	n.nw.charge(kind)
+	if err := n.nw.send(kind, n.id, to, false); err != nil {
+		return nil, err
+	}
 	t := n.nw.nodes[to]
 	if t == nil || !t.alive {
 		return nil, ErrDead
@@ -121,8 +124,21 @@ func (n *Node) closestPreceding(key ids.ID) *Node {
 }
 
 // Lookup finds the live node responsible for key using iterative routing.
-// It returns the owner and the number of routing hops taken.
+// It returns the owner and the number of routing hops taken. Every hop is
+// one RPC through the fault-checking transport: under message loss a hop
+// is retried with exponential backoff, and a lookup whose next hop is
+// unreachable (timed out or partitioned away) fails the whole query —
+// exactly the availability cost the repair metrics measure.
 func (n *Node) Lookup(key ids.ID) (*Node, int, error) {
+	owner, hops, err := n.lookupIterative(key)
+	n.nw.tstats.Lookups++
+	if err != nil {
+		n.nw.tstats.LookupFailures++
+	}
+	return owner, hops, err
+}
+
+func (n *Node) lookupIterative(key ids.ID) (*Node, int, error) {
 	if !n.alive {
 		return nil, 0, ErrDead
 	}
@@ -144,7 +160,9 @@ func (n *Node) Lookup(key ids.ID) (*Node, int, error) {
 			// No finger advances us; step to the successor.
 			next = succ
 		}
-		n.nw.chargeBetween("lookup", cur.id, next.id)
+		if err := n.nw.send("lookup", cur.id, next.id, true); err != nil {
+			return nil, hops, err
+		}
 		hops++
 		cur = next
 	}
@@ -158,10 +176,16 @@ func (n *Node) Lookup(key ids.ID) (*Node, int, error) {
 // iterative Lookup is easier to make robust. Both are provided so the
 // trade-off is measurable (messages are charged per forward).
 func (n *Node) LookupRecursive(key ids.ID) (*Node, int, error) {
+	n.nw.tstats.Lookups++
 	if !n.alive {
+		n.nw.tstats.LookupFailures++
 		return nil, 0, ErrDead
 	}
-	return n.lookupRecursive(key, 0)
+	owner, depth, err := n.lookupRecursive(key, 0)
+	if err != nil {
+		n.nw.tstats.LookupFailures++
+	}
+	return owner, depth, err
 }
 
 func (n *Node) lookupRecursive(key ids.ID, depth int) (*Node, int, error) {
@@ -182,7 +206,9 @@ func (n *Node) lookupRecursive(key ids.ID, depth int) (*Node, int, error) {
 	if next == n {
 		next = succ
 	}
-	n.nw.charge("lookup-recursive")
+	if err := n.nw.send("lookup-recursive", n.id, next.id, false); err != nil {
+		return nil, depth, err
+	}
 	return next.lookupRecursive(key, depth+1)
 }
 
@@ -197,7 +223,13 @@ func (n *Node) stabilize() {
 	if succ == nil {
 		return
 	}
-	n.nw.charge("stabilize")
+	// One RPC to the successor; if it is dropped or partitioned away,
+	// skip this round and keep the current (possibly stale) pointers —
+	// a suspected-but-not-evicted peer, so a healed partition restores
+	// the ring without a merge protocol.
+	if err := n.nw.send("stabilize", n.id, succ.id, false); err != nil {
+		return
+	}
 	if succ.hasPred {
 		x := n.nw.nodes[succ.pred]
 		if x != nil && x.alive && x.id != n.id && ids.Between(x.id, n.id, succ.id) {
@@ -216,12 +248,14 @@ func (n *Node) stabilize() {
 		}
 	}
 	n.succList = list
-	succ.notify(n)
+	if err := n.nw.send("notify", n.id, succ.id, false); err == nil {
+		succ.notify(n)
+	}
 }
 
-// notify tells the node that caller might be its predecessor.
+// notify tells the node that caller might be its predecessor. The caller
+// has already paid for (and survived) the message via send.
 func (n *Node) notify(caller *Node) {
-	n.nw.charge("notify")
 	cur := n.nw.nodes[n.pred]
 	predDead := !n.hasPred || cur == nil || !cur.alive
 	if predDead || ids.Between(caller.id, n.pred, n.id) {
@@ -255,8 +289,13 @@ func (n *Node) Put(key ids.ID, value string) error {
 	if err != nil {
 		return err
 	}
-	n.nw.charge("put")
+	if err := n.nw.send("put", n.id, owner.id, false); err != nil {
+		return err
+	}
 	owner.data[key] = value
+	// Track the store so the repair instrumentation can audit, after a
+	// failure wave, which keys replication saved and which were lost.
+	n.nw.registry[key] = value
 	owner.replicate(key, value)
 	return nil
 }
@@ -269,14 +308,18 @@ func (n *Node) Get(key ids.ID) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	n.nw.charge("get")
+	if err := n.nw.send("get", n.id, owner.id, false); err != nil {
+		return "", err
+	}
 	if v, ok := owner.data[key]; ok {
 		return v, nil
 	}
 	return "", ErrNotFound
 }
 
-// replicate pushes one key to the next Replicas live successors.
+// replicate pushes one key to the next Replicas live successors. A push
+// lost in transit leaves that replica unplaced until a later
+// repairReplicas round retries it.
 func (n *Node) replicate(key ids.ID, value string) {
 	count := 0
 	cur := n
@@ -285,8 +328,9 @@ func (n *Node) replicate(key ids.ID, value string) {
 		if succ == nil || succ.id == n.id {
 			return // wrapped around a small ring
 		}
-		n.nw.charge("replicate")
-		succ.data[key] = value
+		if err := n.nw.send("replicate", cur.id, succ.id, false); err == nil {
+			succ.data[key] = value
+		}
 		cur = succ
 		count++
 	}
@@ -299,9 +343,11 @@ func (n *Node) repairReplicas() {
 	if !n.alive || !n.hasPred {
 		return
 	}
-	for k, v := range n.data {
+	// Sorted iteration: per-message fault decisions consume seeded
+	// randomness and must not depend on map iteration order.
+	for _, k := range sortedDataKeys(n.data) {
 		if ids.BetweenRightIncl(k, n.pred, n.id) {
-			n.replicate(k, v)
+			n.replicate(k, n.data[k])
 		}
 	}
 }
@@ -314,10 +360,12 @@ func (n *Node) transferTo(newN *Node) {
 	if !n.hasPred {
 		low = n.id
 	}
-	for k, v := range n.data {
+	for _, k := range sortedDataKeys(n.data) {
 		if ids.BetweenRightIncl(k, low, newN.id) {
-			n.nw.charge("transfer")
-			newN.data[k] = v
+			if err := n.nw.send("transfer", n.id, newN.id, false); err != nil {
+				continue // lost transfer: the key stays only on n for now
+			}
+			newN.data[k] = n.data[k]
 		}
 	}
 }

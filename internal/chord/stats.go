@@ -32,6 +32,15 @@ func (tr LookupTrace) String() string {
 // LookupTraced is Lookup with the route recorded — for debugging overlays
 // and for teaching, via cmd/chordnet's trace command.
 func (n *Node) LookupTraced(key ids.ID) (LookupTrace, error) {
+	tr, err := n.lookupTraced(key)
+	n.nw.tstats.Lookups++
+	if err != nil {
+		n.nw.tstats.LookupFailures++
+	}
+	return tr, err
+}
+
+func (n *Node) lookupTraced(key ids.ID) (LookupTrace, error) {
 	tr := LookupTrace{Key: key}
 	if !n.alive {
 		return tr, ErrDead
@@ -55,7 +64,9 @@ func (n *Node) LookupTraced(key ids.ID) (LookupTrace, error) {
 		if next == cur {
 			next = succ
 		}
-		n.nw.charge("lookup")
+		if err := n.nw.send("lookup", cur.id, next.id, false); err != nil {
+			return tr, err
+		}
 		cur = next
 	}
 	return tr, ErrNoRoute

@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"chordbalance/internal/faults"
+	"chordbalance/internal/strategy"
+)
+
+// TestValidateFaultConfig pins the fault-related configuration checks:
+// negative probabilities, impossible replication degrees, and malformed
+// fault plans must all be rejected before a run starts.
+func TestValidateFaultConfig(t *testing.T) {
+	base := Config{Nodes: 4, Tasks: 100}
+	bad := []func(*Config){
+		func(c *Config) { c.ChurnRate = -0.1 },
+		func(c *Config) { c.Replicas = -2 },
+		func(c *Config) { c.Replicas = 6 }, // default successor list is 5
+		func(c *Config) { c.Replicas = 4; c.NumSuccessors = 3 },
+		func(c *Config) { c.NumSuccessors = -1 },
+		func(c *Config) { c.Faults = faults.Plan{CrashRate: -0.01} },
+		func(c *Config) { c.Faults = faults.Plan{DropRate: 1.5} },
+		func(c *Config) { c.Faults = faults.Plan{PartitionFrac: 2} },
+		func(c *Config) { c.Faults = faults.Plan{BurstEvery: -1} },
+	}
+	for i, mut := range bad {
+		c := base
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d (%+v) passed Validate", i, c)
+		}
+	}
+	good := []func(*Config){
+		func(c *Config) {},
+		func(c *Config) { c.Replicas = -1 }, // replication disabled
+		func(c *Config) { c.Replicas = 5 },  // exactly the successor list
+		func(c *Config) { c.Replicas = 7; c.NumSuccessors = 9 },
+		func(c *Config) { c.Faults = faults.Plan{CrashRate: 0.02, BurstEvery: 10, BurstSize: 2} },
+	}
+	for i, mut := range good {
+		c := base
+		mut(&c)
+		if err := c.Validate(); err != nil {
+			t.Errorf("good config %d wrongly rejected: %v", i, err)
+		}
+	}
+}
+
+// TestZeroPlanIsInert is the engine-level inertness guarantee: a config
+// whose fault plan is Zero (even with a seed and retry policy set) must
+// produce a Result deeply equal to the same config with no plan at all.
+func TestZeroPlanIsInert(t *testing.T) {
+	base := Config{
+		Nodes: 16, Tasks: 600, ChurnRate: 0.05, Seed: 42,
+		Strategy:      strategy.NewRandomInjection(),
+		SnapshotTicks: []int{0, 10},
+		RecordEvents:  true,
+	}
+	withZero := base
+	withZero.Faults = faults.Plan{Seed: 99, MaxRetries: 7, BurstEvery: 10}
+	if !withZero.Faults.Zero() {
+		t.Fatal("test plan is not Zero")
+	}
+	a, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(withZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("zero fault plan changed the run:\n bare: %+v\n zero: %+v", a, b)
+	}
+	if a.Faults != (FaultStats{}) {
+		t.Errorf("fault-free run has nonzero fault stats: %+v", a.Faults)
+	}
+}
+
+// crashConfig is the shared scenario for the replication assertions: a
+// modest network under steady crash-stop churn with periodic bursts.
+func crashConfig(replicas int) Config {
+	return Config{
+		Nodes: 24, Tasks: 2000, Seed: 7,
+		Strategy: strategy.NewRandomInjection(),
+		Replicas: replicas,
+		Faults:   faults.Plan{Seed: 11, CrashRate: 0.005, BurstEvery: 25, BurstSize: 2},
+	}
+}
+
+// TestCrashReplicationSavesKeys is the sim-level acceptance check: with
+// default replication a crash wave loses nothing; with replication
+// disabled the same waves lose keys, every lost key is eventually
+// re-submitted, and the recovery delay is charged against the runtime.
+func TestCrashReplicationSavesKeys(t *testing.T) {
+	rep, err := Run(crashConfig(0)) // default: min(3, successor list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatalf("replicated run did not complete: %+v", rep.Faults)
+	}
+	if rep.Faults.Crashes == 0 {
+		t.Fatalf("crash plan crashed nobody: %+v", rep.Faults)
+	}
+	if rep.Faults.KeysLost != 0 {
+		t.Errorf("replication lost %d keys", rep.Faults.KeysLost)
+	}
+	if rep.Faults.KeysRecovered == 0 {
+		t.Error("crashes displaced no keys at all; scenario too gentle to test replication")
+	}
+	if rep.Faults.RepairMessages == 0 {
+		t.Error("replica repair charged no messages")
+	}
+	if rep.Faults.RepairWaves == 0 || rep.Faults.MeanTimeToRepair() <= 0 {
+		t.Errorf("no finite time-to-repair recorded: %+v", rep.Faults)
+	}
+
+	unrep, err := Run(crashConfig(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !unrep.Completed {
+		t.Fatalf("unreplicated run did not complete: %+v", unrep.Faults)
+	}
+	if unrep.Faults.KeysLost == 0 {
+		t.Fatalf("no replication but zero keys lost: %+v", unrep.Faults)
+	}
+	if unrep.Faults.Resubmitted != unrep.Faults.KeysLost {
+		t.Errorf("resubmitted %d of %d lost keys", unrep.Faults.Resubmitted, unrep.Faults.KeysLost)
+	}
+	if unrep.Faults.KeysRecovered != 0 {
+		t.Errorf("unreplicated run recovered %d keys", unrep.Faults.KeysRecovered)
+	}
+}
+
+// faultSummary flattens a Result (fault stats included) into one string,
+// mirroring determinism_test's summarize for the fault-plan regression.
+func faultSummary(res *Result) string {
+	s := fmt.Sprintf("ticks=%d factor=%.9f completed=%v hosts=%d vnodes=%d faults=%+v",
+		res.Ticks, res.RuntimeFactor, res.Completed,
+		res.FinalAliveHosts, res.FinalVNodes, res.Faults)
+	keys := make([]string, 0, len(res.Messages.Strategy))
+	for k := range res.Messages.Strategy {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s += fmt.Sprintf(" strat[%s]=%d", k, res.Messages.Strategy[k])
+	}
+	for _, snap := range res.Snapshots {
+		s += fmt.Sprintf(" snap%d=%v crashed=%d pending=%d",
+			snap.Tick, snap.HostWorkloads, snap.CrashedHosts, snap.PendingResubmit)
+	}
+	s += fmt.Sprintf(" events=%d", len(res.Events))
+	for _, e := range res.Events {
+		s += fmt.Sprintf("|%d,%s,%d,%s,%d", e.Tick, e.Kind, e.Host, e.ID.Short(), e.Moved)
+	}
+	return s
+}
+
+// TestFaultPlanDeterminism mirrors internal/sim's determinism regression
+// for faulted runs: the same seed and the same faults.Plan must produce
+// byte-identical Results, event logs and fault stats included.
+func TestFaultPlanDeterminism(t *testing.T) {
+	plans := []faults.Plan{
+		{Seed: 3, CrashRate: 0.01},
+		{Seed: 4, CrashRate: 0.004, BurstEvery: 20, BurstSize: 3},
+		{Seed: 5, PartitionFrac: 0.4, PartitionStart: 10, PartitionHeal: 60},
+		{Seed: 6, CrashRate: 0.006, PartitionFrac: 0.3, PartitionStart: 5, PartitionHeal: 40},
+	}
+	for pi, plan := range plans {
+		for _, replicas := range []int{0, -1} {
+			cfg := Config{
+				Nodes: 20, Tasks: 1200, ChurnRate: 0.03, Seed: 1000 + uint64(pi),
+				Strategy:      strategy.NewRandomInjection(),
+				Replicas:      replicas,
+				Faults:        plan,
+				SnapshotTicks: []int{0, 20},
+				RecordEvents:  true,
+			}
+			var got [2]string
+			for i := range got {
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got[i] = faultSummary(res)
+			}
+			if got[0] != got[1] {
+				t.Errorf("plan %d replicas %d: same seed+plan, different results:\n%s\n%s",
+					pi, replicas, got[0], got[1])
+			}
+		}
+	}
+}
+
+// FuzzFaultPlan is the smoke fuzzer over plan parameters: any plan that
+// Validate accepts must produce a run that terminates, keeps the key
+// audit consistent, and is deterministic under a re-run.
+func FuzzFaultPlan(f *testing.F) {
+	f.Add(uint64(1), 0.01, 10, 2, 0.0, 0, 0, 0)
+	f.Add(uint64(2), 0.0, 0, 0, 0.5, 5, 30, -1)
+	f.Add(uint64(3), 0.02, 7, 3, 0.25, 0, 0, 1)
+	f.Fuzz(func(t *testing.T, seed uint64, crash float64, burstEvery, burstSize int,
+		frac float64, pStart, pHeal, replicas int) {
+		plan := faults.Plan{
+			Seed: seed, CrashRate: crash, BurstEvery: burstEvery, BurstSize: burstSize,
+			PartitionFrac: frac, PartitionStart: pStart, PartitionHeal: pHeal,
+		}
+		cfg := Config{
+			Nodes: 8, Tasks: 200, Seed: seed,
+			Replicas: replicas,
+			Faults:   plan,
+			MaxTicks: 5000,
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Skip()
+		}
+		a, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Faults.KeysLost != a.Faults.Resubmitted && a.Ticks < 5000 {
+			// Any run that ended before the tick cap must have drained its
+			// resubmission queue.
+			t.Errorf("run ended with %d lost keys but %d resubmitted",
+				a.Faults.KeysLost, a.Faults.Resubmitted)
+		}
+		if replicas >= 0 && a.Faults.KeysLost > 0 {
+			t.Errorf("replication enabled but %d keys lost", a.Faults.KeysLost)
+		}
+		b, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if faultSummary(a) != faultSummary(b) {
+			t.Error("same fuzzed plan, different results")
+		}
+	})
+}

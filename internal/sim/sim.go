@@ -14,6 +14,7 @@ import (
 	"io"
 	"math"
 
+	"chordbalance/internal/faults"
 	"chordbalance/internal/ids"
 	"chordbalance/internal/keys"
 	"chordbalance/internal/ring"
@@ -88,6 +89,19 @@ type Config struct {
 	// before the job begins. A host that churns out loses its copies and
 	// rejoins with a single virtual node, as any fresh joiner would.
 	StaticVNodes int
+	// Faults is the deterministic fault plan (crash-stop departures,
+	// correlated bursts, partitions) threaded through the run. The zero
+	// plan is provably inert: no injector is constructed and no fault code
+	// path consumes randomness, so fault-free runs are byte-identical to
+	// pre-fault-layer builds.
+	Faults faults.Plan
+	// Replicas is the per-key replication degree assumed for crash-stop
+	// departures: with replication, keys on a crashed host survive on
+	// successors (charged as repair traffic); without, they are lost and
+	// must be re-submitted after a detection+reinsert delay, which is
+	// charged against the strategy's runtime. 0 derives the default
+	// min(3, NumSuccessors); -1 disables replication.
+	Replicas int
 	// Seed makes the run fully deterministic.
 	Seed uint64
 	// MaxTicks aborts runaway runs; 0 derives 200×ideal+1000.
@@ -170,6 +184,22 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: StreamTasks needs StreamRate >= 1, got %d", c.StreamRate)
 	case c.StaticVNodes < 0:
 		return fmt.Errorf("sim: StaticVNodes must be >= 0, got %d", c.StaticVNodes)
+	case c.Replicas < -1:
+		return fmt.Errorf("sim: Replicas must be >= -1, got %d", c.Replicas)
+	case c.NumSuccessors < 0:
+		return fmt.Errorf("sim: NumSuccessors must be >= 0, got %d", c.NumSuccessors)
+	}
+	// A replica lives on a successor; asking for more replicas than the
+	// successor list is long cannot be satisfied by the protocol.
+	ns := c.NumSuccessors
+	if ns == 0 {
+		ns = 5 // withDefaults
+	}
+	if c.Replicas > ns {
+		return fmt.Errorf("sim: Replicas %d exceeds successor list length %d", c.Replicas, ns)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
 	return nil
 }
@@ -208,6 +238,11 @@ type Snapshot struct {
 	VNodeWorkloads []int
 	AliveHosts     int
 	VNodes         int
+	// CrashedHosts is the cumulative crash-stop departure count at this
+	// tick; PendingResubmit counts keys lost to crashes and still waiting
+	// to be re-submitted. Both stay 0 under a zero fault plan.
+	CrashedHosts    int
+	PendingResubmit int
 }
 
 // EventKind classifies a topology change.
@@ -219,6 +254,13 @@ const (
 	EventLeave
 	EventSybilCreate
 	EventSybilDrop
+	// EventCrash is a crash-stop departure drawn by the fault plan; Moved
+	// counts the keys the crash displaced (recovered by replication or
+	// lost outright).
+	EventCrash
+	// EventResubmit is a batch of crash-lost keys re-entering the ring
+	// after the detection+reinsert delay; Moved counts the keys.
+	EventResubmit
 )
 
 // String names the event kind for logs and CSV.
@@ -232,6 +274,10 @@ func (k EventKind) String() string {
 		return "sybil-create"
 	case EventSybilDrop:
 		return "sybil-drop"
+	case EventCrash:
+		return "crash"
+	case EventResubmit:
+		return "resubmit"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -273,6 +319,9 @@ type Result struct {
 	WorkPerTick   []int
 	Events        []Event
 	Messages      MessageStats
+	// Faults summarizes crash-stop churn and key-loss accounting; all-zero
+	// when the run had a zero fault plan.
+	Faults FaultStats
 	// FinalAliveHosts and FinalVNodes describe the network at the end.
 	FinalAliveHosts int
 	FinalVNodes     int
@@ -330,6 +379,18 @@ type Simulation struct {
 	msgs   MessageStats
 	ideal  int
 	tick   int
+
+	// finj is the fault injector; nil when the plan is zero, which keeps
+	// every fault code path provably inert.
+	finj *faults.Injector
+	// replicas is the effective replication degree (Config.Replicas with
+	// defaults applied; 0 means replication disabled).
+	replicas int
+	// pending holds key batches lost to unreplicated crashes, waiting to
+	// be re-submitted once their owner's failure has been detected and the
+	// submitter retries.
+	pending []resubmission
+	fstats  FaultStats
 
 	// tasks produces task keys for the initial seed and streamed
 	// arrivals.
@@ -396,6 +457,26 @@ func New(cfg Config) (*Simulation, error) {
 		completedByStrength: make(map[int]int),
 	}
 	s.ring.SetConsumeMode(cfg.ConsumeMode)
+	// The zero plan constructs no injector at all: the fault layer cannot
+	// perturb a fault-free run even by accident.
+	if !cfg.Faults.Zero() {
+		inj, err := faults.New(cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		s.finj = inj
+	}
+	switch {
+	case cfg.Replicas > 0:
+		s.replicas = cfg.Replicas
+	case cfg.Replicas == 0:
+		s.replicas = 3
+		if s.replicas > cfg.NumSuccessors {
+			s.replicas = cfg.NumSuccessors
+		}
+	default: // -1: replication disabled
+		s.replicas = 0
+	}
 	s.pool = sybil.NewPool(sybil.PoolConfig{
 		Hosts:         cfg.Nodes,
 		WaitingHosts:  cfg.Nodes,
@@ -499,8 +580,15 @@ func (s *Simulation) Run() *Result {
 	if snapshotAt[0] {
 		res.Snapshots = append(res.Snapshots, s.snapshot(0))
 	}
-	for (s.ring.TotalKeys() > 0 || s.streamLeft > 0) && s.tick < maxTicks {
+	for (s.ring.TotalKeys() > 0 || s.streamLeft > 0 || s.pendingKeys() > 0) && s.tick < maxTicks {
 		s.tick++
+		if s.finj != nil {
+			s.finj.AdvanceTo(s.tick)
+			if s.finj.PartitionActive() {
+				s.fstats.PartitionTicks++
+			}
+			s.resubmitDue()
+		}
 		if s.streamLeft > 0 {
 			n := s.cfg.StreamRate
 			if n > s.streamLeft {
@@ -517,6 +605,9 @@ func (s *Simulation) Run() *Result {
 		}
 		if cfg.ChurnRate > 0 {
 			s.churn()
+		}
+		if s.finj != nil {
+			s.crashStep()
 		}
 		if s.tick%s.params.DecisionEvery == 0 && s.ring.TotalKeys() > 0 {
 			s.cfg.Strategy.Decide(s)
@@ -535,9 +626,10 @@ func (s *Simulation) Run() *Result {
 	}
 	res.Ticks = s.tick
 	res.Events = s.events
-	res.Completed = s.ring.TotalKeys() == 0 && s.streamLeft == 0
+	res.Completed = s.ring.TotalKeys() == 0 && s.streamLeft == 0 && s.pendingKeys() == 0
 	res.RuntimeFactor = float64(res.Ticks) / float64(s.ideal)
 	res.Messages = s.msgs
+	res.Faults = s.fstats
 	res.FinalAliveHosts = s.pool.AliveCount()
 	res.FinalVNodes = s.ring.Len()
 	res.CompletedByStrength = s.completedByStrength
@@ -616,8 +708,16 @@ func (s *Simulation) churn() {
 		s.msgs.Leaves++
 	}
 	for _, h := range s.joiners {
+		id := s.RandomID()
+		// During an active partition a joiner can only bootstrap into the
+		// majority side; an ID that lands in the minority arc is a join the
+		// overlay cannot complete, so the host stays in the waiting pool.
+		if s.finj != nil && s.finj.PartitionActive() && s.finj.MinoritySide(id) {
+			s.fstats.BlockedJoins++
+			continue
+		}
 		h.acct.SetAlive(true)
-		v := s.attach(h, s.RandomID(), false)
+		v := s.attach(h, id, false)
 		s.recordEvent(EventJoin, h.Index(), v.ID(), v.rn.Workload())
 		s.msgs.Joins++
 		s.chargeLookup()
@@ -666,6 +766,8 @@ func (s *Simulation) snapshot(tick int) Snapshot {
 		}
 	}
 	snap.VNodes = s.ring.Len()
+	snap.CrashedHosts = s.fstats.Crashes
+	snap.PendingResubmit = s.pendingKeys()
 	return snap
 }
 
@@ -734,6 +836,13 @@ func (s *Simulation) CreateSybil(h strategy.Host, id ids.ID) (int, bool) {
 		return 0, false
 	}
 	if _, occupied := s.ring.Get(id); occupied {
+		return 0, false
+	}
+	// A host cannot place a Sybil across an active partition cut: the
+	// join RPCs would never reach the far side's successors.
+	if s.finj != nil && s.finj.PartitionActive() && len(host.vnodes) > 0 &&
+		!s.finj.SameSide(host.vnodes[0].ID(), id) {
+		s.fstats.BlockedSybils++
 		return 0, false
 	}
 	v := s.attach(host, id, true)
