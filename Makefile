@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: all build lint test test-race cover bench sweep figures fuzz chaos clean
+.PHONY: all build lint test test-race cover bench bench-micro bench-gate sweep figures fuzz chaos clean
+
+# The BENCH_<pr> suffix for perf reports; bump per perf-focused PR.
+BENCH_PR ?= 3
 
 all: build lint test
 
@@ -24,8 +27,27 @@ test-race:
 cover:
 	$(GO) test -cover ./internal/...
 
-# Smoke-reproduce every table and figure (reduced trials).
+# Record the performance-trajectory report (docs/PERFORMANCE.md): runs
+# the fixed dhtbench workload matrix and writes BENCH_$(BENCH_PR).json,
+# carrying the existing report's current section forward as the new
+# baseline when one is present.
 bench:
+	@if [ -f BENCH_$(BENCH_PR).json ]; then \
+	  $(GO) run ./cmd/dhtbench -trials 3 -seed 1 -label pr$(BENCH_PR) \
+	    -baseline BENCH_$(BENCH_PR).json -out BENCH_$(BENCH_PR).json; \
+	else \
+	  $(GO) run ./cmd/dhtbench -trials 3 -seed 1 -label pr$(BENCH_PR) \
+	    -out BENCH_$(BENCH_PR).json; \
+	fi
+
+# Compare fresh runs against the committed report; fails on >15% ns/tick
+# regression (and on any tick-count drift, which is a determinism break).
+bench-gate:
+	$(GO) run ./cmd/dhtbench -gate BENCH_$(BENCH_PR).json -tolerance 0.15
+
+# Go micro/paper benchmarks: table/figure reproductions at the repo root
+# plus the ring and sim hot-path benchmarks (reduced trials).
+bench-micro:
 	$(GO) test -bench=. -benchmem ./...
 
 # Publication-strength sweep of every experiment (slow; the paper used

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chordbalance/internal/bench"
+)
+
+func TestListWorkloads(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"table2-churn-10k", "baseline-1k", "oracle-1k"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestUnknownWorkloadErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-workloads", "nope"}, &out); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// TestRecordAndGateRoundTrip records a quick single-workload report to a
+// file, then gates against it — the gate must pass against numbers just
+// measured on the same machine.
+func TestRecordAndGateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	var out bytes.Buffer
+	if err := run([]string{
+		"-workloads", "baseline-1k", "-trials", "1", "-out", path, "-label", "test",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := bench.Read(f)
+	_ = f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Current) != 1 || rep.Current[0].Workload != "baseline-1k" ||
+		!rep.Current[0].Completed || rep.Current[0].Ticks == 0 {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	// Gate with a huge tolerance so machine noise cannot flake the test;
+	// the determinism (tick-count) check is exact regardless.
+	out.Reset()
+	if err := run([]string{
+		"-workloads", "baseline-1k", "-gate", path, "-tolerance", "100",
+	}, &out); err != nil {
+		t.Fatalf("gate against just-recorded report failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "gate ok") {
+		t.Errorf("gate output: %s", out.String())
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"chordbalance/internal/faults"
+	"chordbalance/internal/prof"
 	"chordbalance/internal/ring"
 	"chordbalance/internal/sim"
 	"chordbalance/internal/stats"
@@ -68,10 +69,19 @@ func run(args []string, out io.Writer) error {
 		partHeal   = fs.Int("partition-heal", 0, "tick the partition heals (0 = never)")
 		faultSeed  = fs.Uint64("fault-seed", 0, "fault plan seed (0 = derive from -seed)")
 		replicas   = fs.Int("replicas", 0, "replication degree for crashes: 0 = default min(3, successors), -1 = off")
+
+		// Perf-evidence profiles (docs/PERFORMANCE.md, EXPERIMENTS.md).
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 
 	st, ok := strategy.ByName(*strat)
 	if !ok {

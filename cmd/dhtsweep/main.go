@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"chordbalance/internal/experiments"
+	"chordbalance/internal/prof"
 	"chordbalance/internal/report"
 )
 
@@ -37,10 +38,19 @@ func run(args []string, out io.Writer) error {
 		list    = fs.Bool("list", false, "list experiments and exit")
 		csv     = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		md      = fs.Bool("md", false, "emit Markdown tables (for EXPERIMENTS.md)")
+
+		// Perf-evidence profiles (docs/PERFORMANCE.md, EXPERIMENTS.md).
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 
 	table := func(t *report.Table) error {
 		switch {

@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chordbalance/internal/sim"
+)
+
+// fakeClock advances a fixed step per reading, making timing fields
+// deterministic in tests.
+func fakeClock(step int64) Clock {
+	var now int64
+	return func() int64 {
+		now += step
+		return now
+	}
+}
+
+// tinyWorkload finishes in well under a second.
+func tinyWorkload() Workload {
+	return Workload{
+		Name: "tiny",
+		Desc: "test workload",
+		Config: func(seed uint64) sim.Config {
+			return sim.Config{Nodes: 20, Tasks: 400, Seed: seed}
+		},
+	}
+}
+
+func TestWorkloadsAreValidAndUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range Workloads() {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Desc == "" {
+			t.Errorf("workload %q has no description", w.Name)
+		}
+		if err := w.Config(1).Validate(); err != nil {
+			t.Errorf("workload %q config invalid: %v", w.Name, err)
+		}
+	}
+	if len(seen) < 5 {
+		t.Errorf("suite has only %d workloads", len(seen))
+	}
+}
+
+func TestFilter(t *testing.T) {
+	ws := Workloads()
+	got, err := Filter(ws, "baseline-1k, random-1k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "baseline-1k" || got[1].Name != "random-1k" {
+		t.Fatalf("filter returned %+v", got)
+	}
+	if _, err := Filter(ws, "no-such-workload"); err == nil {
+		t.Fatal("unknown workload name must error")
+	}
+	all, err := Filter(ws, "")
+	if err != nil || len(all) != len(ws) {
+		t.Fatalf("empty filter must keep everything: %v", err)
+	}
+}
+
+func TestTrialSeedsDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		s := trialSeed(7, i)
+		if seen[s] {
+			t.Fatalf("trial %d repeats seed %d", i, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestMeasureDeterministicTicks(t *testing.T) {
+	w := tinyWorkload()
+	m1, err := Measure(w, 2, 5, fakeClock(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Measure(w, 2, 5, fakeClock(999999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Ticks == 0 || m1.Ticks != m2.Ticks {
+		t.Errorf("ticks not deterministic: %d vs %d", m1.Ticks, m2.Ticks)
+	}
+	if !m1.Completed {
+		t.Error("tiny workload must complete")
+	}
+	if m1.WallNs != 1000 { // exactly one clock delta with the fake
+		t.Errorf("wall = %d, want 1000", m1.WallNs)
+	}
+	if m1.NsPerTick <= 0 || m1.AllocsPerTick < 0 {
+		t.Errorf("bad rates: %+v", m1)
+	}
+}
+
+func TestRunAllOrderAndProgress(t *testing.T) {
+	ws := []Workload{tinyWorkload(), {
+		Name: "tiny2", Desc: "d",
+		Config: func(seed uint64) sim.Config {
+			return sim.Config{Nodes: 10, Tasks: 100, Seed: seed}
+		},
+	}}
+	var names []string
+	ms, err := RunAll(ws, 1, 1, fakeClock(10), func(m Measurement) { names = append(names, m.Workload) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[0].Workload != "tiny" || ms[1].Workload != "tiny2" {
+		t.Fatalf("order not preserved: %+v", ms)
+	}
+	if len(names) != 2 {
+		t.Fatalf("progress called %d times", len(names))
+	}
+}
+
+func TestReportRoundTripAndSpeedup(t *testing.T) {
+	rep := Report{
+		Schema: Schema,
+		Label:  "pr3",
+		Baseline: []Measurement{
+			{Workload: "w", Trials: 1, Seed: 1, Ticks: 100, NsPerTick: 2000, Completed: true},
+		},
+		Current: []Measurement{
+			{Workload: "w", Trials: 1, Seed: 1, Ticks: 100, NsPerTick: 500, Completed: true},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp, ok := got.Speedup("w"); !ok || sp != 4 {
+		t.Errorf("speedup = %v,%v want 4,true", sp, ok)
+	}
+	if _, ok := got.Speedup("missing"); ok {
+		t.Error("speedup for missing workload must be !ok")
+	}
+	// Wrong schema must be rejected.
+	bad := strings.NewReader(`{"schema": 999, "current": []}`)
+	if _, err := Read(bad); err == nil {
+		t.Error("wrong schema accepted")
+	}
+}
+
+func TestGate(t *testing.T) {
+	committed := Report{Schema: Schema, Current: []Measurement{
+		{Workload: "w", Trials: 1, Seed: 1, Ticks: 100, NsPerTick: 1000},
+	}}
+	// Within tolerance: ok.
+	if err := Gate(committed, []Measurement{
+		{Workload: "w", Trials: 1, Seed: 1, Ticks: 100, NsPerTick: 1100},
+	}, 0.15); err != nil {
+		t.Errorf("within tolerance flagged: %v", err)
+	}
+	// Beyond tolerance: regression.
+	err := Gate(committed, []Measurement{
+		{Workload: "w", Trials: 1, Seed: 1, Ticks: 100, NsPerTick: 1200},
+	}, 0.15)
+	if err == nil || !strings.Contains(err.Error(), "exceeds committed") {
+		t.Errorf("regression not flagged: %v", err)
+	}
+	// Tick drift at matching trials/seed: determinism regression.
+	err = Gate(committed, []Measurement{
+		{Workload: "w", Trials: 1, Seed: 1, Ticks: 101, NsPerTick: 500},
+	}, 0.15)
+	if err == nil || !strings.Contains(err.Error(), "determinism") {
+		t.Errorf("tick drift not flagged: %v", err)
+	}
+	// Different trials: tick compare skipped, timing still gated.
+	if err := Gate(committed, []Measurement{
+		{Workload: "w", Trials: 3, Seed: 1, Ticks: 300, NsPerTick: 900},
+	}, 0.15); err != nil {
+		t.Errorf("trial-count mismatch must skip tick compare: %v", err)
+	}
+	// Unknown workload ignored.
+	if err := Gate(committed, []Measurement{
+		{Workload: "new", Trials: 1, Seed: 1, Ticks: 5, NsPerTick: 1e9},
+	}, 0.15); err != nil {
+		t.Errorf("unknown workload must be ignored: %v", err)
+	}
+}
+
+// TestGateMachineSpeedNormalization pins the cross-machine behavior: a
+// uniform slowdown (slower CI hardware) passes, while one workload
+// regressing disproportionately to the suite's median speed ratio fails
+// even though the machine as a whole is slower.
+func TestGateMachineSpeedNormalization(t *testing.T) {
+	committed := Report{Schema: Schema, Current: []Measurement{
+		{Workload: "a", Trials: 1, Seed: 1, Ticks: 100, NsPerTick: 1000},
+		{Workload: "b", Trials: 1, Seed: 1, Ticks: 100, NsPerTick: 2000},
+		{Workload: "c", Trials: 1, Seed: 1, Ticks: 100, NsPerTick: 4000},
+	}}
+	// Everything uniformly 2.5x slower: no violation.
+	if err := Gate(committed, []Measurement{
+		{Workload: "a", Trials: 1, Seed: 1, Ticks: 100, NsPerTick: 2500},
+		{Workload: "b", Trials: 1, Seed: 1, Ticks: 100, NsPerTick: 5000},
+		{Workload: "c", Trials: 1, Seed: 1, Ticks: 100, NsPerTick: 10000},
+	}, 0.15); err != nil {
+		t.Errorf("uniform machine slowdown flagged: %v", err)
+	}
+	// Workload c regresses 2x beyond the others' ratio: violation, and
+	// only for c.
+	err := Gate(committed, []Measurement{
+		{Workload: "a", Trials: 1, Seed: 1, Ticks: 100, NsPerTick: 2500},
+		{Workload: "b", Trials: 1, Seed: 1, Ticks: 100, NsPerTick: 5000},
+		{Workload: "c", Trials: 1, Seed: 1, Ticks: 100, NsPerTick: 20000},
+	}, 0.15)
+	if err == nil || !strings.Contains(err.Error(), "c: ns/tick") {
+		t.Errorf("disproportionate regression not flagged: %v", err)
+	}
+	if err != nil && strings.Contains(err.Error(), "a: ns/tick") {
+		t.Errorf("well-behaved workload flagged alongside: %v", err)
+	}
+	// On a *faster* machine a workload that merely held still is a
+	// relative regression: everything at 0.5x except b at parity.
+	err = Gate(committed, []Measurement{
+		{Workload: "a", Trials: 1, Seed: 1, Ticks: 100, NsPerTick: 500},
+		{Workload: "b", Trials: 1, Seed: 1, Ticks: 100, NsPerTick: 2000},
+		{Workload: "c", Trials: 1, Seed: 1, Ticks: 100, NsPerTick: 2000},
+	}, 0.15)
+	if err == nil || !strings.Contains(err.Error(), "b: ns/tick") {
+		t.Errorf("relative regression on faster machine not flagged: %v", err)
+	}
+}

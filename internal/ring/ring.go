@@ -14,6 +14,20 @@
 // copying (the two halves share the backing array, and owners only ever
 // shrink their windows), and a leave concatenates the departing node's
 // list onto its successor's.
+//
+// Hot-path performance (docs/PERFORMANCE.md): every node carries a
+// self-repairing index hint, so Succ/Pred/PredID are O(1) between
+// topology changes and never worse than one binary search after one;
+// searches are inlined (no sort.Search closures, zero allocations); Seed
+// sorts each incoming batch by identifier once (radix-assisted for large
+// batches), hands every owner its contiguous segment — one binary search
+// per distinct owner, not per key — and merges it with the node's
+// residual keys in a single two-run pass; Remove reuses the successor's
+// consumed front (or hands the whole window over) instead of allocating
+// a merged slice whenever it can; and the ring order itself is an array
+// of 4-byte slot indices into a stable node arena, so the splice a join
+// or leave performs is a barrier-free memmove of half the bytes a
+// pointer slice would move.
 package ring
 
 import (
@@ -58,9 +72,108 @@ const (
 // contiguous arc of the key space. T is caller data attached to each node
 // (the simulator stores its host bookkeeping there).
 type Ring[T any] struct {
-	nodes     []*Node[T] // ascending by ID
+	// The ring order lives in order: order[i] is the slot (index into the
+	// stable slots arena) of the i-th node ascending by ID. Keeping the
+	// spliced array as 4-byte integers instead of pointers makes every
+	// join/leave splice a plain memmove of half the bytes with no GC
+	// write barriers — under heavy churn on large rings that splice is
+	// the single largest per-event cost. slots never moves an entry;
+	// freed slots are recycled LIFO through free.
+	slots     []*Node[T]
+	free      []int32
+	order     []int32
 	totalKeys int
 	mode      ConsumeMode
+
+	// seedScratch holds the sorted copy of each Seed batch and is reused
+	// across calls so streamed task arrivals do not allocate a routing
+	// buffer every tick. wrapScratch assembles the wrapping node's
+	// tail+head run when both segments are non-empty.
+	seedScratch []ids.ID
+	wrapScratch []ids.ID
+	// radixCount and radixOut serve sortIDs's bucket pass; allocated on
+	// the first large batch and reused afterwards.
+	radixCount []int
+	radixOut   []ids.ID
+}
+
+// radixMin is the batch size above which sortIDs switches from
+// comparison sort to the two-byte radix scatter. Below it, the fixed
+// cost of clearing 64Ki bucket counters outweighs the comparison
+// savings (streamed per-tick seed batches stay under this).
+const radixMin = 4096
+
+// sortIDs sorts s ascending by identifier and returns the sorted slice
+// (possibly a different backing array, with s recycled as the next
+// scatter buffer). Large batches take an MSD radix pass on the first
+// two ID bytes — uniform SHA-1 keys spread ~evenly over 64Ki buckets —
+// followed by tiny per-bucket sorts, replacing O(k log k) 20-byte
+// comparisons with one O(k) scatter. The result is the identical total
+// order a pure comparison sort yields; equal keys are identical bytes,
+// so bucket-internal tie order is unobservable.
+func (r *Ring[T]) sortIDs(s []ids.ID) []ids.ID {
+	if len(s) < radixMin {
+		sort.Sort(idKeys(s))
+		return s
+	}
+	if r.radixCount == nil {
+		r.radixCount = make([]int, 1<<16)
+	}
+	count := r.radixCount
+	for i := range count {
+		count[i] = 0
+	}
+	for _, k := range s {
+		count[int(k[0])<<8|int(k[1])]++
+	}
+	sum := 0
+	for i := range count {
+		c := count[i]
+		count[i] = sum
+		sum += c
+	}
+	out := r.radixOut
+	if cap(out) < len(s) {
+		out = make([]ids.ID, len(s))
+	} else {
+		out = out[:len(s)]
+	}
+	for _, k := range s {
+		b := int(k[0])<<8 | int(k[1])
+		out[count[b]] = k
+		count[b]++
+	}
+	// count[b] is now the end offset of bucket b.
+	start := 0
+	for b := 0; b < 1<<16; b++ {
+		end := count[b]
+		if end-start > 1 {
+			sortBucket(out[start:end])
+		}
+		start = end
+	}
+	r.radixOut = s[:0] // ping-pong the buffers
+	return out
+}
+
+// sortBucket orders one radix bucket. Buckets are tiny for uniform keys
+// (insertion sort); skewed workloads (Zipf duplicates) produce large
+// buckets of mostly-identical keys, for which insertion sort is linear,
+// but genuinely large mixed buckets fall back to the library sort.
+func sortBucket(b []ids.ID) {
+	if len(b) > 48 {
+		sort.Sort(idKeys(b))
+		return
+	}
+	for i := 1; i < len(b); i++ {
+		k := b[i]
+		j := i - 1
+		for j >= 0 && k.Less(b[j]) {
+			b[j+1] = b[j]
+			j--
+		}
+		b[j+1] = k
+	}
 }
 
 // SetConsumeMode selects the consumption order for all nodes on the ring.
@@ -70,7 +183,7 @@ func (r *Ring[T]) SetConsumeMode(m ConsumeMode) { r.mode = m }
 func (r *Ring[T]) ConsumeModeSetting() ConsumeMode { return r.mode }
 
 // Node is one virtual node on the ring. The zero value is not usable;
-// nodes are created only by Ring.Insert.
+// nodes are created only by Ring.Insert and Ring.Build.
 type Node[T any] struct {
 	id   ids.ID
 	Data T
@@ -86,6 +199,17 @@ type Node[T any] struct {
 	// bias every later split.
 	fromBack bool
 
+	// idx is a self-repairing position hint: when r.order[idx] == slot it
+	// is exact and indexOf is O(1). Insert/Remove shift positions without
+	// eagerly rewriting every hint to their right (that would make each
+	// splice strictly more expensive than its memmove); a stale hint is
+	// detected by the identity check and repaired with one binary search
+	// on first use. See docs/PERFORMANCE.md for the invariant. slot is
+	// the node's fixed position in the ring's arena, assigned at insert
+	// and never moved while the node is on the ring.
+	idx  int
+	slot int32
+
 	r *Ring[T]
 }
 
@@ -93,55 +217,74 @@ type Node[T any] struct {
 func New[T any]() *Ring[T] { return &Ring[T]{} }
 
 // Len returns the number of nodes on the ring.
-func (r *Ring[T]) Len() int { return len(r.nodes) }
+func (r *Ring[T]) Len() int { return len(r.order) }
 
 // TotalKeys returns the number of unconsumed keys across all nodes.
 func (r *Ring[T]) TotalKeys() int { return r.totalKeys }
 
+// at returns the i-th node in ascending ID order without bounds niceties;
+// it is the internal hot accessor behind At/Succ/Seed and inlines to two
+// loads.
+func (r *Ring[T]) at(i int) *Node[T] { return r.slots[r.order[i]] }
+
 // At returns the i-th node in ascending ID order. It panics if i is out of
 // range, mirroring slice indexing.
-func (r *Ring[T]) At(i int) *Node[T] { return r.nodes[i] }
+func (r *Ring[T]) At(i int) *Node[T] { return r.at(i) }
 
 // Get returns the node with exactly the given ID, if present.
 func (r *Ring[T]) Get(id ids.ID) (*Node[T], bool) {
 	i := r.searchID(id)
-	if i < len(r.nodes) && r.nodes[i].id == id {
-		return r.nodes[i], true
+	if i < len(r.order) && r.at(i).id == id {
+		return r.at(i), true
 	}
 	return nil, false
 }
 
 // searchID returns the insertion index for id: the first position whose
-// node ID is >= id.
+// node ID is >= id. The binary search is inlined (rather than using
+// sort.Search) so the hot lookup paths stay allocation- and closure-free.
 func (r *Ring[T]) searchID(id ids.ID) int {
-	return sort.Search(len(r.nodes), func(i int) bool {
-		return id.Compare(r.nodes[i].id) <= 0
-	})
+	lo, hi := 0, len(r.order)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.at(mid).id.Less(id) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Owner returns the node responsible for key: the first node clockwise at
 // or after the key. It returns nil on an empty ring.
 func (r *Ring[T]) Owner(key ids.ID) *Node[T] {
-	if len(r.nodes) == 0 {
+	if len(r.order) == 0 {
 		return nil
 	}
 	i := r.searchID(key)
-	if i == len(r.nodes) {
+	if i == len(r.order) {
 		i = 0 // wraps past the highest ID to the lowest
 	}
-	return r.nodes[i]
+	return r.at(i)
 }
 
-// indexOf locates n on the ring. It panics if n was removed; the caller
-// holding a stale node is a logic error worth failing loudly on.
+// indexOf locates n on the ring: O(1) when n's hint is exact, one binary
+// search (which also repairs the hint) when a splice has shifted it. It
+// panics if n was removed; the caller holding a stale node is a logic
+// error worth failing loudly on.
 func (r *Ring[T]) indexOf(n *Node[T]) int {
 	if n.r != r {
 		panic(ErrRemoved)
 	}
+	if i := n.idx; i < len(r.order) && r.order[i] == n.slot {
+		return i
+	}
 	i := r.searchID(n.id)
-	if i >= len(r.nodes) || r.nodes[i] != n {
+	if i >= len(r.order) || r.order[i] != n.slot {
 		panic(fmt.Sprintf("ring: node %s not found at its index", n.id.Short()))
 	}
+	n.idx = i
 	return i
 }
 
@@ -149,8 +292,8 @@ func (r *Ring[T]) indexOf(n *Node[T]) int {
 // returns n itself). Wraps around the ring.
 func (r *Ring[T]) Succ(n *Node[T], k int) *Node[T] {
 	i := r.indexOf(n)
-	m := len(r.nodes)
-	return r.nodes[((i+k)%m+m)%m]
+	m := len(r.order)
+	return r.at(((i + k) % m + m) % m)
 }
 
 // Pred returns the k-th predecessor of n counterclockwise.
@@ -163,40 +306,111 @@ func (r *Ring[T]) Pred(n *Node[T], k int) *Node[T] {
 // that ID.
 func (r *Ring[T]) Insert(id ids.ID, data T) (*Node[T], error) {
 	i := r.searchID(id)
-	if i < len(r.nodes) && r.nodes[i].id == id {
+	if i < len(r.order) && r.at(i).id == id {
 		return nil, ErrOccupied
 	}
 	n := &Node[T]{id: id, Data: data, r: r}
-	if len(r.nodes) == 0 {
-		r.nodes = []*Node[T]{n}
+	n.slot = r.alloc(n)
+	if len(r.order) == 0 {
+		r.order = append(r.order, n.slot)
+		n.idx = 0
 		return n, nil
 	}
 	// The node that currently owns id (n's successor-to-be).
 	si := i
-	if si == len(r.nodes) {
+	if si == len(r.order) {
 		si = 0
 	}
-	succ := r.nodes[si]
+	succ := r.at(si)
 	// n's predecessor is the node before the insertion point.
-	pred := r.nodes[((i-1)%len(r.nodes)+len(r.nodes))%len(r.nodes)]
+	pred := r.at(((i - 1) % len(r.order) + len(r.order)) % len(r.order))
 
 	// Split succ's keys: n takes those in (pred, id], i.e. the active
 	// prefix whose ring distance from pred.id is <= dist(pred, id).
 	active := succ.keys[succ.head:]
 	limit := pred.id.Distance(id)
-	cut := sort.Search(len(active), func(j int) bool {
-		return pred.id.Distance(active[j]).Compare(limit) > 0
-	})
+	lo, hi := 0, len(active)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pred.id.Distance(active[mid]).Compare(limit) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	cut := lo
 	n.keys = active[:cut]
 	succ.keys = active[cut:]
 	succ.head = 0
 
-	// Splice into the ordered slice.
-	r.nodes = append(r.nodes, nil)
-	copy(r.nodes[i+1:], r.nodes[i:])
-	r.nodes[i] = n
+	// Splice into the order array. Hints of the shifted nodes go stale
+	// and self-repair on their next indexOf; the copy moves plain int32s,
+	// so there is no write-barrier traffic.
+	r.order = append(r.order, 0)
+	copy(r.order[i+1:], r.order[i:])
+	r.order[i] = n.slot
+	n.idx = i
 	return n, nil
 }
+
+// alloc places n in the slots arena, recycling a freed slot when one is
+// available, and returns its slot index.
+func (r *Ring[T]) alloc(n *Node[T]) int32 {
+	if k := len(r.free); k > 0 {
+		s := r.free[k-1]
+		r.free = r.free[:k-1]
+		r.slots[s] = n
+		return s
+	}
+	r.slots = append(r.slots, n)
+	return int32(len(r.slots) - 1)
+}
+
+// Build populates an empty ring with len(nodeIDs) nodes in one pass:
+// O(n log n) total, versus O(n^2) for n sequential Inserts. data[i] is
+// attached to the node at nodeIDs[i], and the returned slice is in input
+// order (not ring order). The ring must be empty and the IDs unique; no
+// keys move because there are none yet — callers seed keys afterwards.
+func (r *Ring[T]) Build(nodeIDs []ids.ID, data []T) ([]*Node[T], error) {
+	if len(r.order) != 0 {
+		return nil, errors.New("ring: Build requires an empty ring")
+	}
+	if len(nodeIDs) != len(data) {
+		return nil, fmt.Errorf("ring: Build got %d ids but %d data values", len(nodeIDs), len(data))
+	}
+	out := make([]*Node[T], len(nodeIDs))
+	sorted := make([]*Node[T], len(nodeIDs))
+	for i := range nodeIDs {
+		n := &Node[T]{id: nodeIDs[i], Data: data[i], r: r}
+		out[i] = n
+		sorted[i] = n
+	}
+	sort.Sort(nodesByID[T](sorted))
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1].id == sorted[i].id {
+			for _, m := range out {
+				m.r = nil
+			}
+			return nil, ErrOccupied
+		}
+	}
+	r.slots = sorted
+	r.free = r.free[:0]
+	r.order = make([]int32, len(sorted))
+	for i, n := range sorted {
+		r.order[i] = int32(i)
+		n.slot = int32(i)
+		n.idx = i
+	}
+	return out, nil
+}
+
+// nodesByID sorts nodes ascending by identifier.
+type nodesByID[T any] []*Node[T]
+
+func (s nodesByID[T]) Len() int           { return len(s) }
+func (s nodesByID[T]) Less(i, j int) bool { return s[i].id.Less(s[j].id) }
+func (s nodesByID[T]) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
 
 // Remove takes n off the ring, handing its unconsumed keys to its
 // successor (Chord's failure/departure behavior under active backup).
@@ -206,67 +420,172 @@ func (r *Ring[T]) Remove(n *Node[T]) error {
 		return ErrRemoved
 	}
 	i := r.indexOf(n)
-	if len(r.nodes) == 1 {
+	if len(r.order) == 1 {
 		if n.Workload() > 0 {
 			return ErrLastNode
 		}
-		r.nodes = r.nodes[:0]
-		n.r = nil
+		r.order = r.order[:0]
+		r.release(n)
 		return nil
 	}
-	succ := r.nodes[(i+1)%len(r.nodes)]
+	succ := r.at((i + 1) % len(r.order))
 	if w := n.Workload(); w > 0 {
 		// n's keys precede succ's in ring order from n's predecessor.
-		merged := make([]ids.ID, 0, w+succ.Workload())
-		merged = append(merged, n.keys[n.head:]...)
-		merged = append(merged, succ.keys[succ.head:]...)
-		succ.keys = merged
-		succ.head = 0
+		switch sw := succ.Workload(); {
+		case sw == 0:
+			// The successor is idle: hand the whole window over.
+			succ.keys = n.keys
+			succ.head = n.head
+		case w <= succ.head:
+			// The successor has consumed at least w keys off its front;
+			// those slots belong exclusively to succ's window and are
+			// dead, so n's keys slide in without allocating. (Windows
+			// share backing arrays only via Insert splits, which keep
+			// them disjoint; copy is memmove-safe regardless.)
+			copy(succ.keys[succ.head-w:succ.head], n.keys[n.head:])
+			succ.head -= w
+		default:
+			merged := make([]ids.ID, 0, w+sw)
+			merged = append(merged, n.keys[n.head:]...)
+			merged = append(merged, succ.keys[succ.head:]...)
+			succ.keys = merged
+			succ.head = 0
+		}
 	}
-	copy(r.nodes[i:], r.nodes[i+1:])
-	r.nodes = r.nodes[:len(r.nodes)-1]
-	n.r = nil
+	copy(r.order[i:], r.order[i+1:])
+	r.order = r.order[:len(r.order)-1]
+	r.release(n)
 	n.keys = nil
 	return nil
 }
 
+// release detaches n from the ring and returns its arena slot to the
+// free list, dropping the arena's reference so the node can be
+// collected.
+func (r *Ring[T]) release(n *Node[T]) {
+	r.slots[n.slot] = nil
+	r.free = append(r.free, n.slot)
+	n.r = nil
+}
+
+// idKeys implements sort.Interface over raw identifiers without
+// closures; ties are identical 20-byte values, so the unstable sort
+// cannot produce an observable reordering.
+type idKeys []ids.ID
+
+func (s idKeys) Len() int           { return len(s) }
+func (s idKeys) Less(i, j int) bool { return s[i].Less(s[j]) }
+func (s idKeys) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
 // Seed distributes task keys to their owners. It may be called on a ring
 // whose nodes already hold keys; new keys are merged in ring order. It
 // returns ErrEmpty if the ring has no nodes.
+//
+// The batch is sorted by absolute identifier once; every owner's bucket
+// is then a contiguous segment, located with one binary search per
+// *distinct* owner instead of one per key. The wrapping node (the first
+// on the ring) owns two segments — keys above the last node and keys at
+// or below itself — which concatenate, tail first, into exactly its
+// ring-distance order from its predecessor. With a single node the two
+// segments compose to the whole circle, so no special case is needed.
 func (r *Ring[T]) Seed(taskKeys []ids.ID) error {
-	if len(r.nodes) == 0 {
+	if len(r.order) == 0 {
 		return ErrEmpty
 	}
-	buckets := make([][]ids.ID, len(r.nodes))
-	for _, k := range taskKeys {
-		i := r.searchID(k)
-		if i == len(r.nodes) {
-			i = 0
+	sorted := r.seedScratch[:0]
+	sorted = append(sorted, taskKeys...)
+	sorted = r.sortIDs(sorted)
+	m := len(r.order)
+	first, last := r.at(0), r.at(m-1)
+	// headEnd: first sorted key strictly above the first node's ID.
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if first.id.Less(sorted[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
-		buckets[i] = append(buckets[i], k)
 	}
-	for i, b := range buckets {
-		if len(b) == 0 {
-			continue
+	headEnd := lo
+	// tailStart: first sorted key strictly above the last node's ID.
+	lo, hi = headEnd, len(sorted)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if last.id.Less(sorted[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
-		n := r.nodes[i]
-		pred := r.nodes[((i-1)%len(r.nodes)+len(r.nodes))%len(r.nodes)]
-		all := append(b, n.keys[n.head:]...)
-		sort.Slice(all, func(a, b int) bool {
-			return pred.id.Distance(all[a]).Compare(pred.id.Distance(all[b])) < 0
-		})
-		n.keys = all
-		n.head = 0
 	}
+	tailStart := lo
+	// Middle segments: each run of keys in (nodes[i-1], nodes[i]].
+	for lo := headEnd; lo < tailStart; {
+		i := r.searchID(sorted[lo]) // in [1, m-1]: key > first.id, <= last.id
+		n := r.at(i)
+		hi := lo + 1
+		for hi < tailStart && !n.id.Less(sorted[hi]) {
+			hi++
+		}
+		n.mergeSeed(r.at(i-1).id, sorted[lo:hi])
+		lo = hi
+	}
+	// The wrapping node: tail segment (keys > last) precedes the head
+	// segment (keys <= first) in ring order from its predecessor.
+	if headEnd > 0 || tailStart < len(sorted) {
+		run := sorted[tailStart:]
+		switch {
+		case len(run) == 0:
+			run = sorted[:headEnd]
+		case headEnd > 0:
+			comb := append(r.wrapScratch[:0], run...)
+			comb = append(comb, sorted[:headEnd]...)
+			r.wrapScratch = comb
+			run = comb
+		}
+		first.mergeSeed(last.id, run)
+	}
+	r.seedScratch = sorted[:0] // keep the routing buffer for the next Seed
 	r.totalKeys += len(taskKeys)
 	return nil
 }
 
+// mergeSeed merges the incoming run (ascending in ring distance from
+// predID) with the node's residual keys (same order by invariant) into
+// a fresh exactly-sized window.
+func (n *Node[T]) mergeSeed(predID ids.ID, run []ids.ID) {
+	res := n.keys[n.head:]
+	if len(res) == 0 {
+		// Fast path: no residual keys — the run is the new window. Copy:
+		// run aliases a reusable scratch buffer.
+		out := make([]ids.ID, len(run))
+		copy(out, run)
+		n.keys = out
+		n.head = 0
+		return
+	}
+	out := make([]ids.ID, 0, len(run)+len(res))
+	i, j := 0, 0
+	for i < len(run) && j < len(res) {
+		if predID.Distance(run[i]).Compare(predID.Distance(res[j])) <= 0 {
+			out = append(out, run[i])
+			i++
+		} else {
+			out = append(out, res[j])
+			j++
+		}
+	}
+	out = append(out, run[i:]...)
+	out = append(out, res[j:]...)
+	n.keys = out
+	n.head = 0
+}
+
 // Workloads returns every node's residual key count in ring order.
 func (r *Ring[T]) Workloads() []int {
-	out := make([]int, len(r.nodes))
-	for i, n := range r.nodes {
-		out[i] = n.Workload()
+	out := make([]int, len(r.order))
+	for i := range out {
+		out[i] = r.at(i).Workload()
 	}
 	return out
 }
@@ -276,17 +595,27 @@ func (r *Ring[T]) Workloads() []int {
 // violation found.
 func (r *Ring[T]) CheckInvariants() error {
 	total := 0
-	for i, n := range r.nodes {
-		if i > 0 && !r.nodes[i-1].id.Less(n.id) {
+	for i := range r.order {
+		n := r.at(i)
+		if n == nil {
+			return fmt.Errorf("ring: order entry %d points at a freed slot", i)
+		}
+		if int(n.slot) != int(r.order[i]) {
+			return fmt.Errorf("ring: node %s slot field disagrees with order", n.id.Short())
+		}
+		if i > 0 && !r.at(i-1).id.Less(n.id) {
 			return fmt.Errorf("ring: nodes out of order at %d", i)
 		}
 		if n.r != r {
 			return fmt.Errorf("ring: node %s has stale ring pointer", n.id.Short())
 		}
-		pred := r.nodes[((i-1)%len(r.nodes)+len(r.nodes))%len(r.nodes)]
+		if r.indexOf(n) != i {
+			return fmt.Errorf("ring: node %s index hint does not repair to %d", n.id.Short(), i)
+		}
+		pred := r.at(((i - 1) % len(r.order) + len(r.order)) % len(r.order))
 		var prev ids.ID
 		for j, k := range n.keys[n.head:] {
-			if len(r.nodes) > 1 && !ids.BetweenRightIncl(k, pred.id, n.id) {
+			if len(r.order) > 1 && !ids.BetweenRightIncl(k, pred.id, n.id) {
 				return fmt.Errorf("ring: node %s holds foreign key %s", n.id.Short(), k.Short())
 			}
 			d := pred.id.Distance(k)
@@ -299,6 +628,14 @@ func (r *Ring[T]) CheckInvariants() error {
 	}
 	if total != r.totalKeys {
 		return fmt.Errorf("ring: key count drift: counted %d, tracked %d", total, r.totalKeys)
+	}
+	for _, s := range r.free {
+		if r.slots[s] != nil {
+			return fmt.Errorf("ring: free slot %d still holds a node", s)
+		}
+	}
+	if live := len(r.slots) - len(r.free); live != len(r.order) {
+		return fmt.Errorf("ring: arena holds %d live nodes but order lists %d", live, len(r.order))
 	}
 	return nil
 }
@@ -316,8 +653,8 @@ func (n *Node[T]) Workload() int { return len(n.keys) - n.head }
 // alone on the ring). The arc (PredID, ID] is the node's responsibility.
 func (n *Node[T]) PredID() ids.ID {
 	i := n.r.indexOf(n)
-	m := len(n.r.nodes)
-	return n.r.nodes[((i-1)%m+m)%m].id
+	m := len(n.r.order)
+	return n.r.at(((i - 1) % m + m) % m).id
 }
 
 // Keys returns a copy of the node's unconsumed keys in ring order.
@@ -366,13 +703,39 @@ func (n *Node[T]) SplitKey() (id ids.ID, ok bool) {
 }
 
 // ConsumeN consumes up to max keys and returns how many were consumed.
+// It is the batched form of Consume: the whole batch is a constant-time
+// window adjustment, with the exact end state (head, tail, alternation
+// parity, total-key count) the equivalent sequence of Consume calls
+// would leave.
 func (n *Node[T]) ConsumeN(max int) int {
-	done := 0
-	for done < max {
-		if _, ok := n.Consume(); !ok {
-			break
-		}
-		done++
+	if w := n.Workload(); max > w {
+		max = w
 	}
-	return done
+	if max <= 0 {
+		return 0
+	}
+	switch n.r.mode {
+	case ConsumeBack:
+		n.keys = n.keys[:len(n.keys)-max]
+	case ConsumeAlternate:
+		// Alternating draws split the batch across both ends, with the
+		// current side taking the extra key when max is odd. Front and
+		// back removals commute, so applying them as two bulk moves
+		// leaves the identical surviving window.
+		first := (max + 1) / 2
+		second := max / 2
+		front, back := first, second
+		if n.fromBack {
+			front, back = second, first
+		}
+		n.head += front
+		n.keys = n.keys[:len(n.keys)-back]
+		if max%2 == 1 {
+			n.fromBack = !n.fromBack
+		}
+	default: // ConsumeFront
+		n.head += max
+	}
+	n.r.totalKeys -= max
+	return max
 }

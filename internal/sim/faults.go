@@ -100,27 +100,27 @@ func (s *Simulation) crashStep() {
 
 // drawCrashVictims asks the injector which live hosts crash this tick.
 // Burst victims are drawn from the hosts still alive after the Bernoulli
-// pass, walking forward from a picked index so they stay distinct.
+// pass, walking forward from a picked index so they stay distinct. Both
+// passes iterate the cached active-host list (same stable index order
+// the full scan produced, so the injector's draw sequence is
+// unchanged), and the per-tick "already chosen" set is a crashMark
+// tick stamp on the host instead of a freshly allocated map.
 func (s *Simulation) drawCrashVictims() []*hostState {
-	chosen := make(map[int]bool)
-	var out []*hostState
+	out := s.victims[:0]
 	alive := s.pool.AliveCount()
-	for _, h := range s.hosts {
-		if !h.acct.Alive() {
-			continue
-		}
+	for _, h := range s.aliveHosts() {
 		if alive-len(out) <= 1 {
 			break // never crash the last live host
 		}
 		if s.finj.CrashNow() {
 			out = append(out, h)
-			chosen[h.Index()] = true
+			h.crashMark = s.tick
 		}
 	}
 	if n := s.finj.BurstNow(); n > 0 {
-		var pool []*hostState
-		for _, h := range s.hosts {
-			if h.acct.Alive() && !chosen[h.Index()] {
+		pool := s.burstPool[:0]
+		for _, h := range s.aliveHosts() {
+			if h.crashMark != s.tick {
 				pool = append(pool, h)
 			}
 		}
@@ -129,7 +129,9 @@ func (s *Simulation) drawCrashVictims() []*hostState {
 			out = append(out, pool[i])
 			pool = append(pool[:i], pool[i+1:]...)
 		}
+		s.burstPool = pool
 	}
+	s.victims = out
 	return out
 }
 
@@ -144,7 +146,7 @@ func (s *Simulation) crashHost(h *hostState, delay int) {
 	}
 	s.fstats.Crashes++
 	s.fstats.CrashedVNodes += len(h.vnodes)
-	displaced := h.Workload()
+	displaced := h.Workload() // needed for fault accounting either way
 	s.recordEvent(EventCrash, h.Index(), h.vnodes[0].ID(), displaced)
 	var lost []ids.ID
 	// Sybils first, so the primary inherits any of their keys last —
@@ -158,12 +160,19 @@ func (s *Simulation) crashHost(h *hostState, delay int) {
 			lost = append(lost, v.rn.Keys()...)
 			v.rn.ConsumeN(w)
 		}
+		if s.ring.Len() > 1 {
+			// The successor inherits whatever survived the drain.
+			s.ring.Succ(v.rn, 1).Data.host.wlEpoch = 0
+		}
 		if err := s.ring.Remove(v.rn); err != nil {
 			panic(err)
 		}
 	}
 	h.vnodes = h.vnodes[:0]
+	h.wlEpoch = 0
 	h.acct.SetAlive(false)
+	s.aliveBit[h.Index()] = false
+	s.activeDirty = true
 	if s.replicas > 0 {
 		// Each displaced key is fetched from one of its replicas by the
 		// new owner; detecting the crash costs one failed-ping round over
@@ -193,6 +202,7 @@ func (s *Simulation) resubmitDue() {
 		if err := s.ring.Seed(p.keys); err != nil {
 			panic(err) // the ring always has at least one node
 		}
+		s.wlEpoch++ // re-seeded keys landed on arbitrary hosts
 		s.fstats.Resubmitted += len(p.keys)
 		s.recordEvent(EventResubmit, -1, p.keys[0], len(p.keys))
 		// Re-submission is a fresh store: one O(log n) lookup per key.

@@ -352,6 +352,24 @@ func (v *vnode) Host() strategy.Host { return v.host }
 type hostState struct {
 	acct   *sybil.Host
 	vnodes []*vnode // primary first; empty while in the waiting pool
+
+	// sim points back at the owning engine so Workload can consult the
+	// invalidation epoch (set once in New, never changed).
+	sim *Simulation
+	// wl caches the host's aggregate workload; it is valid iff wlEpoch
+	// equals sim.wlEpoch. Invalidation is precise: an Insert split or
+	// Remove hand-off zeroes the wlEpoch of exactly the two hosts whose
+	// keys moved (self and the ring successor's host), Seed routing —
+	// which can land keys anywhere — bumps sim.wlEpoch globally, and
+	// consume delta-updates still-valid caches in place. Untouched
+	// hosts therefore keep warm caches across ticks, which lets consume
+	// skip provably idle hosts and strategies' per-decision EachHost
+	// scans stop re-summing virtual nodes that did not change.
+	wl      int
+	wlEpoch uint64
+	// crashMark is the last tick this host was drawn as a crash victim;
+	// it replaces the per-tick map the burst pass used to allocate.
+	crashMark int
 }
 
 func (h *hostState) Index() int    { return h.acct.Index() }
@@ -361,10 +379,15 @@ func (h *hostState) SybilCount() int {
 }
 func (h *hostState) CanCreateSybil() bool { return h.acct.CanCreateSybil() }
 func (h *hostState) Workload() int {
+	if h.wlEpoch == h.sim.wlEpoch {
+		return h.wl
+	}
 	w := 0
 	for _, v := range h.vnodes {
 		w += v.rn.Workload()
 	}
+	h.wl = w
+	h.wlEpoch = h.sim.wlEpoch
 	return w
 }
 
@@ -402,9 +425,71 @@ type Simulation struct {
 	// streamLeft counts tasks still to arrive.
 	streamLeft int
 
+	// wlEpoch is the workload-cache invalidation epoch: a hostState's
+	// cached aggregate is valid iff its wlEpoch matches. Starts at 1 so
+	// the zero value on hostState means "invalid". Bumped only by Seed
+	// routing (stream arrivals, crash re-submissions), which can touch
+	// any host; all other key movement invalidates per host.
+	wlEpoch uint64
+
+	// active is the live-host list in stable index order, rebuilt lazily
+	// whenever activeDirty is set (any SetAlive transition). consume,
+	// snapshot, EachHost, and the crash Bernoulli pass iterate it instead
+	// of scanning the full host table (half of which is the waiting
+	// pool). churn still scans every host: its RNG draw order — one
+	// Bool per host, alive and waiting alike — is observable behavior.
+	active      []*hostState
+	activeDirty bool
+	// aliveBit mirrors each host's liveness in a packed slice (indexed
+	// like hosts) so churn's mandatory full scan — one RNG draw per
+	// host, alive and waiting alike — reads sequential bytes instead of
+	// chasing two pointers per host. Updated at every SetAlive site.
+	aliveBit []bool
+
 	// scratch buffers reused across ticks
-	leavers []*hostState
-	joiners []*hostState
+	leavers     []*hostState
+	joiners     []*hostState
+	victims     []*hostState
+	burstPool   []*hostState
+	newlyAlive  []*hostState
+	activeMerge []*hostState
+}
+
+// aliveHosts returns the live hosts in stable index order. The cached
+// list is repaired incrementally: dead entries are compacted out and
+// hosts that came alive since the last call (recorded by attach's
+// callers in index order) are merged back in, so a repair costs
+// O(alive + joins) instead of a full O(hosts) rescan of a table that is
+// half waiting pool.
+func (s *Simulation) aliveHosts() []*hostState {
+	if !s.activeDirty {
+		return s.active
+	}
+	merged := s.activeMerge[:0]
+	na := s.newlyAlive
+	j := 0
+	for _, h := range s.active {
+		if !h.acct.Alive() {
+			continue // left or crashed since the last repair
+		}
+		for j < len(na) && na[j].Index() < h.Index() {
+			if na[j].acct.Alive() { // not re-crashed within the tick
+				merged = append(merged, na[j])
+			}
+			j++
+		}
+		merged = append(merged, h)
+	}
+	for ; j < len(na); j++ {
+		if na[j].acct.Alive() {
+			merged = append(merged, na[j])
+		}
+	}
+	s.activeMerge = s.active[:0]
+	s.active = merged
+	s.newlyAlive = s.newlyAlive[:0]
+	s.activeDirty = false
+	return s.active
 }
 
 // taskStream generates task keys: uniform SHA-1 draws (the paper's
@@ -455,6 +540,7 @@ func New(cfg Config) (*Simulation, error) {
 		msgs: MessageStats{Strategy: make(map[string]int)},
 
 		completedByStrength: make(map[int]int),
+		wlEpoch:             1, // zero-valued hostState caches start invalid
 	}
 	s.ring.SetConsumeMode(cfg.ConsumeMode)
 	// The zero plan constructs no injector at all: the fault layer cannot
@@ -485,28 +571,61 @@ func New(cfg Config) (*Simulation, error) {
 	}, s.rng)
 	s.hosts = make([]*hostState, s.pool.Len())
 	for i := range s.hosts {
-		s.hosts[i] = &hostState{acct: s.pool.Host(i)}
+		s.hosts[i] = &hostState{acct: s.pool.Host(i), sim: s}
+	}
+	// Populate the active-host list and the packed liveness mirror once
+	// by full scan; from here on both are repaired incrementally (see
+	// aliveHosts, churn, crashHost).
+	s.active = make([]*hostState, 0, cfg.Nodes)
+	s.aliveBit = make([]bool, len(s.hosts))
+	for i, h := range s.hosts {
+		if h.acct.Alive() {
+			s.active = append(s.active, h)
+			s.aliveBit[i] = true
+		}
 	}
 	// Place live hosts' primary virtual nodes at SHA-1 identifiers,
-	// followed by any static virtual servers.
+	// followed by any static virtual servers, as one bulk ring.Build:
+	// O(V log V) instead of the O(V^2) repeated incremental Inserts
+	// cost. Byte-identical to the old loop because the generator
+	// sequence is unchanged and the duplicate check sees exactly the
+	// same already-accepted ID set the incremental ring did.
 	gen := keys.NewGenerator(cfg.Seed)
+	taken := make(map[ids.ID]bool, cfg.Nodes*(1+cfg.StaticVNodes))
 	freshID := func() ids.ID {
 		for {
 			id := gen.Next()
-			if _, occupied := s.ring.Get(id); !occupied {
+			if !taken[id] {
+				taken[id] = true
 				return id
 			}
 		}
 	}
+	nvn := cfg.Nodes * (1 + cfg.StaticVNodes)
+	nodeIDs := make([]ids.ID, 0, nvn)
+	data := make([]*vnode, 0, nvn)
+	addVN := func(h *hostState) {
+		v := &vnode{host: h}
+		nodeIDs = append(nodeIDs, freshID())
+		data = append(data, v)
+		h.vnodes = append(h.vnodes, v)
+	}
 	for _, h := range s.hosts[:cfg.Nodes] {
-		s.attach(h, freshID(), false)
+		addVN(h)
 	}
 	for i := 0; i < cfg.StaticVNodes; i++ {
 		for _, h := range s.hosts[:cfg.Nodes] {
 			// Static copies are not Sybils: they are permanent ring
 			// members and do not count against the Sybil cap.
-			s.attach(h, freshID(), false)
+			addVN(h)
 		}
+	}
+	rns, err := s.ring.Build(nodeIDs, data)
+	if err != nil {
+		return nil, err // unreachable: freshID never repeats an ID
+	}
+	for i, rn := range rns {
+		data[i].rn = rn
 	}
 	// Seed the job's initial task keys; streamed tasks arrive later.
 	s.tasks = newTaskStream(cfg)
@@ -550,6 +669,8 @@ func New(cfg Config) (*Simulation, error) {
 }
 
 // attach puts host h onto the ring at id with a fresh virtual node.
+// The insert splits keys off the successor, so exactly two hosts'
+// workload caches go stale: h's and the successor's.
 func (s *Simulation) attach(h *hostState, id ids.ID, isSybil bool) *vnode {
 	v := &vnode{host: h, isSybil: isSybil}
 	rn, err := s.ring.Insert(id, v)
@@ -558,6 +679,10 @@ func (s *Simulation) attach(h *hostState, id ids.ID, isSybil bool) *vnode {
 	}
 	v.rn = rn
 	h.vnodes = append(h.vnodes, v)
+	h.wlEpoch = 0
+	if s.ring.Len() > 1 {
+		s.ring.Succ(rn, 1).Data.host.wlEpoch = 0
+	}
 	return v
 }
 
@@ -597,6 +722,7 @@ func (s *Simulation) Run() *Result {
 			if err := s.ring.Seed(s.tasks.next(n)); err != nil {
 				panic(err) // the ring always has at least one node
 			}
+			s.wlEpoch++ // arrivals landed on arbitrary hosts
 			s.streamLeft -= n
 		}
 		done := s.consume()
@@ -613,8 +739,13 @@ func (s *Simulation) Run() *Result {
 			s.cfg.Strategy.Decide(s)
 		}
 		// Successor-list maintenance: every live virtual node pings its
-		// successor list once per tick (§V-A "Maintenance").
-		s.msgs.Maintenance += s.ring.Len() * s.params.NumSuccessors
+		// successor list once per tick (§V-A "Maintenance"). Charged only
+		// while the job is still running: when the last key was consumed
+		// mid-tick the network has no round left to maintain, and charging
+		// it would over-count every completed run by one round.
+		if s.ring.TotalKeys() > 0 || s.streamLeft > 0 || s.pendingKeys() > 0 {
+			s.msgs.Maintenance += s.ring.Len() * s.params.NumSuccessors
+		}
 		if snapshotAt[s.tick] {
 			res.Snapshots = append(res.Snapshots, s.snapshot(s.tick))
 		}
@@ -642,29 +773,60 @@ func (s *Simulation) Run() *Result {
 
 // consume runs one tick of work: each live host completes up to its
 // per-tick capacity, drawing from its most-loaded virtual nodes first.
+// It iterates the active-host list (skipping the waiting pool outright
+// — consume draws no randomness, so the iteration set is free to
+// shrink) and delta-updates still-valid workload caches in place. The
+// single-vnode fast path is the common case: one ConsumeN replaces the
+// best-of loop, which for one vnode always picks that vnode until
+// either the budget or the arc is empty.
 func (s *Simulation) consume() int {
 	total := 0
-	for _, h := range s.hosts {
-		if !h.acct.Alive() {
-			continue
+	epoch := s.wlEpoch
+	for _, h := range s.aliveHosts() {
+		if h.wlEpoch == epoch && h.wl == 0 {
+			continue // provably idle: warm cache says no residual work
 		}
 		budget := h.acct.WorkPerTick(s.cfg.WorkByStrength)
-		for budget > 0 {
-			// Pick the host's most-loaded virtual node; a host drains its
-			// heaviest identity first.
-			var best *vnode
-			for _, v := range h.vnodes {
-				if v.rn.Workload() > 0 && (best == nil || v.rn.Workload() > best.rn.Workload()) {
-					best = v
+		done := 0
+		if len(h.vnodes) == 1 {
+			if v := h.vnodes[0]; v.rn.Workload() > 0 {
+				done = v.rn.ConsumeN(budget)
+			}
+		} else {
+			for budget > 0 {
+				// Pick the host's most-loaded virtual node; a host drains
+				// its heaviest identity first.
+				var best *vnode
+				for _, v := range h.vnodes {
+					if v.rn.Workload() > 0 && (best == nil || v.rn.Workload() > best.rn.Workload()) {
+						best = v
+					}
 				}
+				if best == nil {
+					break
+				}
+				n := best.rn.ConsumeN(budget)
+				budget -= n
+				done += n
 			}
-			if best == nil {
-				break
+		}
+		if done > 0 {
+			total += done
+			s.completedByStrength[h.acct.Strength()] += done
+		}
+		// Leave the cache warm either way: the vnode workloads were just
+		// observed, so validating here is a handful of O(1) reads and
+		// makes the idle skip effective from the next tick on — even
+		// under strategies that never ask for host workloads.
+		if h.wlEpoch == epoch {
+			h.wl -= done
+		} else {
+			w := 0
+			for _, v := range h.vnodes {
+				w += v.rn.Workload()
 			}
-			n := best.rn.ConsumeN(budget)
-			budget -= n
-			total += n
-			s.completedByStrength[h.acct.Strength()] += n
+			h.wl = w
+			h.wlEpoch = epoch
 		}
 	}
 	return total
@@ -688,13 +850,13 @@ func (s *Simulation) churn() {
 	}
 	s.leavers = s.leavers[:0]
 	s.joiners = s.joiners[:0]
-	for _, h := range s.hosts {
-		if h.acct.Alive() {
+	for i, alive := range s.aliveBit {
+		if alive {
 			if s.rng.Bool(rate) {
-				s.leavers = append(s.leavers, h)
+				s.leavers = append(s.leavers, s.hosts[i])
 			}
 		} else if s.rng.Bool(rate) {
-			s.joiners = append(s.joiners, h)
+			s.joiners = append(s.joiners, s.hosts[i])
 		}
 	}
 	for _, h := range s.leavers {
@@ -702,9 +864,15 @@ func (s *Simulation) churn() {
 		if s.ring.Len() <= len(h.vnodes) {
 			continue
 		}
-		s.recordEvent(EventLeave, h.Index(), h.vnodes[0].ID(), h.Workload())
+		// Guard the argument evaluation, not just the append: Workload()
+		// is worth skipping when no one is listening.
+		if s.cfg.RecordEvents {
+			s.recordEvent(EventLeave, h.Index(), h.vnodes[0].ID(), h.Workload())
+		}
 		s.detachAll(h)
 		h.acct.SetAlive(false)
+		s.aliveBit[h.Index()] = false
+		s.activeDirty = true
 		s.msgs.Leaves++
 	}
 	for _, h := range s.joiners {
@@ -717,6 +885,9 @@ func (s *Simulation) churn() {
 			continue
 		}
 		h.acct.SetAlive(true)
+		s.aliveBit[h.Index()] = true
+		s.newlyAlive = append(s.newlyAlive, h) // joiners arrive in index order
+		s.activeDirty = true
 		v := s.attach(h, id, false)
 		s.recordEvent(EventJoin, h.Index(), v.ID(), v.rn.Workload())
 		s.msgs.Joins++
@@ -725,14 +896,21 @@ func (s *Simulation) churn() {
 }
 
 // detachAll removes every virtual node of h from the ring (Sybils first so
-// the primary inherits any of their keys that fall back to it last).
+// the primary inherits any of their keys that fall back to it last). Each
+// removal hands keys to the successor at removal time, so that node's
+// host cache is invalidated alongside h's own.
 func (s *Simulation) detachAll(h *hostState) {
 	for i := len(h.vnodes) - 1; i >= 0; i-- {
-		if err := s.ring.Remove(h.vnodes[i].rn); err != nil {
+		v := h.vnodes[i]
+		if s.ring.Len() > 1 {
+			s.ring.Succ(v.rn, 1).Data.host.wlEpoch = 0
+		}
+		if err := s.ring.Remove(v.rn); err != nil {
 			panic(err)
 		}
 	}
 	h.vnodes = h.vnodes[:0]
+	h.wlEpoch = 0
 }
 
 // recordEvent appends to the topology log when RecordEvents is on.
@@ -754,11 +932,15 @@ func (s *Simulation) chargeLookup() {
 }
 
 func (s *Simulation) snapshot(tick int) Snapshot {
-	snap := Snapshot{Tick: tick}
-	for _, h := range s.hosts {
-		if !h.acct.Alive() {
-			continue
-		}
+	alive := s.aliveHosts()
+	// Snapshots escape into the Result, so the buffers are freshly
+	// allocated — but exactly once, at their final size.
+	snap := Snapshot{
+		Tick:           tick,
+		HostWorkloads:  make([]int, 0, len(alive)),
+		VNodeWorkloads: make([]int, 0, s.ring.Len()),
+	}
+	for _, h := range alive {
 		snap.AliveHosts++
 		snap.HostWorkloads = append(snap.HostWorkloads, h.Workload())
 		for _, v := range h.vnodes {
@@ -789,9 +971,11 @@ func (s *Simulation) Params() strategy.Params { return s.params }
 func (s *Simulation) RNG() *xrand.Rand { return s.rng }
 
 // EachHost implements strategy.World: live hosts in stable index order.
+// The active list is maintained in exactly that order, so strategies'
+// per-host RNG consumption sequence is unchanged.
 func (s *Simulation) EachHost(fn func(h strategy.Host, primary strategy.VNode)) {
-	for _, h := range s.hosts {
-		if h.acct.Alive() && len(h.vnodes) > 0 {
+	for _, h := range s.aliveHosts() {
+		if len(h.vnodes) > 0 {
 			fn(h, h.vnodes[0])
 		}
 	}
@@ -857,19 +1041,27 @@ func (s *Simulation) CreateSybil(h strategy.Host, id ids.ID) (int, bool) {
 func (s *Simulation) DropSybils(h strategy.Host) {
 	host := s.hosts[h.Index()]
 	kept := host.vnodes[:0]
+	dropped := false
 	for _, v := range host.vnodes {
 		if !v.isSybil {
 			kept = append(kept, v)
 			continue
 		}
 		s.recordEvent(EventSybilDrop, host.Index(), v.ID(), v.rn.Workload())
+		if s.ring.Len() > 1 {
+			s.ring.Succ(v.rn, 1).Data.host.wlEpoch = 0
+		}
 		if err := s.ring.Remove(v.rn); err != nil {
 			panic(err)
 		}
 		host.acct.DroppedSybil()
 		s.msgs.SybilsDropped++
+		dropped = true
 	}
 	host.vnodes = kept
+	if dropped {
+		host.wlEpoch = 0 // keys were handed off this host
+	}
 }
 
 // RandomID implements strategy.World.

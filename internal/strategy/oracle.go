@@ -16,11 +16,19 @@ func NewOracle() Strategy { return Oracle{} }
 // Name implements Strategy.
 func (Oracle) Name() string { return "oracle" }
 
+// loaded pairs a virtual node with its workload at ranking time, so the
+// global sort compares plain ints instead of making two interface calls
+// per comparison.
+type loaded struct {
+	v VNode
+	w int
+}
+
 // Decide implements Strategy.
 func (Oracle) Decide(w World) {
 	p := w.Params()
 	var idle []Host
-	var all []VNode
+	var all []loaded
 	w.EachHost(func(h Host, primary VNode) {
 		if h.Workload() == 0 && h.SybilCount() > 0 {
 			w.DropSybils(h)
@@ -28,24 +36,36 @@ func (Oracle) Decide(w World) {
 		if h.Workload() <= p.SybilThreshold && h.CanCreateSybil() {
 			idle = append(idle, h)
 		}
-		all = append(all, w.VNodesOf(h)...)
+		for _, v := range w.VNodesOf(h) {
+			all = append(all, loaded{v: v})
+		}
 	})
 	if len(idle) == 0 || len(all) == 0 {
 		return
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].Workload() > all[j].Workload() })
+	// Workloads are read once, after the EachHost pass (DropSybils above
+	// may still move keys mid-scan) and before any splits below. That
+	// matches what the old live-read sort observed, and the advance loop
+	// stays exact too: a CreateSybil split drains only the vnode being
+	// split, which the loop skips immediately afterwards — every later
+	// cached value is still the live value. The comparator's outcomes
+	// are unchanged, so sort.Slice produces the identical permutation.
+	for i := range all {
+		all[i].w = all[i].v.Workload()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].w > all[j].w })
 
 	vi := 0
 	for _, h := range idle {
 		// Advance past victims not worth splitting or owned by the
 		// helper itself.
-		for vi < len(all) && (all[vi].Workload() < 2 || all[vi].Host().Index() == h.Index()) {
+		for vi < len(all) && (all[vi].w < 2 || all[vi].v.Host().Index() == h.Index()) {
 			vi++
 		}
 		if vi >= len(all) {
 			return
 		}
-		if id, ok := w.SplitPoint(all[vi]); ok {
+		if id, ok := w.SplitPoint(all[vi].v); ok {
 			w.CreateSybil(h, id)
 		}
 		vi++

@@ -9,7 +9,10 @@
 // used for anything but simulation.
 package xrand
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // splitMix64 advances the SplitMix64 state and returns the next output.
 // It is used only to expand a single seed into the xoshiro state.
@@ -54,18 +57,20 @@ func NewStream(seed uint64, i int) *Rand {
 	return New(splitMix64(&sm))
 }
 
-func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
-
-// Uint64 returns the next 64 uniformly distributed bits.
+// Uint64 returns the next 64 uniformly distributed bits. The rotates go
+// through math/bits so they compile to single instructions and the whole
+// generator fits the compiler's inlining budget — the simulator draws one
+// Bernoulli variate per host per tick, so call overhead here is a
+// measurable fraction of churn cost.
 func (r *Rand) Uint64() uint64 {
-	result := rotl(r.s[1]*5, 7) * 9
-	t := r.s[1] << 17
+	s1 := r.s[1]
+	result := bits.RotateLeft64(s1*5, 7) * 9
 	r.s[2] ^= r.s[0]
-	r.s[3] ^= r.s[1]
-	r.s[1] ^= r.s[2]
+	r.s[3] ^= s1
+	r.s[1] = s1 ^ r.s[2]
 	r.s[0] ^= r.s[3]
-	r.s[2] ^= t
-	r.s[3] = rotl(r.s[3], 45)
+	r.s[2] ^= s1 << 17
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
 	return result
 }
 
