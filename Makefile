@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test test-race cover bench bench-micro bench-gate sweep figures fuzz chaos clean
+.PHONY: all build lint doccheck mdcheck trace-check test test-race cover bench bench-micro bench-gate sweep figures fuzz chaos clean
 
 # The BENCH_<pr> suffix for perf reports; bump per perf-focused PR.
 BENCH_PR ?= 3
@@ -14,9 +14,30 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-# Determinism & concurrency linter; see docs/LINTING.md.
+# Determinism & concurrency linter plus the documentation checkers;
+# see docs/LINTING.md.
 lint:
 	$(GO) run ./cmd/dhtlint ./...
+	$(GO) run ./cmd/mdcheck
+
+# Just the godoc rule, for quick iteration while writing docs.
+doccheck:
+	$(GO) run ./cmd/dhtlint -rules doccomment ./...
+
+# Just the Markdown link/anchor checker (also part of `make lint`).
+mdcheck:
+	$(GO) run ./cmd/mdcheck
+
+# Trace determinism audit (docs/OBSERVABILITY.md): two fresh runs at one
+# seed must produce byte-identical JSONL traces, and dhttrace must agree.
+trace-check:
+	@rm -rf /tmp/chordbalance-trace-check && mkdir -p /tmp/chordbalance-trace-check
+	$(GO) run ./cmd/dhtsim -nodes 500 -tasks 50000 -strategy random -churn 0.02 \
+	  -seed 7 -trace /tmp/chordbalance-trace-check/a.jsonl > /dev/null
+	$(GO) run ./cmd/dhtsim -nodes 500 -tasks 50000 -strategy random -churn 0.02 \
+	  -seed 7 -trace /tmp/chordbalance-trace-check/b.jsonl > /dev/null
+	cmp /tmp/chordbalance-trace-check/a.jsonl /tmp/chordbalance-trace-check/b.jsonl
+	$(GO) run ./cmd/dhttrace diff /tmp/chordbalance-trace-check/a.jsonl /tmp/chordbalance-trace-check/b.jsonl
 
 test:
 	$(GO) test ./...

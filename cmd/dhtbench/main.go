@@ -17,10 +17,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"chordbalance/internal/bench"
+	"chordbalance/internal/obs"
 	"chordbalance/internal/prof"
+	"chordbalance/internal/sim"
 )
 
 func main() {
@@ -42,6 +45,11 @@ func run(args []string, out io.Writer) error {
 		tolerance = fs.Float64("tolerance", 0.15, "allowed ns/tick regression fraction in -gate mode")
 		filter    = fs.String("workloads", "", "comma-separated workload names (default: all)")
 		list      = fs.Bool("list", false, "list workloads and exit")
+
+		// Untimed trace capture (docs/OBSERVABILITY.md): one traced,
+		// unmeasured run of trial 0 per workload, written before the timed
+		// trials so tracing can never contaminate the numbers.
+		traceDir = fs.String("trace", "", "write an untimed per-workload JSONL trace (trial 0) into this directory")
 
 		// Perf-evidence profiles (docs/PERFORMANCE.md, EXPERIMENTS.md).
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -78,6 +86,13 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(os.Stderr, "%-20s ticks=%-8d ns/tick=%-10.0f allocs/tick=%-9.1f wall=%v\n",
 			m.Workload, m.Ticks, m.NsPerTick, m.AllocsPerTick,
 			time.Duration(m.WallNs).Round(time.Millisecond))
+	}
+
+	if *traceDir != "" {
+		if err := captureTraces(*traceDir, workloads, *seed); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d traces to %s\n", len(workloads), *traceDir)
 	}
 
 	if *gateFile != "" {
@@ -125,6 +140,33 @@ func run(args []string, out io.Writer) error {
 		if sp, ok := rep.Speedup(m.Workload); ok {
 			fmt.Fprintf(out, "  %-20s %.2fx vs baseline (%.0f -> %.0f ns/tick)\n",
 				m.Workload, sp, mustFind(rep.Baseline, m.Workload).NsPerTick, m.NsPerTick)
+		}
+	}
+	return nil
+}
+
+// captureTraces runs trial 0 of each workload once, untimed, with a
+// per-tick tracer writing <dir>/<workload>.jsonl. The seeds match what
+// the timed run's trial 0 uses (bench.TrialSeed), so a captured trace
+// describes exactly the run the measurements time — without its
+// overhead ever appearing in them.
+func captureTraces(dir string, workloads []bench.Workload, seed uint64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, w := range workloads {
+		sink, err := obs.NewFileSink(filepath.Join(dir, w.Name+".jsonl"))
+		if err != nil {
+			return err
+		}
+		cfg := w.Config(bench.TrialSeed(seed, 0))
+		cfg.Trace = obs.New(sink)
+		_, err = sim.Run(cfg)
+		if cerr := cfg.Trace.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("tracing workload %s: %w", w.Name, err)
 		}
 	}
 	return nil

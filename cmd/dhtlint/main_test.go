@@ -56,8 +56,10 @@ func Draw() int { return rand.Int() }
 
 func TestRunCleanTreeExitsZero(t *testing.T) {
 	writeModule(t, map[string]string{
-		"internal/goodpkg/good.go": `package goodpkg
+		"internal/goodpkg/good.go": `// Package goodpkg is a documented, rule-abiding fixture.
+package goodpkg
 
+// Add returns a+b.
 func Add(a, b int) int { return a + b }
 `,
 	})
@@ -72,11 +74,13 @@ func Add(a, b int) int { return a + b }
 
 func TestRunIgnoreDirectiveSuppresses(t *testing.T) {
 	writeModule(t, map[string]string{
-		"internal/badpkg/bad.go": `package badpkg
+		"internal/badpkg/bad.go": `// Package badpkg exercises the suppression path.
+package badpkg
 
 //lint:ignore norand exercising the suppression path end to end
 import "math/rand"
 
+// Draw draws from the suppressed source.
 func Draw() int { return rand.Int() }
 `,
 	})
@@ -111,7 +115,7 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errw); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, rule := range []string{"norand", "nowallclock", "maporder", "mutexcopy", "seedflow", "errcheck-lite"} {
+	for _, rule := range []string{"norand", "nowallclock", "maporder", "mutexcopy", "seedflow", "errcheck-lite", "doccomment"} {
 		if !strings.Contains(out.String(), rule) {
 			t.Errorf("-list output missing rule %s:\n%s", rule, out.String())
 		}

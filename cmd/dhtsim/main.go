@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"chordbalance/internal/faults"
+	"chordbalance/internal/obs"
 	"chordbalance/internal/prof"
 	"chordbalance/internal/ring"
 	"chordbalance/internal/sim"
@@ -73,6 +74,9 @@ func run(args []string, out io.Writer) error {
 		// Perf-evidence profiles (docs/PERFORMANCE.md, EXPERIMENTS.md).
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+
+		// Per-tick JSONL trace (docs/OBSERVABILITY.md; analyze with dhttrace).
+		tracePath = fs.String("trace", "", "write a per-tick JSONL trace to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -138,7 +142,17 @@ func run(args []string, out io.Writer) error {
 		cfg.Faults.Seed = *seed
 	}
 	cfg.RecordEvents = *events != ""
+	if *tracePath != "" {
+		sink, err := obs.NewFileSink(*tracePath)
+		if err != nil {
+			return err
+		}
+		cfg.Trace = obs.New(sink)
+	}
 	res, err := sim.Run(cfg)
+	if cerr := cfg.Trace.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("closing trace %s: %w", *tracePath, cerr)
+	}
 	if err != nil {
 		return err
 	}

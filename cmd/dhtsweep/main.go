@@ -12,9 +12,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"chordbalance/internal/experiments"
+	"chordbalance/internal/obs"
 	"chordbalance/internal/prof"
 	"chordbalance/internal/report"
 )
@@ -38,6 +41,11 @@ func run(args []string, out io.Writer) error {
 		list    = fs.Bool("list", false, "list experiments and exit")
 		csv     = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		md      = fs.Bool("md", false, "emit Markdown tables (for EXPERIMENTS.md)")
+
+		// Per-trial JSONL traces (docs/OBSERVABILITY.md). Only experiments
+		// that aggregate through experiments.FactorStat (the summary tables
+		// and ablations) write traces; bespoke drivers run untraced.
+		traceDir = fs.String("trace", "", "write per-trial JSONL traces into this directory (<exp>-c<cell>-t<trial>.jsonl)")
 
 		// Perf-evidence profiles (docs/PERFORMANCE.md, EXPERIMENTS.md).
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -207,6 +215,35 @@ func run(args []string, out io.Writer) error {
 	}
 
 	opt := experiments.Options{Trials: *trials, Seed: *seed, Workers: *workers}
+	// Per-trial trace hook: each trial opens its own file sink, so the
+	// parallel sweep needs no locking around the tracers themselves; only
+	// the first file-creation error is retained (and surfaced after the
+	// experiment finishes — the failing trial just runs untraced).
+	var traceErr error
+	var traceMu sync.Mutex
+	makeTrace := func(name string) func(cell, trial int) *obs.Tracer {
+		if *traceDir == "" {
+			return nil
+		}
+		return func(cell, trial int) *obs.Tracer {
+			path := filepath.Join(*traceDir, fmt.Sprintf("%s-c%d-t%d.jsonl", name, cell, trial))
+			sink, err := obs.NewFileSink(path)
+			if err != nil {
+				traceMu.Lock()
+				if traceErr == nil {
+					traceErr = err
+				}
+				traceMu.Unlock()
+				return nil
+			}
+			return obs.New(sink)
+		}
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return err
+		}
+	}
 	runOne := func(name string) error {
 		for _, e := range all {
 			if e.name == name {
@@ -220,8 +257,16 @@ func run(args []string, out io.Writer) error {
 				// docs/LINTING.md.
 				start := time.Now()
 				fmt.Fprintf(out, "== %s ==\n", e.what)
-				if err := e.run(opt); err != nil {
+				o := opt
+				o.Trace = makeTrace(name)
+				if err := e.run(o); err != nil {
 					return fmt.Errorf("%s: %w", name, err)
+				}
+				traceMu.Lock()
+				terr := traceErr
+				traceMu.Unlock()
+				if terr != nil {
+					return fmt.Errorf("%s: opening trace sink: %w", name, terr)
 				}
 				fmt.Fprintf(out, "(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 				return nil

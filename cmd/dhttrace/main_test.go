@@ -1,0 +1,157 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chordbalance/internal/obs"
+	"chordbalance/internal/sim"
+	"chordbalance/internal/strategy"
+)
+
+// writeTrace runs a small deterministic simulation with a tracer and
+// returns the trace file path.
+func writeTrace(t *testing.T, name string, seed uint64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	sink, err := obs.NewFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{
+		Nodes:    50,
+		Tasks:    1500,
+		Strategy: strategy.NewRandomInjection(),
+		Seed:     seed,
+		Trace:    obs.New(sink),
+	}
+	if _, err := sim.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Trace.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCmd(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var b strings.Builder
+	err := run(args, &b)
+	return b.String(), err
+}
+
+func TestDiffIdenticalTraces(t *testing.T) {
+	a := writeTrace(t, "a.jsonl", 42)
+	b := writeTrace(t, "b.jsonl", 42)
+	out, err := runCmd(t, "diff", a, b)
+	if err != nil {
+		t.Fatalf("diff of same-seed traces failed: %v", err)
+	}
+	if !strings.HasPrefix(out, "traces identical:") {
+		t.Fatalf("diff output = %q", out)
+	}
+	// Same-seed traces are byte-identical, not merely value-identical.
+	ba, errA := os.ReadFile(a)
+	bb, errB := os.ReadFile(b)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if string(ba) != string(bb) {
+		t.Fatal("same-seed trace files are not byte-identical")
+	}
+}
+
+// TestDiffGolden pins the divergence report's shape: different seeds
+// diverge at meta, and same-meta different-value traces report the
+// first differing tick and metric.
+func TestDiffGolden(t *testing.T) {
+	a := writeTrace(t, "a.jsonl", 1)
+	b := writeTrace(t, "b.jsonl", 2)
+	_, err := runCmd(t, "diff", a, b)
+	if err == nil {
+		t.Fatal("diff of different-seed traces succeeded")
+	}
+	if got, want := err.Error(), `meta "seed" differs: 1 vs 2`; got != want {
+		t.Fatalf("diff error = %q, want %q", got, want)
+	}
+}
+
+func TestSummaryDeterministicAndComplete(t *testing.T) {
+	path := writeTrace(t, "run.jsonl", 7)
+	out1, err := runCmd(t, "summary", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := runCmd(t, "summary", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1 != out2 {
+		t.Fatal("summary output is not deterministic")
+	}
+	for _, want := range []string{
+		"meta seed           7",
+		"meta strategy       random",
+		"signal sim.workload.max",
+		"done completed      true",
+	} {
+		if !strings.Contains(out1, want) {
+			t.Errorf("summary missing %q:\n%s", want, out1)
+		}
+	}
+}
+
+func TestSeriesAndMetrics(t *testing.T) {
+	path := writeTrace(t, "run.jsonl", 7)
+	out, err := runCmd(t, "series", "-m", "sim.workload.max", "-w", "20", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sim.workload.max") || !strings.Contains(out, "[0..") {
+		t.Fatalf("series output = %q", out)
+	}
+	if _, err := runCmd(t, "series", "-m", "no.such.metric", path); err == nil {
+		t.Fatal("series accepted an unknown metric")
+	}
+	out, err = runCmd(t, "metrics", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sim.workload.hosts") || !strings.Contains(out, "hist") {
+		t.Fatalf("metrics output missing histogram row:\n%s", out)
+	}
+}
+
+func TestHistSingleAndPair(t *testing.T) {
+	a := writeTrace(t, "a.jsonl", 5)
+	b := writeTrace(t, "b.jsonl", 5)
+	out, err := runCmd(t, "hist", "-t", "0", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sim.workload.hosts at tick 0") || !strings.Contains(out, "0 (idle)") {
+		t.Fatalf("hist output = %q", out)
+	}
+	out, err = runCmd(t, "hist", "-t", "0", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "a.jsonl") || !strings.Contains(out, "b.jsonl") {
+		t.Fatalf("paired hist output missing labels:\n%s", out)
+	}
+	if _, err := runCmd(t, "hist", "-t", "99999", a); err == nil {
+		t.Fatal("hist accepted a tick with no record")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if _, err := runCmd(t); err == nil {
+		t.Fatal("no-arg invocation succeeded")
+	}
+	if _, err := runCmd(t, "bogus"); err == nil {
+		t.Fatal("unknown subcommand succeeded")
+	}
+}

@@ -1,0 +1,47 @@
+// Command mdcheck validates the repository's Markdown documentation
+// offline: every relative link must resolve to an existing file and
+// every #fragment must name a real heading anchor (GitHub slug rules).
+// External URLs are never fetched, so the check is deterministic and
+// safe for CI. Findings print as "file:line: link (target): reason" and
+// any finding makes the exit status nonzero; `make lint` runs it next
+// to dhtlint (see docs/LINTING.md).
+//
+//	mdcheck            # check the tree rooted at the current directory
+//	mdcheck docs ..    # check one or more explicit roots
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"chordbalance/internal/mdlint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	roots := args
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	total := 0
+	for _, root := range roots {
+		findings, err := mdlint.CheckTree(root)
+		if err != nil {
+			fmt.Fprintln(errw, "mdcheck:", err)
+			return 2
+		}
+		for _, f := range findings {
+			fmt.Fprintln(out, f)
+		}
+		total += len(findings)
+	}
+	if total > 0 {
+		fmt.Fprintf(errw, "mdcheck: %d broken link(s)\n", total)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunCleanTree(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "a.md"), []byte("# A\n\n[self](#a)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw strings.Builder
+	if code := run([]string{root}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errw.String())
+	}
+}
+
+func TestRunBrokenLinkFailsClosed(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "a.md"), []byte("[x](missing.md)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw strings.Builder
+	if code := run([]string{root}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "missing.md") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+// TestRepositoryDocsAreClean runs the checker over the actual module
+// tree, so a broken doc link fails `go test ./...` as well as CI's
+// dedicated step.
+func TestRepositoryDocsAreClean(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Skip("module root not found:", err)
+	}
+	var out, errw strings.Builder
+	if code := run([]string{root}, &out, &errw); code != 0 {
+		t.Fatalf("repository docs have broken links:\n%s", out.String())
+	}
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

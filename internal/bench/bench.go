@@ -144,10 +144,11 @@ func Filter(ws []Workload, csv string) ([]Workload, error) {
 	return out, nil
 }
 
-// trialSeed derives the seed for one trial, mirroring the SplitMix64
+// TrialSeed derives the seed for one trial, mirroring the SplitMix64
 // finalization used by internal/experiments so trials stay independent
-// but reproducible.
-func trialSeed(base uint64, trial int) uint64 {
+// but reproducible. Exported so dhtbench's untimed -trace capture mode
+// can replay exactly the seed a timed trial would use.
+func TrialSeed(base uint64, trial int) uint64 {
 	x := base ^ 0xbf58476d1ce4e5b9*uint64(trial+1)
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
@@ -183,7 +184,7 @@ func Measure(w Workload, trials int, seed uint64, clock Clock) (Measurement, err
 	runtime.ReadMemStats(&before)
 	start := clock()
 	for t := 0; t < trials; t++ {
-		res, err := sim.Run(w.Config(trialSeed(seed, t)))
+		res, err := sim.Run(w.Config(TrialSeed(seed, t)))
 		if err != nil {
 			return m, fmt.Errorf("bench: workload %s trial %d: %w", w.Name, t, err)
 		}

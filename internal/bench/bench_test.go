@@ -69,7 +69,7 @@ func TestFilter(t *testing.T) {
 func TestTrialSeedsDistinct(t *testing.T) {
 	seen := map[uint64]bool{}
 	for i := 0; i < 100; i++ {
-		s := trialSeed(7, i)
+		s := TrialSeed(7, i)
 		if seen[s] {
 			t.Fatalf("trial %d repeats seed %d", i, s)
 		}

@@ -82,6 +82,10 @@ type Network struct {
 	// registry remembers every key ever stored via Put so the repair
 	// instrumentation (repair.go) can audit what survived a failure.
 	registry map[ids.ID]string
+
+	// obsm holds the trace-metric handles registered by SetTracer; nil
+	// when tracing is disabled (see trace.go).
+	obsm *chordMetrics
 }
 
 // NewNetwork returns an empty overlay.

@@ -84,7 +84,7 @@ func (nw *Network) FailureWave(victims []ids.ID, maxRounds int) RepairReport {
 	}
 	rounds, ok := nw.StabilizeUntilConverged(maxRounds)
 	rec, lost, fails := nw.ProbeKeys()
-	return RepairReport{
+	rep := RepairReport{
 		Killed:        len(victims),
 		Rounds:        rounds,
 		Converged:     ok,
@@ -93,6 +93,10 @@ func (nw *Network) FailureWave(victims []ids.ID, maxRounds int) RepairReport {
 		KeysLost:      lost,
 		ProbeFailures: fails,
 	}
+	if nw.obsm != nil {
+		nw.obsm.recordRepair(rep)
+	}
+	return rep
 }
 
 // ChaosReport aggregates a multi-tick chaos run.
@@ -161,10 +165,17 @@ func (nw *Network) RunChaos(ticks, maxRoundsPerWave int) ChaosReport {
 		if !ok {
 			rep.Unconverged++
 		}
+		if nw.obsm != nil {
+			nw.obsm.recordWave(len(victims), rounds, ok)
+		}
 	}
 	rep.KeysRecovered, rep.KeysLost, rep.ProbeFailures = nw.ProbeKeys()
 	rep.KeysTracked = len(nw.registry)
 	rep.Transport = nw.tstats
+	if nw.obsm != nil {
+		nw.obsm.recordAudit(rep.KeysRecovered, rep.KeysLost, rep.ProbeFailures)
+	}
+	nw.FlushTrace()
 	return rep
 }
 

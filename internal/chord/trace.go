@@ -1,0 +1,192 @@
+package chord
+
+// Per-tick observability for the real-protocol overlay
+// (docs/OBSERVABILITY.md). SetTracer attaches an obs.Tracer; every
+// AdvanceTick then emits one JSONL tick record mirroring the overlay's
+// message accounting, the transport fault layer (drops, retries,
+// backoff, timeouts), and the repair instrumentation's cumulative key
+// audit. Like the sim tracer, everything here is read-only and consumes
+// no randomness, so a traced chaos run is byte-identical to the same
+// seed untraced.
+
+import (
+	"sort"
+
+	"chordbalance/internal/obs"
+)
+
+// chordMetrics holds the overlay's registered metric handles; nil when
+// tracing is disabled.
+type chordMetrics struct {
+	t *obs.Tracer
+
+	// Per-tick overlay shape.
+	nodesAlive *obs.Gauge
+	keysStored *obs.Gauge
+
+	// Cumulative protocol messages, total plus per kind (created on
+	// demand, iterated via a sorted cache).
+	msgsTotal *obs.Counter
+	msgsKind  map[string]*obs.Counter
+	kindCache []string
+
+	// Transport fault layer (mirrors TransportStats).
+	sends      *obs.Counter
+	drops      *obs.Counter
+	retries    *obs.Counter
+	duplicates *obs.Counter
+	timeouts   *obs.Counter
+	backoff    *obs.Counter
+	delay      *obs.Counter
+	refusals   *obs.Counter
+	lookups    *obs.Counter
+	lkFailures *obs.Counter
+	lkSuccess  *obs.Gauge
+
+	// Repair instrumentation (accumulated across FailureWave calls).
+	waves        *obs.Counter
+	killed       *obs.Counter
+	repairRounds *obs.Counter
+	unconverged  *obs.Counter
+	keysRec      *obs.Counter
+	keysLost     *obs.Counter
+	probeFails   *obs.Counter
+}
+
+// SetTracer attaches (or, with nil, detaches) a tracer to the overlay.
+// Attaching registers the metric catalog and writes the trace header
+// (meta + schema); from then on every AdvanceTick emits one tick record
+// describing the tick that just finished (so the first AdvanceTick
+// emits the tick-0 initial state), and FlushTrace captures the final
+// tick. With no tracer attached none of this code runs and the overlay
+// behaves exactly as before.
+func (nw *Network) SetTracer(t *obs.Tracer) {
+	if t == nil {
+		nw.obsm = nil
+		return
+	}
+	reg := t.Registry()
+	m := &chordMetrics{
+		t: t,
+
+		nodesAlive: reg.Gauge("chord.nodes.alive", "nodes", "live nodes in the overlay"),
+		keysStored: reg.Gauge("chord.keys.tracked", "keys", "distinct keys ever stored via Put"),
+
+		msgsTotal: reg.Counter("chord.msgs.total", "msgs", "protocol messages of every kind"),
+		msgsKind:  make(map[string]*obs.Counter),
+
+		sends:      reg.Counter("chord.rpc.sends", "msgs", "RPC first transmissions through the fault layer"),
+		drops:      reg.Counter("chord.rpc.drops", "msgs", "transmissions lost (including retries)"),
+		retries:    reg.Counter("chord.rpc.retries", "msgs", "re-transmissions after a drop"),
+		duplicates: reg.Counter("chord.rpc.duplicates", "msgs", "spurious duplicate deliveries"),
+		timeouts:   reg.Counter("chord.rpc.timeouts", "rpcs", "RPCs abandoned after the retry budget"),
+		backoff:    reg.Counter("chord.rpc.backoff_ticks", "ticks", "deterministic exponential backoff spent between retries"),
+		delay:      reg.Counter("chord.rpc.delay_ticks", "ticks", "in-flight delay imposed on delivered messages"),
+		refusals:   reg.Counter("chord.rpc.partition_refusals", "msgs", "sends blocked by an active partition"),
+		lookups:    reg.Counter("chord.rpc.lookups", "lookups", "end-to-end lookup attempts"),
+		lkFailures: reg.Counter("chord.rpc.lookup_failures", "lookups", "lookups that did not resolve"),
+		lkSuccess:  reg.Gauge("chord.rpc.lookup_success", "", "fraction of lookups that resolved (1 when none attempted)"),
+
+		waves:        reg.Counter("chord.repair.waves", "waves", "failure waves repaired via FailureWave"),
+		killed:       reg.Counter("chord.repair.killed", "nodes", "nodes crashed by failure waves"),
+		repairRounds: reg.Counter("chord.repair.rounds", "rounds", "maintenance rounds spent repairing failure waves"),
+		unconverged:  reg.Counter("chord.repair.unconverged", "waves", "waves still inconsistent after the round budget"),
+		keysRec:      reg.Counter("chord.repair.keys_recovered", "keys", "post-repair probes that found their key"),
+		keysLost:     reg.Counter("chord.repair.keys_lost", "keys", "post-repair probes whose key was gone"),
+		probeFails:   reg.Counter("chord.repair.probe_failures", "keys", "post-repair probes that did not resolve at all"),
+	}
+	nw.obsm = m
+	cfg := nw.cfg
+	t.EmitMeta(
+		obs.F{K: "source", V: "chord"},
+		obs.F{K: "successors", V: cfg.SuccessorListLen},
+		obs.F{K: "replicas", V: cfg.Replicas},
+		obs.F{K: "faults", V: nw.faults != nil},
+	)
+	t.EmitSchema()
+}
+
+// FlushTrace emits a tick record for the overlay's current tick without
+// advancing the clock — the end-of-run capture that AdvanceTick (which
+// records the *previous* tick) would otherwise never write. No-op when
+// no tracer is attached.
+func (nw *Network) FlushTrace() {
+	if nw.obsm != nil {
+		nw.obsm.observe(nw)
+	}
+}
+
+// observe gathers the overlay's current counters and emits one tick
+// record. Read-only: counting live nodes is a commutative reduction over
+// the node map, and the per-kind message iteration follows a sorted
+// cached kind list, never map order.
+func (m *chordMetrics) observe(nw *Network) {
+	alive := 0
+	for _, n := range nw.nodes {
+		if n.alive {
+			alive++
+		}
+	}
+	m.nodesAlive.SetInt(int64(alive))
+	m.keysStored.SetInt(int64(len(nw.registry)))
+	m.msgsTotal.Set(int64(nw.TotalMessages()))
+
+	if len(nw.msgs) != len(m.kindCache) {
+		kinds := m.kindCache[:0]
+		for kind := range nw.msgs {
+			kinds = append(kinds, kind)
+		}
+		sort.Strings(kinds)
+		m.kindCache = kinds
+	}
+	for _, kind := range m.kindCache {
+		c, ok := m.msgsKind[kind]
+		if !ok {
+			c = m.t.Registry().Counter("chord.msgs."+kind, "msgs",
+				"protocol messages of kind "+kind)
+			m.msgsKind[kind] = c
+		}
+		c.Set(int64(nw.msgs[kind]))
+	}
+
+	ts := nw.tstats
+	m.sends.Set(int64(ts.Sends))
+	m.drops.Set(int64(ts.Drops))
+	m.retries.Set(int64(ts.Retries))
+	m.duplicates.Set(int64(ts.Duplicates))
+	m.timeouts.Set(int64(ts.Timeouts))
+	m.backoff.Set(int64(ts.BackoffTicks))
+	m.delay.Set(int64(ts.DelayTicks))
+	m.refusals.Set(int64(ts.PartitionRefusals))
+	m.lookups.Set(int64(ts.Lookups))
+	m.lkFailures.Set(int64(ts.LookupFailures))
+	m.lkSuccess.Set(ts.LookupSuccessRate())
+
+	m.t.EmitTick(nw.tick)
+}
+
+// recordWave folds one failure wave's shape into the cumulative repair
+// counters; it surfaces in the next tick record. Used by both
+// FailureWave and RunChaos's inline wave handling.
+func (m *chordMetrics) recordWave(killed, rounds int, converged bool) {
+	m.waves.Add(1)
+	m.killed.Add(int64(killed))
+	m.repairRounds.Add(int64(rounds))
+	if !converged {
+		m.unconverged.Add(1)
+	}
+}
+
+// recordAudit publishes the latest key-audit outcome (FailureWave's
+// per-wave probe, or RunChaos's final audit).
+func (m *chordMetrics) recordAudit(recovered, lost, probeFailures int) {
+	m.keysRec.Set(int64(recovered))
+	m.keysLost.Set(int64(lost))
+	m.probeFails.Set(int64(probeFailures))
+}
+
+// recordRepair folds one FailureWave report into the repair counters.
+func (m *chordMetrics) recordRepair(rep RepairReport) {
+	m.recordWave(rep.Killed, rep.Rounds, rep.Converged)
+	m.recordAudit(rep.KeysRecovered, rep.KeysLost, rep.ProbeFailures)
+}

@@ -1,0 +1,86 @@
+package chord
+
+import (
+	"bytes"
+	"testing"
+
+	"chordbalance/internal/faults"
+	"chordbalance/internal/keys"
+	"chordbalance/internal/obs"
+)
+
+// tracedChaos builds a small overlay with stored keys and a fault plan,
+// optionally attaches a tracer, and runs a short chaos schedule.
+func tracedChaos(t *testing.T, tr *obs.Tracer) ChaosReport {
+	t.Helper()
+	nw := buildRing(t, 24, 17)
+	nw.FixAllFingers()
+	kg := keys.NewGenerator(31)
+	start := nw.nodes[nw.AliveIDs()[0]]
+	for i := 0; i < 50; i++ {
+		if err := start.Put(kg.Next(), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.SetFaultInjector(mustInjector(t, faults.Plan{
+		Seed: 6, CrashRate: 0.01, BurstEvery: 10, BurstSize: 2, DropRate: 0.05,
+	}))
+	nw.SetTracer(tr)
+	return nw.RunChaos(40, 300)
+}
+
+// TestChordTracedRunMatchesUntraced: attaching a tracer must not change
+// the chaos outcome — observe() is read-only and draws no randomness.
+func TestChordTracedRunMatchesUntraced(t *testing.T) {
+	plain := tracedChaos(t, nil)
+	var sink obs.MemSink
+	tr := obs.New(&sink)
+	traced := tracedChaos(t, tr)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if plain != traced {
+		t.Fatalf("tracing perturbed the chaos run:\nuntraced: %+v\ntraced:   %+v", plain, traced)
+	}
+
+	dec, err := obs.ReadTrace(bytes.NewReader(sink.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Meta["source"] != "chord" {
+		t.Fatalf("meta = %v", dec.Meta)
+	}
+	if len(dec.Ticks) != 41 { // tick 0 header record + 40 chaos ticks
+		t.Fatalf("tick records = %d, want 41", len(dec.Ticks))
+	}
+	last := dec.Ticks[len(dec.Ticks)-1]
+	if got := last.Counters["chord.repair.waves"]; got != int64(traced.Waves) {
+		t.Errorf("repair.waves = %d, report says %d", got, traced.Waves)
+	}
+	if got := last.Counters["chord.repair.rounds"]; got != int64(traced.TotalRepairRounds) {
+		t.Errorf("repair.rounds = %d, report says %d", got, traced.TotalRepairRounds)
+	}
+	if got := last.Counters["chord.rpc.drops"]; got != int64(traced.Transport.Drops) {
+		t.Errorf("rpc.drops = %d, report says %d", got, traced.Transport.Drops)
+	}
+	if got := last.Counters["chord.msgs.total"]; got <= 0 {
+		t.Errorf("msgs.total = %d, want > 0", got)
+	}
+}
+
+// TestChordTraceByteDeterminism: same overlay seed and fault plan, same
+// trace bytes.
+func TestChordTraceByteDeterminism(t *testing.T) {
+	emit := func() string {
+		var sink obs.MemSink
+		tr := obs.New(&sink)
+		tracedChaos(t, tr)
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return sink.String()
+	}
+	if a, b := emit(), emit(); a != b {
+		t.Fatal("same seed produced different chord trace bytes")
+	}
+}

@@ -79,6 +79,12 @@ func (nw *Network) Tick() int { return nw.tick }
 // step. Deployments would use wall time; the overlay uses ticks so every
 // fault sequence is replayable.
 func (nw *Network) AdvanceTick() {
+	// A tracer observes the finished tick before the clock moves: the
+	// first AdvanceTick therefore emits the tick-0 record (the overlay's
+	// initial state), and callers flush the final tick with FlushTrace.
+	if nw.obsm != nil {
+		nw.obsm.observe(nw)
+	}
 	nw.tick++
 	if nw.faults != nil {
 		nw.faults.AdvanceTo(nw.tick)

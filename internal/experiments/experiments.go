@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 
+	"chordbalance/internal/obs"
 	"chordbalance/internal/parallel"
 	"chordbalance/internal/sim"
 	"chordbalance/internal/stats"
@@ -24,6 +25,13 @@ type Options struct {
 	// Seed is the base seed; trial i of cell c uses a deterministic
 	// stream derived from (Seed, c, i).
 	Seed uint64
+	// Trace, when non-nil, supplies one tracer per (cell, trial) —
+	// typically obs.New over a per-trial file or memory sink. Each trial
+	// owns its tracer exclusively, so parallel sweeps need no locking,
+	// and the tracer is closed when its trial's run returns. nil (the
+	// default) disables tracing entirely. A trial whose hook returns nil
+	// runs untraced.
+	Trace func(cell, trial int) *obs.Tracer
 }
 
 func (o Options) withDefaults(defaultTrials int) Options {
@@ -53,6 +61,7 @@ type TrialStat struct {
 	Max  float64
 }
 
+// String renders the stat as "mean ±ci95 [n trials]" for table cells.
 func (s TrialStat) String() string {
 	return fmt.Sprintf("%.3f ±%.3f [%d trials]", s.Mean, s.CI95, s.N)
 }
@@ -104,7 +113,14 @@ func (sp Spec) Config(seed uint64) sim.Config {
 // FactorStat runs trials of one cell and aggregates the runtime factor.
 func FactorStat(fn ConfigFn, cell int, opt Options) (TrialStat, error) {
 	results, err := parallel.MapErr(opt.Trials, opt.Workers, func(i int) (float64, error) {
-		res, err := sim.Run(fn(trialSeed(opt.Seed, cell, i)))
+		cfg := fn(trialSeed(opt.Seed, cell, i))
+		if opt.Trace != nil {
+			cfg.Trace = opt.Trace(cell, i)
+		}
+		res, err := sim.Run(cfg)
+		if cerr := cfg.Trace.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("experiments: closing trial %d trace: %w", i, cerr)
+		}
 		if err != nil {
 			return 0, err
 		}

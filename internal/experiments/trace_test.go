@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"chordbalance/internal/obs"
+	"chordbalance/internal/sim"
+)
+
+// TestSweepTraceSerialMatchesParallel: per-trial tracers are exclusive
+// to their trial, so a parallel sweep must produce byte-identical traces
+// to the same sweep run serially — worker scheduling cannot leak into
+// the records.
+func TestSweepTraceSerialMatchesParallel(t *testing.T) {
+	fn := func(seed uint64) sim.Config {
+		return sim.Config{Nodes: 40, Tasks: 1200, ChurnRate: 0.02, Seed: seed}
+	}
+	const trials = 6
+	sweep := func(workers int) []string {
+		sinks := make([]*obs.MemSink, trials)
+		var mu sync.Mutex
+		opt := Options{
+			Trials:  trials,
+			Workers: workers,
+			Seed:    11,
+			Trace: func(cell, trial int) *obs.Tracer {
+				s := &obs.MemSink{}
+				mu.Lock()
+				sinks[trial] = s
+				mu.Unlock()
+				return obs.New(s)
+			},
+		}
+		if _, err := FactorStat(fn, 3, opt); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, trials)
+		for i, s := range sinks {
+			if s == nil || len(s.Bytes()) == 0 {
+				t.Fatalf("trial %d produced no trace", i)
+			}
+			out[i] = s.String()
+		}
+		return out
+	}
+
+	serial, par := sweep(1), sweep(4)
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("trial %d: serial and parallel sweeps produced different trace bytes", i)
+		}
+	}
+}
+
+// TestSweepUntracedMatchesTraced: threading tracers through FactorStat
+// must not change the aggregated statistics.
+func TestSweepUntracedMatchesTraced(t *testing.T) {
+	fn := func(seed uint64) sim.Config {
+		return sim.Config{Nodes: 40, Tasks: 1200, Seed: seed}
+	}
+	base := Options{Trials: 4, Workers: 2, Seed: 5}
+	plain, err := FactorStat(fn, 0, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := base
+	traced.Trace = func(cell, trial int) *obs.Tracer {
+		return obs.New(&obs.MemSink{})
+	}
+	got, err := FactorStat(fn, 0, traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != got {
+		t.Fatalf("tracing changed the sweep statistics: %+v vs %+v", plain, got)
+	}
+}

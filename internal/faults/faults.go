@@ -243,6 +243,13 @@ func (in *Injector) BurstNow() int {
 	return 0
 }
 
+// BurstTick reports whether the current tick is a scheduled
+// correlated-crash burst tick. Like BurstNow it consumes no randomness
+// (the burst schedule is pure tick arithmetic), so tracers can tag
+// burst ticks (docs/OBSERVABILITY.md) without perturbing the fault
+// stream.
+func (in *Injector) BurstTick() bool { return in.BurstNow() > 0 }
+
 // Pick returns a deterministic victim index in [0, n) for burst
 // selection. It panics if n <= 0.
 func (in *Injector) Pick(n int) int { return in.crash.Intn(n) }

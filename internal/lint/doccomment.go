@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DocComment enforces the godoc discipline the documentation pass
+// established (docs/OBSERVABILITY.md grew out of it): every package has
+// a package comment, and every exported top-level identifier — func,
+// method, type, const, var — carries a doc comment. Groups documented
+// on the enclosing const/var/type block are fine; so are trailing
+// line comments on single specs. Methods on unexported receiver types
+// are exempt (they are not reachable through the public API surface),
+// as are test files, which godoc never renders.
+//
+// The missing-package-comment finding is reported once per package, on
+// the first non-test file, so multi-file packages do not drown the
+// report in duplicates.
+func DocComment() *Rule {
+	return &Rule{
+		Name: "doccomment",
+		Doc:  "require doc comments on package clauses and exported top-level identifiers",
+		Skip: func(relFile string, isTest bool) bool { return isTest },
+		Check: func(pkg *Package, file *ast.File, report ReportFunc) {
+			if file == firstNonTestFile(pkg) && !packageDocumented(pkg) {
+				report(file.Name, "package %s has no package comment; add one above the package clause of one file", file.Name.Name)
+			}
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					checkFuncDoc(d, report)
+				case *ast.GenDecl:
+					checkGenDoc(d, report)
+				}
+			}
+		},
+	}
+}
+
+// firstNonTestFile returns the unit's first non-test file (the anchor
+// for the once-per-package missing-package-comment finding), or nil if
+// the unit is all tests (external _test packages).
+func firstNonTestFile(pkg *Package) *ast.File {
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Package).Filename
+		if !strings.HasSuffix(name, "_test.go") {
+			return f
+		}
+	}
+	return nil
+}
+
+// packageDocumented reports whether any non-test file carries a package
+// comment — godoc takes the package synopsis from whichever file has
+// one.
+func packageDocumented(pkg *Package) bool {
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if f.Doc != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFuncDoc flags exported funcs and methods without doc comments.
+// Methods whose receiver type is unexported are skipped: godoc hides
+// them, and documenting them is the type's internal concern.
+func checkFuncDoc(d *ast.FuncDecl, report ReportFunc) {
+	if d.Doc != nil || !d.Name.IsExported() {
+		return
+	}
+	if d.Recv != nil {
+		recv := receiverTypeName(d.Recv)
+		if recv == "" || !token.IsExported(recv) {
+			return
+		}
+		report(d.Name, "exported method %s.%s has no doc comment", recv, d.Name.Name)
+		return
+	}
+	report(d.Name, "exported function %s has no doc comment", d.Name.Name)
+}
+
+// checkGenDoc flags exported consts, vars, and types in undocumented
+// declarations. A doc comment on the enclosing block documents every
+// spec inside it; otherwise each exported spec needs its own doc or
+// trailing comment.
+func checkGenDoc(d *ast.GenDecl, report ReportFunc) {
+	if d.Doc != nil || d.Tok == token.IMPORT {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+				report(s.Name, "exported type %s has no doc comment", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					report(n, "exported %s %s has no doc comment", d.Tok, n.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverTypeName extracts the receiver's base type name, unwrapping
+// pointers and generic instantiations ((*T), T[P], ...).
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.ParenExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}

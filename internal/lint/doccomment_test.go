@@ -1,0 +1,102 @@
+package lint
+
+import "testing"
+
+func TestDocCommentExportedIdentifiers(t *testing.T) {
+	src := `// Package fixture is documented.
+package fixture
+
+func Exported() {}
+
+// Documented has a doc comment.
+func Documented() {}
+
+func unexported() {}
+
+type Widget struct{}
+
+// Gear is documented.
+type Gear struct{}
+
+func (w Widget) Spin() {}
+
+// Turn is documented.
+func (w Widget) Turn() {}
+
+type hidden struct{}
+
+func (h hidden) Visible() {} // method on unexported type: exempt
+
+const Limit = 10
+
+var Registry = 1
+
+// Grouped blocks are covered by the block comment.
+const (
+	A = 1
+	B = 2
+)
+
+var (
+	C = 3 // trailing comments document single specs
+	d = 4
+)
+`
+	got := checkFixture(t, DocComment(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "doccomment", 4, 11, 16, 25, 27)
+}
+
+func TestDocCommentMissingPackageComment(t *testing.T) {
+	srcA := `package fixture
+
+// Documented is fine; only the package clause is flagged.
+func Documented() {}
+`
+	srcB := `package fixture
+
+// Also is fine.
+func Also() {}
+`
+	got := checkFixture(t, DocComment(), map[string]string{
+		"internal/fix/a.go": srcA,
+		"internal/fix/b.go": srcB,
+	})
+	// Exactly one finding, anchored on the first file's package clause.
+	wantFindings(t, got, "doccomment", 1)
+	if got[0].Pos.Filename != "internal/fix/a.go" {
+		t.Errorf("package finding anchored at %s, want internal/fix/a.go", got[0].Pos.Filename)
+	}
+}
+
+func TestDocCommentPackageCommentAnywhere(t *testing.T) {
+	srcA := `package fixture
+`
+	srcB := `// Package fixture is documented here, in its second file.
+package fixture
+`
+	got := checkFixture(t, DocComment(), map[string]string{
+		"internal/fix/a.go": srcA,
+		"internal/fix/b.go": srcB,
+	})
+	wantFindings(t, got, "doccomment")
+}
+
+func TestDocCommentSkipsTests(t *testing.T) {
+	src := `package fixture
+
+func ExportedHelper(t int) {}
+`
+	got := checkFixture(t, DocComment(), map[string]string{"internal/fix/a_test.go": src})
+	wantFindings(t, got, "doccomment")
+}
+
+func TestDocCommentSuppression(t *testing.T) {
+	src := `// Package fixture is documented.
+package fixture
+
+//lint:ignore doccomment fixture exercises the suppression path
+func Exported() {}
+`
+	got := checkFixture(t, DocComment(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "doccomment")
+}

@@ -32,6 +32,7 @@ type Finding struct {
 	Message string
 }
 
+// String renders the finding in the canonical file:line:col form.
 func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Message)
 }
@@ -78,6 +79,7 @@ func DefaultRules(modulePath string) []*Rule {
 		MutexCopy(),
 		SeedFlow(),
 		ErrCheckLite(modulePath),
+		DocComment(),
 	}
 }
 

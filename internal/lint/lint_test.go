@@ -146,7 +146,7 @@ import _ "crypto/rand"
 
 func TestDefaultRulesRegistry(t *testing.T) {
 	rules := DefaultRules("chordbalance")
-	want := []string{"norand", "nowallclock", "maporder", "mutexcopy", "seedflow", "errcheck-lite"}
+	want := []string{"norand", "nowallclock", "maporder", "mutexcopy", "seedflow", "errcheck-lite", "doccomment"}
 	if len(rules) != len(want) {
 		t.Fatalf("registry has %d rules, want %d", len(rules), len(want))
 	}

@@ -1,0 +1,225 @@
+// Package mdlint is a stdlib-only checker for the repository's Markdown
+// documentation: it verifies that every relative link resolves to a file
+// that exists and that every #fragment points at a real heading anchor
+// (GitHub slug rules). External URLs (anything with a scheme) are never
+// fetched — the checker is offline and deterministic, so `make lint` and
+// CI can depend on it. cmd/mdcheck is the CLI front end; the doc-graph
+// it protects is indexed in README.md's documentation map.
+package mdlint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one broken link, rendered as "file:line: message".
+type Finding struct {
+	File   string // module-relative path of the file containing the link
+	Line   int    // 1-based line number of the link
+	Link   string // the raw link target as written
+	Reason string // why it is broken
+}
+
+// String renders the finding in file:line form for grep-friendly output.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: link (%s): %s", f.File, f.Line, f.Link, f.Reason)
+}
+
+// linkRe matches inline Markdown links and images: [text](target) and
+// ![alt](target), with an optional "title". Reference-style links are
+// not used in this repository.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^()\s]+)(?:\s+"[^"]*")?\)`)
+
+// codeSpanRe strips inline code spans so `[i]` in code is not parsed as
+// a link.
+var codeSpanRe = regexp.MustCompile("`[^`]*`")
+
+// headingRe matches ATX headings (outside fenced code blocks).
+var headingRe = regexp.MustCompile(`^(#{1,6})\s+(.*?)\s*#*\s*$`)
+
+// schemeRe recognizes absolute URLs (http:, https:, mailto:, ...),
+// which the offline checker skips.
+var schemeRe = regexp.MustCompile(`^[a-zA-Z][a-zA-Z0-9+.-]*:`)
+
+// CheckTree walks root for .md files (skipping .git and other dot
+// directories) and checks every relative link in each. Findings are
+// sorted by file, then line.
+func CheckTree(root string) ([]Finding, error) {
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(strings.ToLower(d.Name()), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	var out []Finding
+	anchors := make(map[string]map[string]bool) // cached per target file
+	for _, path := range files {
+		fs, err := checkFile(root, path, anchors)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out, nil
+}
+
+// checkFile validates every relative link in one Markdown file.
+func checkFile(root, path string, anchors map[string]map[string]bool) ([]Finding, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		rel = path
+	}
+	rel = filepath.ToSlash(rel)
+	var out []Finding
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		clean := codeSpanRe.ReplaceAllString(line, "``")
+		for _, m := range linkRe.FindAllStringSubmatch(clean, -1) {
+			target := m[1]
+			if schemeRe.MatchString(target) {
+				continue // external URL: offline checker never fetches
+			}
+			if reason := checkTarget(root, path, target, anchors); reason != "" {
+				out = append(out, Finding{File: rel, Line: i + 1, Link: target, Reason: reason})
+			}
+		}
+	}
+	return out, nil
+}
+
+// checkTarget resolves one relative link target (path#fragment) from
+// the linking file and explains what is broken ("" when the link is
+// fine).
+func checkTarget(root, from, target string, anchors map[string]map[string]bool) string {
+	pathPart, frag, hasFrag := strings.Cut(target, "#")
+	dest := from // bare "#fragment" links point into the linking file
+	if pathPart != "" {
+		if strings.HasPrefix(pathPart, "/") {
+			// Root-relative, GitHub-style.
+			dest = filepath.Join(root, filepath.FromSlash(pathPart))
+		} else {
+			dest = filepath.Join(filepath.Dir(from), filepath.FromSlash(pathPart))
+		}
+		info, err := os.Stat(dest)
+		if err != nil {
+			return "file does not exist"
+		}
+		if info.IsDir() {
+			if hasFrag {
+				return "fragment on a directory link"
+			}
+			return ""
+		}
+	}
+	if !hasFrag {
+		return ""
+	}
+	if !strings.HasSuffix(strings.ToLower(dest), ".md") {
+		return "fragment on a non-Markdown file"
+	}
+	set, err := anchorsOf(dest, anchors)
+	if err != nil {
+		return "cannot read link target"
+	}
+	if !set[frag] {
+		return fmt.Sprintf("no heading with anchor #%s", frag)
+	}
+	return ""
+}
+
+// anchorsOf returns (and caches) the set of GitHub heading slugs defined
+// in the Markdown file at path.
+func anchorsOf(path string, cache map[string]map[string]bool) (map[string]bool, error) {
+	if set, ok := cache[path]; ok {
+		return set, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[string]bool)
+	seen := make(map[string]int)
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := Slug(m[2])
+		if n := seen[slug]; n > 0 {
+			set[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			set[slug] = true
+		}
+		seen[slug]++
+	}
+	cache[path] = set
+	return set, nil
+}
+
+// inlineLinkTextRe rewrites [text](url) heading fragments to just text
+// before slugging, matching GitHub's anchor generation.
+var inlineLinkTextRe = regexp.MustCompile(`\[([^\]]*)\]\([^)]*\)`)
+
+// Slug converts a heading's text to its GitHub anchor: markdown
+// formatting stripped, lowercased, punctuation removed, spaces turned
+// into hyphens.
+func Slug(heading string) string {
+	h := inlineLinkTextRe.ReplaceAllString(heading, "$1")
+	h = strings.ReplaceAll(h, "`", "")
+	h = strings.ToLower(h)
+	var b strings.Builder
+	for _, r := range h {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteRune('-')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package mdlint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a map of relative path -> content under a
+// temp dir and returns the root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestCheckTreeCleanLinks(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md": "# Top\n\n## Usage Notes\n\n[design](docs/DESIGN.md) " +
+			"[anchor](docs/DESIGN.md#goals) [self](#usage-notes) " +
+			"[ext](https://example.com/missing) [root](/docs/DESIGN.md)\n",
+		"docs/DESIGN.md": "# Design\n\n## Goals\n\n[up](../README.md#top)\n",
+	})
+	got, err := CheckTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("clean tree produced findings: %v", got)
+	}
+}
+
+func TestCheckTreeBrokenFileAndAnchor(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md":      "# Top\n\n[gone](docs/MISSING.md)\n\n[bad](docs/DESIGN.md#nope)\n",
+		"docs/DESIGN.md": "# Design\n",
+	})
+	got, err := CheckTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(got), got)
+	}
+	if got[0].Line != 3 || !strings.Contains(got[0].Reason, "does not exist") {
+		t.Errorf("finding 0 = %v", got[0])
+	}
+	if got[1].Line != 5 || !strings.Contains(got[1].Reason, "#nope") {
+		t.Errorf("finding 1 = %v", got[1])
+	}
+}
+
+func TestCheckTreeSkipsCodeFencesAndSpans(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md": "# Top\n\n```\n[not a link](missing.md)\n```\n\n" +
+			"Use `[broken](missing.md)` in code spans.\n",
+	})
+	got, err := CheckTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("fenced/span links were checked: %v", got)
+	}
+}
+
+func TestCheckTreeDuplicateHeadings(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a.md": "# Results\n\n## Setup\n\n## Setup\n\n[one](#setup) [two](#setup-1) [three](#setup-2)\n",
+	})
+	got, err := CheckTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Link != "#setup-2" {
+		t.Fatalf("got %v, want exactly #setup-2 flagged", got)
+	}
+}
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Usage Notes":            "usage-notes",
+		"`dhttrace` CLI":         "dhttrace-cli",
+		"Table 2: Churn (10k)":   "table-2-churn-10k",
+		"[linked](x.md) heading": "linked-heading",
+		"Mixed_Case-and Spaces":  "mixed_case-and-spaces",
+	}
+	for in, want := range cases {
+		if got := Slug(in); got != want {
+			t.Errorf("Slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package obs_test
+
+import (
+	"fmt"
+
+	"chordbalance/internal/obs"
+)
+
+// Example traces three ticks of a toy run into an in-memory sink and
+// prints the JSONL records. A nil sink would disable tracing entirely
+// (obs.New(nil) returns the nil tracer, whose methods are free no-ops).
+func Example() {
+	var sink obs.MemSink
+	tr := obs.New(&sink)
+
+	reg := tr.Registry()
+	done := reg.Counter("demo.tasks.done", "tasks", "cumulative tasks completed")
+	load := reg.Gauge("demo.workload.max", "tasks", "largest per-host residual workload")
+
+	tr.EmitMeta(obs.F{K: "seed", V: uint64(1)})
+	for tick := 1; tick <= 3; tick++ {
+		done.Add(100)
+		load.Set(float64(900 - 100*tick))
+		tr.EmitTick(tick)
+	}
+	if err := tr.Close(); err != nil {
+		panic(err)
+	}
+	fmt.Print(sink.String())
+	// Output:
+	// {"kind":"meta","schema":1,"seed":1}
+	// {"kind":"tick","tick":1,"c":{"demo.tasks.done":100},"g":{"demo.workload.max":800},"h":{}}
+	// {"kind":"tick","tick":2,"c":{"demo.tasks.done":200},"g":{"demo.workload.max":700},"h":{}}
+	// {"kind":"tick","tick":3,"c":{"demo.tasks.done":300},"g":{"demo.workload.max":600},"h":{}}
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// MetricDef is one metric-catalog entry from a trace's schema record.
+type MetricDef struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	Unit string `json:"unit"`
+	Help string `json:"help"`
+	// Edges holds histogram bucket boundaries (histograms only).
+	Edges []float64 `json:"edges,omitempty"`
+}
+
+// Tick is one decoded per-tick record.
+type Tick struct {
+	Tick     int                `json:"tick"`
+	Counters map[string]int64   `json:"c"`
+	Gauges   map[string]float64 `json:"g"`
+	Hists    map[string][]int64 `json:"h"`
+}
+
+// Trace is a fully decoded trace file.
+type Trace struct {
+	// Meta merges every meta record's fields (later records win).
+	Meta map[string]any
+	// Schema is the metric catalog, in emission (sorted-name) order.
+	Schema []MetricDef
+	// Ticks holds the per-tick records in file order.
+	Ticks []Tick
+	// Done holds the end-of-run record's fields, if one was emitted.
+	Done map[string]any
+}
+
+// Def returns the catalog entry for a metric name, if present.
+func (tr *Trace) Def(name string) (MetricDef, bool) {
+	for _, d := range tr.Schema {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return MetricDef{}, false
+}
+
+// MetricNames returns every metric name observed in the trace's tick
+// records (not just the catalog), in sorted order. Registries only
+// grow, so the last tick record sees every metric ever emitted.
+func (tr *Trace) MetricNames() []string {
+	if len(tr.Ticks) == 0 {
+		return nil
+	}
+	last := tr.Ticks[len(tr.Ticks)-1]
+	names := make([]string, 0, len(last.Counters)+len(last.Gauges)+len(last.Hists))
+	for n := range last.Counters {
+		names = append(names, n)
+	}
+	for n := range last.Gauges {
+		names = append(names, n)
+	}
+	for n := range last.Hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Series extracts one metric's per-tick values as (ticks, values).
+// Counters and gauges are both returned as float64; ticks where the
+// metric was not yet registered are skipped. Unknown names yield empty
+// slices.
+func (tr *Trace) Series(name string) (ticks []int, values []float64) {
+	for _, t := range tr.Ticks {
+		if v, ok := t.Counters[name]; ok {
+			ticks = append(ticks, t.Tick)
+			values = append(values, float64(v))
+			continue
+		}
+		if v, ok := t.Gauges[name]; ok {
+			ticks = append(ticks, t.Tick)
+			values = append(values, v)
+		}
+	}
+	return ticks, values
+}
+
+// HistAt returns the named histogram's buckets at the given tick.
+func (tr *Trace) HistAt(name string, tick int) ([]int64, bool) {
+	for _, t := range tr.Ticks {
+		if t.Tick == tick {
+			h, ok := t.Hists[name]
+			return h, ok
+		}
+	}
+	return nil, false
+}
+
+// rawRecord is the union shape of every trace line.
+type rawRecord struct {
+	Kind    string `json:"kind"`
+	Tick    int    `json:"tick"`
+	C       map[string]int64
+	G       map[string]float64
+	H       map[string][]int64
+	Metrics []MetricDef `json:"metrics"`
+}
+
+// ReadTrace decodes a JSONL trace stream. It tolerates unknown record
+// kinds (skipped) so the format can grow, but malformed JSON is an
+// error: a truncated trace should fail loudly, not silently shorten a
+// series.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	tr := &Trace{Meta: make(map[string]any)}
+	sc := bufio.NewScanner(r)
+	// Tick records carry histograms; give lines generous headroom.
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var raw rawRecord
+		if err := json.Unmarshal(line, &raw); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", lineNo, err)
+		}
+		switch raw.Kind {
+		case "tick":
+			tick := Tick{Tick: raw.Tick, Counters: raw.C, Gauges: raw.G, Hists: raw.H}
+			if tick.Counters == nil {
+				tick.Counters = map[string]int64{}
+			}
+			if tick.Gauges == nil {
+				tick.Gauges = map[string]float64{}
+			}
+			if tick.Hists == nil {
+				tick.Hists = map[string][]int64{}
+			}
+			tr.Ticks = append(tr.Ticks, tick)
+		case "schema":
+			tr.Schema = append(tr.Schema, raw.Metrics...)
+		case "meta", "done":
+			var m map[string]any
+			if err := json.Unmarshal(line, &m); err != nil {
+				return nil, fmt.Errorf("obs: trace line %d: %w", lineNo, err)
+			}
+			delete(m, "kind")
+			if raw.Kind == "done" {
+				tr.Done = m
+			} else {
+				for k, v := range m {
+					tr.Meta[k] = v
+				}
+			}
+		default:
+			// Unknown kinds are forward compatibility, not corruption.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return tr, nil
+}

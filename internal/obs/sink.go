@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+)
+
+// Sink receives complete JSONL trace records. Write is called with one
+// full line (terminating '\n' included); the line buffer is reused by the
+// Tracer, so a Sink must copy the bytes if it retains them.
+//
+// A Sink is used by exactly one Tracer and needs no internal locking:
+// parallel sweeps attach one tracer+sink pair per trial.
+type Sink interface {
+	// Write stores or forwards one trace line.
+	Write(line []byte) error
+	// Close flushes and releases the sink.
+	Close() error
+}
+
+// FileSink writes trace lines to a file through a buffered writer.
+type FileSink struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+// NewFileSink creates (truncating) path and returns a sink writing to it.
+func NewFileSink(path string) (*FileSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FileSink{f: f, w: bufio.NewWriterSize(f, 64<<10)}, nil
+}
+
+// Write implements Sink.
+func (s *FileSink) Write(line []byte) error {
+	_, err := s.w.Write(line)
+	return err
+}
+
+// Close flushes the buffer and closes the file.
+func (s *FileSink) Close() error {
+	err := s.w.Flush()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// MemSink collects trace lines in memory, for tests and for the
+// determinism checks that compare two runs byte for byte.
+type MemSink struct {
+	buf bytes.Buffer
+}
+
+// Write implements Sink.
+func (s *MemSink) Write(line []byte) error {
+	_, err := s.buf.Write(line)
+	return err
+}
+
+// Close implements Sink; a MemSink needs no cleanup.
+func (s *MemSink) Close() error { return nil }
+
+// Bytes returns the accumulated trace (all lines, '\n'-separated).
+func (s *MemSink) Bytes() []byte { return s.buf.Bytes() }
+
+// String returns the accumulated trace as a string.
+func (s *MemSink) String() string { return s.buf.String() }
+
+// Discard is a Sink that drops every record — the cheapest *enabled*
+// tracer, for measuring the cost of metric gathering itself. (The
+// disabled state is a nil *Tracer, which is cheaper still: no metrics
+// are gathered at all.)
+type Discard struct{}
+
+// Write implements Sink.
+func (Discard) Write([]byte) error { return nil }
+
+// Close implements Sink.
+func (Discard) Close() error { return nil }

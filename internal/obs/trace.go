@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+)
+
+// TraceSchema is the trace format version, written into every meta
+// record; bump it when the record shape changes incompatibly.
+const TraceSchema = 1
+
+// F is one explicit key/value field of a meta-style trace record.
+// Supported value types: string, bool, int, int64, uint64, float64,
+// []float64 and []int64; anything else renders as a JSON string via
+// fmt-free best effort (documented types only — keep to the list).
+type F struct {
+	K string
+	V any
+}
+
+// Tracer serializes a Registry as one JSONL record per tick, plus
+// explicit records (meta, schema, done) with caller-ordered fields.
+//
+// The nil *Tracer is the disabled state: every method is nil-receiver
+// safe and returns immediately, so call sites need exactly one pointer
+// test around their metric-gathering work and none around the emits.
+// A Tracer is single-goroutine, like the run it traces; the first sink
+// error is sticky and surfaces from Err and Close.
+type Tracer struct {
+	reg  *Registry
+	sink Sink
+	buf  []byte
+	err  error
+}
+
+// New returns a tracer writing to sink. A nil sink yields a nil tracer —
+// the disabled state — so callers can thread an optional sink straight
+// through: obs.New(maybeNilSink).
+func New(sink Sink) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return &Tracer{reg: NewRegistry(), sink: sink, buf: make([]byte, 0, 4096)}
+}
+
+// Registry returns the tracer's metric registry (nil for a nil tracer).
+func (t *Tracer) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Err returns the first sink error encountered, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	return t.err
+}
+
+// Close closes the sink and returns the first error seen (sink write
+// errors included). Safe on a nil tracer.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	cerr := t.sink.Close()
+	if t.err == nil {
+		t.err = cerr
+	}
+	return t.err
+}
+
+// write hands the assembled line to the sink, capturing the first error.
+func (t *Tracer) write() {
+	t.buf = append(t.buf, '\n')
+	if err := t.sink.Write(t.buf); err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// Emit writes one record of the given kind with the fields in the order
+// given: {"kind":"<kind>","k1":v1,...}. Use it for run metadata
+// ("meta") and end-of-run summaries ("done"); per-tick records come
+// from EmitTick. No-op on a nil tracer.
+func (t *Tracer) Emit(kind string, fields ...F) {
+	if t == nil {
+		return
+	}
+	t.buf = t.buf[:0]
+	t.buf = append(t.buf, `{"kind":`...)
+	t.buf = appendString(t.buf, kind)
+	for _, f := range fields {
+		t.buf = append(t.buf, ',')
+		t.buf = appendString(t.buf, f.K)
+		t.buf = append(t.buf, ':')
+		t.buf = appendValue(t.buf, f.V)
+	}
+	t.buf = append(t.buf, '}')
+	t.write()
+}
+
+// EmitMeta writes the standard meta record: trace schema version first,
+// then the caller's fields. Call it once, before the first tick record.
+func (t *Tracer) EmitMeta(fields ...F) {
+	if t == nil {
+		return
+	}
+	t.Emit("meta", append([]F{{K: "schema", V: TraceSchema}}, fields...)...)
+}
+
+// EmitSchema writes the metric catalog: one record listing every metric
+// registered so far with its kind, unit, help text, and (for histograms)
+// bucket edges. Metrics registered later (e.g. per-strategy counters
+// that appear at the first decision pass) still emit values; they just
+// have no catalog entry, which readers must tolerate.
+func (t *Tracer) EmitSchema() {
+	if t == nil {
+		return
+	}
+	t.buf = t.buf[:0]
+	t.buf = append(t.buf, `{"kind":"schema","metrics":[`...)
+	for i, m := range t.reg.ordered {
+		if i > 0 {
+			t.buf = append(t.buf, ',')
+		}
+		t.buf = append(t.buf, `{"name":`...)
+		t.buf = appendString(t.buf, m.name)
+		t.buf = append(t.buf, `,"type":`...)
+		t.buf = appendString(t.buf, m.kind.String())
+		t.buf = append(t.buf, `,"unit":`...)
+		t.buf = appendString(t.buf, m.unit)
+		t.buf = append(t.buf, `,"help":`...)
+		t.buf = appendString(t.buf, m.help)
+		if m.kind == KindHist {
+			t.buf = append(t.buf, `,"edges":`...)
+			t.buf = appendFloats(t.buf, m.edges)
+		}
+		t.buf = append(t.buf, '}')
+	}
+	t.buf = append(t.buf, `]}`...)
+	t.write()
+}
+
+// EmitTick serializes the full registry as one tick record:
+//
+//	{"kind":"tick","tick":N,"c":{...},"g":{...},"h":{...}}
+//
+// with counters (c), gauges (g) and histograms (h) each in sorted name
+// order. The line buffer is reused across ticks, so steady-state
+// emission allocates nothing beyond what the sink itself does. No-op on
+// a nil tracer.
+func (t *Tracer) EmitTick(tick int) {
+	if t == nil {
+		return
+	}
+	t.buf = t.buf[:0]
+	t.buf = append(t.buf, `{"kind":"tick","tick":`...)
+	t.buf = strconv.AppendInt(t.buf, int64(tick), 10)
+	t.buf = append(t.buf, `,"c":{`...)
+	first := true
+	for _, m := range t.reg.ordered {
+		if m.kind != KindCounter {
+			continue
+		}
+		if !first {
+			t.buf = append(t.buf, ',')
+		}
+		first = false
+		t.buf = appendString(t.buf, m.name)
+		t.buf = append(t.buf, ':')
+		t.buf = strconv.AppendInt(t.buf, m.ival, 10)
+	}
+	t.buf = append(t.buf, `},"g":{`...)
+	first = true
+	for _, m := range t.reg.ordered {
+		if m.kind != KindGauge {
+			continue
+		}
+		if !first {
+			t.buf = append(t.buf, ',')
+		}
+		first = false
+		t.buf = appendString(t.buf, m.name)
+		t.buf = append(t.buf, ':')
+		t.buf = appendFloat(t.buf, m.fval)
+	}
+	t.buf = append(t.buf, `},"h":{`...)
+	first = true
+	for _, m := range t.reg.ordered {
+		if m.kind != KindHist {
+			continue
+		}
+		if !first {
+			t.buf = append(t.buf, ',')
+		}
+		first = false
+		t.buf = appendString(t.buf, m.name)
+		t.buf = append(t.buf, ':', '[')
+		for i, c := range m.buckets {
+			if i > 0 {
+				t.buf = append(t.buf, ',')
+			}
+			t.buf = strconv.AppendInt(t.buf, c, 10)
+		}
+		t.buf = append(t.buf, ']')
+	}
+	t.buf = append(t.buf, '}', '}')
+	t.write()
+}
+
+// appendString appends a JSON-quoted string. Metric and field names are
+// plain ASCII by convention; the escaper still handles the full set of
+// mandatory escapes so arbitrary help strings stay valid JSON.
+func appendString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c == '\n':
+			b = append(b, '\\', 'n')
+		case c == '\t':
+			b = append(b, '\\', 't')
+		case c == '\r':
+			b = append(b, '\\', 'r')
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		default:
+			// Multi-byte UTF-8 sequences pass through byte by byte;
+			// JSON strings are UTF-8.
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}
+
+// appendFloat appends a float in strconv's shortest round-trip form —
+// the same bits always produce the same bytes, which is what makes
+// same-seed traces byte-identical. NaN and infinities (invalid JSON)
+// are sanitized to null.
+func appendFloat(b []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(b, "null"...)
+	}
+	return strconv.AppendFloat(b, f, 'g', -1, 64)
+}
+
+func appendFloats(b []byte, fs []float64) []byte {
+	b = append(b, '[')
+	for i, f := range fs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendFloat(b, f)
+	}
+	return append(b, ']')
+}
+
+// appendValue appends one meta-record field value.
+func appendValue(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case string:
+		return appendString(b, x)
+	case bool:
+		if x {
+			return append(b, "true"...)
+		}
+		return append(b, "false"...)
+	case int:
+		return strconv.AppendInt(b, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(b, x, 10)
+	case uint64:
+		return strconv.AppendUint(b, x, 10)
+	case float64:
+		return appendFloat(b, x)
+	case []float64:
+		return appendFloats(b, x)
+	case []int64:
+		b = append(b, '[')
+		for i, n := range x {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendInt(b, n, 10)
+		}
+		return append(b, ']')
+	default:
+		// Unknown types are a programming error; fail loudly rather
+		// than emit schedule-dependent formatting.
+		panic("obs: unsupported meta field type")
+	}
+}

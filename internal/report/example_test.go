@@ -1,0 +1,25 @@
+package report_test
+
+import (
+	"fmt"
+
+	"chordbalance/internal/report"
+)
+
+// ExampleSparkline renders a decaying series — the shape of a
+// sim.workload.max trace under a working strategy.
+func ExampleSparkline() {
+	series := []float64{120, 96, 80, 64, 50, 38, 27, 18, 10, 4, 1, 0}
+	fmt.Println(report.Sparkline(series, 12))
+	// Output:
+	// █▆▅▄▃▃▂▂▁▁▁▁
+}
+
+// ExampleSparklineRow shows the labeled one-line view dhttrace prints
+// for each metric series.
+func ExampleSparklineRow() {
+	series := []float64{0, 1, 4, 9, 16, 25}
+	fmt.Println(report.SparklineRow("sim.tasks.done_total", series, 6))
+	// Output:
+	// sim.tasks.done_total         ▁▁▂▃▅█  [0..25]
+}

@@ -1,0 +1,92 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sparkTicks are the eight block glyphs a sparkline is quantized onto.
+var sparkTicks = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a numeric series as a fixed-width row of block
+// glyphs, scaled to the series' own min..max range. Series longer than
+// width are downsampled by bucket means (so spikes average, not vanish
+// arbitrarily); shorter series render one glyph per value. A flat
+// series renders as all-minimum glyphs, and an empty series as "".
+// dhttrace uses it to eyeball a metric's shape without a plotter.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if width < 1 {
+		width = 60
+	}
+	if len(values) > width {
+		values = downsample(values, width)
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkTicks)-1))
+		}
+		b.WriteRune(sparkTicks[idx])
+	}
+	return b.String()
+}
+
+// SparklineRow renders "label  spark  [min..max]" — the one-line series
+// view dhttrace prints per metric.
+func SparklineRow(label string, values []float64, width int) string {
+	lo, hi := seriesRange(values)
+	return fmt.Sprintf("%-28s %s  [%s..%s]", label, Sparkline(values, width),
+		trimFloat(lo), trimFloat(hi))
+}
+
+// downsample reduces values to exactly width buckets of (near-)equal
+// size, each replaced by its mean.
+func downsample(values []float64, width int) []float64 {
+	out := make([]float64, width)
+	n := len(values)
+	for i := 0; i < width; i++ {
+		start := i * n / width
+		end := (i + 1) * n / width
+		if end <= start {
+			end = start + 1
+		}
+		sum := 0.0
+		for _, v := range values[start:end] {
+			sum += v
+		}
+		out[i] = sum / float64(end-start)
+	}
+	return out
+}
+
+// seriesRange returns the min and max of values (0, 0 when empty).
+func seriesRange(values []float64) (lo, hi float64) {
+	if len(values) == 0 {
+		return 0, 0
+	}
+	lo, hi = values[0], values[0]
+	for _, v := range values[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}
+
+// trimFloat formats a float compactly: integers without a decimal
+// point, everything else with up to three significant decimals.
+func trimFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", f), "0"), ".")
+}

@@ -17,6 +17,7 @@ import (
 	"chordbalance/internal/faults"
 	"chordbalance/internal/ids"
 	"chordbalance/internal/keys"
+	"chordbalance/internal/obs"
 	"chordbalance/internal/ring"
 	"chordbalance/internal/strategy"
 	"chordbalance/internal/sybil"
@@ -122,6 +123,12 @@ type Config struct {
 	RecordEvents bool
 	// CheckInvariants validates ring invariants every tick (slow; tests).
 	CheckInvariants bool
+	// Trace attaches a per-tick JSONL tracer (docs/OBSERVABILITY.md).
+	// Tracing is read-only over engine state and consumes no randomness,
+	// so a traced run's Result is byte-identical to the same seed
+	// untraced. nil (the default) disables tracing entirely: no metric
+	// code runs and the hot loop allocates nothing extra.
+	Trace *obs.Tracer
 }
 
 // ChurnModel selects the temporal pattern of churn.
@@ -446,6 +453,10 @@ type Simulation struct {
 	// chasing two pointers per host. Updated at every SetAlive site.
 	aliveBit []bool
 
+	// obsm holds the registered trace-metric handles; nil when tracing
+	// is disabled, which is the only flag the hot loop ever checks.
+	obsm *simMetrics
+
 	// scratch buffers reused across ticks
 	leavers     []*hostState
 	joiners     []*hostState
@@ -543,6 +554,9 @@ func New(cfg Config) (*Simulation, error) {
 		wlEpoch:             1, // zero-valued hostState caches start invalid
 	}
 	s.ring.SetConsumeMode(cfg.ConsumeMode)
+	if cfg.Trace != nil {
+		s.obsm = newSimMetrics(cfg.Trace)
+	}
 	// The zero plan constructs no injector at all: the fault layer cannot
 	// perturb a fault-free run even by accident.
 	if !cfg.Faults.Zero() {
@@ -705,6 +719,9 @@ func (s *Simulation) Run() *Result {
 	if snapshotAt[0] {
 		res.Snapshots = append(res.Snapshots, s.snapshot(0))
 	}
+	if s.obsm != nil {
+		s.obsm.emitStart(s) // meta + schema + the tick-0 record
+	}
 	for (s.ring.TotalKeys() > 0 || s.streamLeft > 0 || s.pendingKeys() > 0) && s.tick < maxTicks {
 		s.tick++
 		if s.finj != nil {
@@ -746,6 +763,9 @@ func (s *Simulation) Run() *Result {
 		if s.ring.TotalKeys() > 0 || s.streamLeft > 0 || s.pendingKeys() > 0 {
 			s.msgs.Maintenance += s.ring.Len() * s.params.NumSuccessors
 		}
+		if s.obsm != nil {
+			s.obsm.observe(s, done)
+		}
 		if snapshotAt[s.tick] {
 			res.Snapshots = append(res.Snapshots, s.snapshot(s.tick))
 		}
@@ -767,6 +787,9 @@ func (s *Simulation) Run() *Result {
 	res.HostsByStrength = make(map[int]int)
 	for _, h := range s.hosts[:s.cfg.Nodes] {
 		res.HostsByStrength[h.acct.Strength()]++
+	}
+	if s.obsm != nil {
+		s.obsm.emitDone(res)
 	}
 	return res
 }
