@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint doccheck mdcheck trace-check test test-race cover bench bench-micro bench-gate sweep figures fuzz chaos clean
+.PHONY: all build lint doccheck mdcheck trace-check test test-race cover bench bench-micro bench-gate sweep figures fuzz chaos soak clean
 
 # The BENCH_<pr> suffix for perf reports; bump per perf-focused PR.
 BENCH_PR ?= 3
@@ -91,6 +91,15 @@ fuzz:
 	$(GO) test -fuzz=FuzzOperationSequences -fuzztime=30s ./internal/ring/
 	$(GO) test -fuzz=FuzzArithmeticLaws -fuzztime=30s ./internal/ids/
 	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=30s ./internal/sim/
+	$(GO) test -fuzz=FuzzWireRoundTrip -fuzztime=30s ./internal/wire/
+
+# 60-second loopback soak of the networked runtime (docs/NETWORK.md):
+# a 16-host cluster over real TCP sockets under frame loss and a mid-run
+# partition. Asserts no goroutine leaks after shutdown and no lost keys
+# with Replicas >= 2. Gated behind a build tag so `go test ./...` stays
+# fast.
+soak:
+	$(GO) test -tags soak -run TestSoak -v -timeout 10m ./internal/netchord/
 
 # Fault-matrix smoke (docs/FAULTS.md): 3 seeds x {crash bursts, 10%
 # message loss, partition+heal} on both the engine and the protocol,

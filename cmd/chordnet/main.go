@@ -13,7 +13,7 @@
 //
 // Commands also stream from stdin, so it is scriptable:
 //
-//	echo "create 8\nput k v\nget k" | go run ./cmd/chordnet
+//	printf 'create 8\nput k v\nget k\n' | go run ./cmd/chordnet
 package main
 
 import (

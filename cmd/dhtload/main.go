@@ -1,0 +1,251 @@
+// Command dhtload drives a running chordd cluster over real sockets: a
+// seeded stream of puts and task submissions at a target request rate,
+// an operation-latency histogram, a completion poll against the
+// collector, and a final lookup probe — everything needed to measure
+// the paper's runtime factor against a live ring instead of the
+// simulator.
+//
+// Example — the paper's skewed workload against a local cluster:
+//
+//	chordd -nodes 16 -strategy invitation -seed 77 &
+//	dhtload -addr 127.0.0.1:9000 -collector 127.0.0.1:9001 \
+//	        -tasks 1024 -batch 8 -hot-bits 4 -rps 500 -await 60s -json
+//
+// With -hot-bits k every task key is drawn from one arc spanning
+// 2^(Bits-k) of the identifier space, concentrating the whole job on a
+// small set of owners (k=0 spreads keys uniformly). The summary reports
+// achieved rates, latency percentiles from the histogram, the
+// collector's progress view with the runtime factor, and the lookup
+// success rate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"chordbalance/internal/ids"
+	"chordbalance/internal/netchord"
+	"chordbalance/internal/obs"
+	"chordbalance/internal/stats"
+	"chordbalance/internal/xrand"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dhtload:", err)
+		os.Exit(1)
+	}
+}
+
+// summary is dhtload's JSON (and text) report.
+type summary struct {
+	Puts           int     `json:"puts"`
+	PutErrors      int     `json:"put_errors"`
+	TasksSubmitted uint64  `json:"tasks_submitted"`
+	SubmitErrors   int     `json:"submit_errors"`
+	AchievedRPS    float64 `json:"achieved_rps"`
+	LatencyP50us   float64 `json:"latency_p50_us"`
+	LatencyP90us   float64 `json:"latency_p90_us"`
+	LatencyP99us   float64 `json:"latency_p99_us"`
+
+	Completed     bool    `json:"completed"`
+	Consumed      uint64  `json:"consumed"`
+	Residual      uint64  `json:"residual"`
+	BusyTicks     int     `json:"busy_ticks"`
+	RuntimeFactor float64 `json:"runtime_factor"`
+
+	Lookups       int     `json:"lookups"`
+	LookupsOK     int     `json:"lookups_ok"`
+	LookupSuccess float64 `json:"lookup_success"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dhtload", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "", "address of any ring member (required)")
+		collector = fs.String("collector", "", "collector address (enables -await and the runtime factor)")
+		seed      = fs.Uint64("seed", 1, "deterministic key/token stream seed")
+		puts      = fs.Int("puts", 32, "keys to put before the task stream")
+		valueLen  = fs.Int("value-len", 16, "value size in bytes for puts")
+		tasks     = fs.Uint64("tasks", 1024, "total task units to submit")
+		batch     = fs.Uint64("batch", 8, "units per task submission")
+		hotBits   = fs.Int("hot-bits", 0, "task keys land in one arc of 2^(Bits-k) ids (0 = uniform)")
+		rps       = fs.Float64("rps", 500, "target request rate for puts and submissions")
+		await     = fs.Duration("await", 0, "poll the collector until the workload completes (0 = don't wait)")
+		lookups   = fs.Int("lookups", 64, "random lookups probed after the workload")
+		tick      = fs.Duration("tick", 5*time.Millisecond, "logical tick length (must match the cluster's)")
+		jsonOut   = fs.Bool("json", false, "emit the summary as JSON (for scripting)")
+		tracePath = fs.String("trace", "", "write the latency histogram as a JSONL trace to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("-addr is required")
+	}
+	if *hotBits < 0 || *hotBits >= ids.Bits {
+		return fmt.Errorf("-hot-bits must be in [0, %d)", ids.Bits)
+	}
+	if *batch == 0 {
+		*batch = 1
+	}
+
+	cfg := netchord.Config{TickEvery: *tick}.WithDefaults()
+	tr := netchord.TCP{}
+	client := netchord.NewClient(cfg, tr, *addr, *seed)
+	defer client.Close()
+	if err := client.Ping(); err != nil {
+		return fmt.Errorf("ping %s: %w", *addr, err)
+	}
+
+	// The latency histogram rides the obs pipeline so dhttrace-style
+	// tooling can read load runs the same way it reads simulator traces.
+	var tracer *obs.Tracer
+	reg := obs.NewRegistry()
+	if *tracePath != "" {
+		sink, err := obs.NewFileSink(*tracePath)
+		if err != nil {
+			return err
+		}
+		tracer = obs.New(sink)
+		reg = tracer.Registry()
+	}
+	hist := reg.Histogram("load.latency", "us", "operation latency", obs.LogEdges(1e7, 3))
+	ops := reg.Counter("load.ops", "ops", "operations issued")
+	errs := reg.Counter("load.errors", "ops", "operations failed")
+	if tracer != nil {
+		tracer.EmitMeta(obs.F{K: "source", V: "dhtload"})
+		tracer.EmitSchema()
+	}
+
+	rng := xrand.New(*seed)
+	var latencies []float64
+	interval := time.Duration(float64(time.Second) / *rps)
+	pace := time.NewTicker(interval)
+	defer pace.Stop()
+	timed := func(op func() error) error {
+		<-pace.C
+		t0 := time.Now()
+		err := op()
+		us := float64(time.Since(t0)) / float64(time.Microsecond)
+		hist.Observe(us)
+		latencies = append(latencies, us)
+		ops.Add(1)
+		if err != nil {
+			errs.Add(1)
+		}
+		return err
+	}
+
+	s := summary{}
+	started := time.Now()
+
+	// Phase 1: seeded puts, uniformly spread.
+	value := make([]byte, *valueLen)
+	for i := range value {
+		value[i] = byte(rng.Intn(256))
+	}
+	for i := 0; i < *puts; i++ {
+		key := ids.Random(rng)
+		if err := timed(func() error { return client.Put(key, value) }); err != nil {
+			s.PutErrors++
+		} else {
+			s.Puts++
+		}
+	}
+
+	// Phase 2: the task stream. With -hot-bits the whole job lands in
+	// one arc — the paper's skewed workload that a single primary must
+	// shed through its strategy.
+	arcLow := ids.Random(rng)
+	arcHigh := arcLow
+	if *hotBits > 0 {
+		arcHigh = arcLow.Add(ids.PowerOfTwo(ids.Bits - *hotBits))
+	}
+	for s.TasksSubmitted < *tasks {
+		units := *batch
+		if rest := *tasks - s.TasksSubmitted; units > rest {
+			units = rest
+		}
+		var key ids.ID
+		if *hotBits > 0 {
+			k, err := ids.UniformInRange(rng, arcLow, arcHigh)
+			if err != nil {
+				return err
+			}
+			key = k
+		} else {
+			key = ids.Random(rng)
+		}
+		if err := timed(func() error { return client.SubmitTask(key, units) }); err != nil {
+			s.SubmitErrors++
+			continue // those units never entered the system
+		}
+		s.TasksSubmitted += units
+	}
+	if elapsed := time.Since(started).Seconds(); elapsed > 0 {
+		s.AchievedRPS = float64(len(latencies)) / elapsed
+	}
+	s.LatencyP50us = stats.Percentile(latencies, 0.50)
+	s.LatencyP90us = stats.Percentile(latencies, 0.90)
+	s.LatencyP99us = stats.Percentile(latencies, 0.99)
+
+	// Phase 3: poll the collector until every submitted unit is
+	// consumed and nothing is residual.
+	if *collector != "" && *await > 0 {
+		deadline := time.Now().Add(*await)
+		for {
+			p, err := netchord.FetchProgress(tr, cfg, *collector)
+			if err == nil {
+				s.Consumed, s.Residual, s.BusyTicks = p.Consumed, p.Residual, p.BusyTicks
+				s.RuntimeFactor = p.RuntimeFactor(s.TasksSubmitted)
+				if p.Consumed >= s.TasksSubmitted && p.Residual == 0 {
+					s.Completed = true
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(cfg.Ticks(cfg.ReportEveryTicks * 4))
+		}
+	}
+
+	// Phase 4: the lookup probe — routability after whatever the run
+	// (faults, churn, Sybils) did to the ring.
+	for i := 0; i < *lookups; i++ {
+		s.Lookups++
+		if _, _, err := client.Lookup(ids.Random(rng)); err == nil {
+			s.LookupsOK++
+		}
+	}
+	if s.Lookups > 0 {
+		s.LookupSuccess = float64(s.LookupsOK) / float64(s.Lookups)
+	}
+
+	if tracer != nil {
+		tracer.EmitTick(int(time.Since(started) / cfg.TickEvery))
+		if err := tracer.Close(); err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(s)
+	}
+	fmt.Fprintf(out, "puts=%d/%d tasks=%d submit-errors=%d rps=%.1f\n",
+		s.Puts, *puts, s.TasksSubmitted, s.SubmitErrors, s.AchievedRPS)
+	fmt.Fprintf(out, "latency-us p50=%.0f p90=%.0f p99=%.0f\n",
+		s.LatencyP50us, s.LatencyP90us, s.LatencyP99us)
+	if *collector != "" && *await > 0 {
+		fmt.Fprintf(out, "completed=%v consumed=%d residual=%d busy-ticks=%d runtime-factor=%.3f\n",
+			s.Completed, s.Consumed, s.Residual, s.BusyTicks, s.RuntimeFactor)
+	}
+	fmt.Fprintf(out, "lookup-success=%.3f (%d/%d)\n", s.LookupSuccess, s.LookupsOK, s.Lookups)
+	return nil
+}

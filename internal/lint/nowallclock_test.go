@@ -44,6 +44,20 @@ var t0 = time.Now()
 	wantFindings(t, got, "nowallclock")
 }
 
+func TestNoWallClockExemptsNetchord(t *testing.T) {
+	// internal/netchord is the deliberately real-time networked runtime:
+	// deadlines, tickers, and backoff sleeps are the point there, and it
+	// is import-isolated from the simulator.
+	src := `package fixture
+
+import "time"
+
+var t0 = time.Now()
+`
+	got := checkFixture(t, NoWallClock(), map[string]string{"internal/netchord/a.go": src})
+	wantFindings(t, got, "nowallclock")
+}
+
 func TestNoWallClockRenamedImport(t *testing.T) {
 	src := `package fixture
 

@@ -1,0 +1,152 @@
+package netchord
+
+import (
+	"sync/atomic"
+	"time"
+
+	"chordbalance/internal/ids"
+	"chordbalance/internal/wire"
+	"chordbalance/internal/xrand"
+)
+
+// Client is a pure wire-protocol client: it performs iterative lookups
+// and key/task operations through any ring member without being one.
+// cmd/dhtload is its main user — a load generator must not occupy an
+// identifier on the ring it is measuring, or it would attract a share
+// of the workload it is supposed to impose.
+//
+// A Client is safe for concurrent use; each peer address gets one
+// pooled connection with the same retry/backoff policy as node-to-node
+// RPCs.
+type Client struct {
+	cfg  Config
+	pool *peerPool
+	seed wire.NodeRef
+	salt uint64
+	seq  atomic.Uint64
+}
+
+// NewClient returns a client that routes through seedAddr. seed feeds
+// the client's idempotency-token salt, so two load generators with
+// different seeds can never collide in a receiver's dedup window.
+func NewClient(cfg Config, tr Transport, seedAddr string, seed uint64) *Client {
+	cfg = cfg.WithDefaults()
+	return &Client{
+		cfg:  cfg,
+		pool: newPeerPool(tr, cfg, nil, func() ids.ID { return ids.Zero }),
+		seed: wire.NodeRef{Addr: seedAddr},
+		salt: xrand.New(seed).Uint64(),
+	}
+}
+
+// Close tears down the client's pooled connections.
+func (c *Client) Close() { c.pool.close() }
+
+// Stats snapshots the client's RPC counters.
+func (c *Client) Stats() RPCStats { return c.pool.stats() }
+
+// token returns a fresh nonzero idempotency token.
+func (c *Client) token() uint64 {
+	tok := c.salt ^ (c.seq.Add(1) << 20)
+	if tok == 0 {
+		tok = 1
+	}
+	return tok
+}
+
+// Ping round-trips a TPing through the seed node.
+func (c *Client) Ping() error {
+	_, err := c.pool.call(c.seed, &wire.Msg{Type: wire.TPing})
+	return err
+}
+
+// Lookup resolves the owner of key by iterating TFindSuccessor from the
+// seed node, following the same fallback discipline as Node.lookupFrom:
+// each answerer's successor list is kept as alternates in case the
+// chosen next hop died since being cached.
+func (c *Client) Lookup(key ids.ID) (wire.NodeRef, int, error) {
+	cur := c.seed
+	var fallbacks []wire.NodeRef
+	hops := 0
+	for hops <= c.cfg.MaxHops {
+		reply, err := c.pool.call(cur, &wire.Msg{Type: wire.TFindSuccessor, Key: key, A: uint64(hops)})
+		if err != nil {
+			if len(fallbacks) == 0 {
+				return wire.NodeRef{}, hops, err
+			}
+			cur, fallbacks = fallbacks[0], fallbacks[1:]
+			hops++
+			continue
+		}
+		if reply.Flag {
+			return reply.Node, hops, nil
+		}
+		fallbacks = fallbacks[:0]
+		for _, r := range reply.List {
+			if r.ID != reply.Node.ID && r.Addr != "" {
+				fallbacks = append(fallbacks, r)
+			}
+		}
+		cur = reply.Node
+		hops++
+	}
+	return wire.NodeRef{}, hops, ErrNoRoute
+}
+
+// Put stores value under key at its owner, re-resolving the owner after
+// any failure (storing is idempotent, so blind re-sends are safe).
+func (c *Client) Put(key ids.ID, value []byte) error {
+	var err error
+	for attempt := 0; attempt < rerouteAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.cfg.Ticks(c.cfg.StabilizeEveryTicks))
+		}
+		var owner wire.NodeRef
+		owner, _, err = c.Lookup(key)
+		if err != nil {
+			continue
+		}
+		if _, err = c.pool.call(owner, &wire.Msg{Type: wire.TPut, Key: key, Value: value}); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// Get fetches the value stored under key from its owner.
+func (c *Client) Get(key ids.ID) ([]byte, error) {
+	owner, _, err := c.Lookup(key)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := c.pool.call(owner, &wire.Msg{Type: wire.TGet, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	if !reply.Flag {
+		return nil, ErrNotFound
+	}
+	return reply.Value, nil
+}
+
+// SubmitTask routes units of work under key to its owner, reusing one
+// idempotency token across re-routes so the units land exactly once
+// even when an owner dies (or refuses, mid-leave) between attempts.
+func (c *Client) SubmitTask(key ids.ID, units uint64) error {
+	tok := c.token()
+	var err error
+	for attempt := 0; attempt < rerouteAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.cfg.Ticks(c.cfg.StabilizeEveryTicks))
+		}
+		var owner wire.NodeRef
+		owner, _, err = c.Lookup(key)
+		if err != nil {
+			continue
+		}
+		if _, err = c.pool.call(owner, &wire.Msg{Type: wire.TTask, Key: key, A: units, B: tok}); err == nil {
+			return nil
+		}
+	}
+	return err
+}

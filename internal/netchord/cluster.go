@@ -1,0 +1,170 @@
+package netchord
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"chordbalance/internal/ids"
+	"chordbalance/internal/obs"
+	"chordbalance/internal/wire"
+)
+
+// Cluster boots and owns a whole single-process runtime: one collector
+// plus Hosts hosts on a shared transport and fault layer. It exists for
+// cmd/chordd's single-process mode and for tests; multi-process
+// clusters are assembled by running cmd/chordd once per host with the
+// same seed address.
+type Cluster struct {
+	cfg       Config
+	tr        Transport
+	nf        *NetFaults
+	collector *Collector
+	hosts     []*Host
+}
+
+// NewCluster starts a collector and nhosts hosts: host 0 creates the
+// ring, the rest join through host 0's primary. Hosts are created
+// sequentially (each join completes before the next starts) and their
+// loops all start before NewCluster returns. tracer may be nil; nf may
+// be nil.
+func NewCluster(cfg Config, tr Transport, nf *NetFaults, nhosts int, strat Strategy, seed uint64, tracer *obs.Tracer) (*Cluster, error) {
+	if nhosts <= 0 {
+		return nil, fmt.Errorf("netchord: cluster needs at least one host, got %d", nhosts)
+	}
+	cfg = cfg.WithDefaults()
+	col, err := NewCollector(cfg, tr, "", tracer)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, tr: tr, nf: nf, collector: col}
+	for i := 0; i < nhosts; i++ {
+		join := ""
+		if i > 0 {
+			join = c.hosts[0].Primary().Addr()
+		}
+		h, err := NewHost(cfg, tr, nf, i, strat, seed, join, col.Addr())
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("netchord: host %d: %w", i, err)
+		}
+		c.hosts = append(c.hosts, h)
+	}
+	for _, h := range c.hosts {
+		h.Start()
+	}
+	return c, nil
+}
+
+// Close shuts down every host, then the collector.
+func (c *Cluster) Close() {
+	for _, h := range c.hosts {
+		h.Close()
+	}
+	if c.collector != nil {
+		c.collector.Close()
+	}
+}
+
+// Hosts returns the cluster's hosts in index order.
+func (c *Cluster) Hosts() []*Host { return c.hosts }
+
+// Collector returns the cluster's collector.
+func (c *Cluster) Collector() *Collector { return c.collector }
+
+// SeedAddr returns host 0's current primary address — the address new
+// processes should join through.
+func (c *Cluster) SeedAddr() string { return c.hosts[0].Primary().Addr() }
+
+// Nodes returns every live virtual node across all hosts.
+func (c *Cluster) Nodes() []*Node {
+	var out []*Node
+	for _, h := range c.hosts {
+		out = append(out, h.Nodes()...)
+	}
+	return out
+}
+
+// Converged reports whether the ring's pointers agree with the sorted
+// membership: every node's successor is the next live ID clockwise and
+// its predecessor the previous one. This is an in-process oracle for
+// tests and readiness checks, not something a deployment could compute.
+func (c *Cluster) Converged() bool {
+	nodes := c.Nodes()
+	if len(nodes) == 0 {
+		return false
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID().Less(nodes[j].ID()) })
+	for i, n := range nodes {
+		next := nodes[(i+1)%len(nodes)]
+		prev := nodes[(i-1+len(nodes))%len(nodes)]
+		if n.Successor().ID != next.ID() {
+			return false
+		}
+		pred, ok := n.Predecessor()
+		if !ok || pred.ID != prev.ID() {
+			return false
+		}
+	}
+	return true
+}
+
+// AwaitConverged polls Converged until it holds or timeout elapses.
+func (c *Cluster) AwaitConverged(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if c.Converged() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(c.cfg.Ticks(c.cfg.StabilizeEveryTicks))
+	}
+}
+
+// TotalKeys counts distinct keys stored anywhere in the cluster
+// (primaries and replicas collapse to one count per key).
+func (c *Cluster) TotalKeys() int {
+	seen := make(map[ids.ID]struct{})
+	for _, n := range c.Nodes() {
+		n.mu.Lock()
+		for k := range n.data {
+			seen[k] = struct{}{}
+		}
+		n.mu.Unlock()
+	}
+	return len(seen)
+}
+
+// FetchProgress queries a collector at addr over the wire — what
+// cmd/dhtload does to poll for workload completion from outside the
+// cluster process.
+func FetchProgress(tr Transport, cfg Config, addr string) (Progress, error) {
+	cfg = cfg.WithDefaults()
+	conn, err := tr.Dial(addr, cfg.rpcTimeout())
+	if err != nil {
+		return Progress{}, err
+	}
+	defer func() { _ = conn.Close() }()
+	deadline := time.Now().Add(cfg.rpcTimeout())
+	if err := conn.SetDeadline(deadline); err != nil {
+		return Progress{}, err
+	}
+	if err := wire.WriteMsg(conn, &wire.Msg{Type: wire.TProgress, Req: 1}); err != nil {
+		return Progress{}, err
+	}
+	reply, err := wire.ReadMsg(conn)
+	if err != nil {
+		return Progress{}, err
+	}
+	if reply.Type != wire.TProgressOK {
+		return Progress{}, fmt.Errorf("%w: %s", ErrRemote, reply.Text)
+	}
+	return Progress{
+		Consumed:  reply.A,
+		Residual:  reply.B,
+		BusyTicks: int(reply.C),
+		Capacity:  reply.D,
+	}, nil
+}

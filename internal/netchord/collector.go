@@ -1,0 +1,326 @@
+package netchord
+
+import (
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"chordbalance/internal/ids"
+	"chordbalance/internal/obs"
+	"chordbalance/internal/wire"
+)
+
+// Progress is the collector's cluster-wide view, assembled from the
+// hosts' consume reports. It is what the simulator gets for free from
+// its global tick loop and what a deployment has to gather over the
+// wire.
+type Progress struct {
+	// Hosts is how many hosts have said hello.
+	Hosts int
+	// Consumed is the summed cumulative units consumed.
+	Consumed uint64
+	// Residual is the summed residual units from each host's latest
+	// report.
+	Residual uint64
+	// BusyTicks is the busy-interval length of the slowest host — the
+	// networked analogue of the simulator's completion tick.
+	BusyTicks int
+	// Capacity is the summed per-tick consume capacity.
+	Capacity uint64
+	// Injections counts Sybil births reported, and InjectedUnits the
+	// task units those Sybils acquired at birth.
+	Injections int
+	// InjectedUnits sums the units acquired by Sybils at birth.
+	InjectedUnits uint64
+	// Reports counts consume reports received.
+	Reports int64
+}
+
+// RuntimeFactor is the paper's headline metric (§V-C): the slowest
+// host's busy time divided by the ideal completion time for submitted
+// units spread perfectly over the cluster's capacity. 1.0 is perfect
+// balance; higher is worse. It returns 0 until enough is known
+// (no capacity, no busy host, or submitted == 0).
+func (p Progress) RuntimeFactor(submitted uint64) float64 {
+	if p.Capacity == 0 || p.BusyTicks == 0 || submitted == 0 {
+		return 0
+	}
+	ideal := (submitted + p.Capacity - 1) / p.Capacity
+	if ideal == 0 {
+		return 0
+	}
+	return float64(p.BusyTicks) / float64(ideal)
+}
+
+// hostRecord is the collector's per-host state.
+type hostRecord struct {
+	capacity  uint64
+	consumed  uint64
+	residual  uint64
+	firstBusy int
+	lastBusy  int
+}
+
+// Collector is the runtime's measurement sink: a small wire server that
+// hosts register with (THello), stream consume reports to
+// (TConsumeReport), and announce Sybil births to (TInject). Anyone may
+// ask it for cluster-wide progress (TProgress), which is how dhtload
+// detects workload completion and computes the runtime factor without
+// global state in the data path.
+//
+// When constructed with a tracer, the collector doubles as the
+// networked runtime's obs pipeline: every report updates per-cluster
+// metrics and emits one tick record keyed by the collector's own fault
+// clock, so `dhttrace`-style tooling reads networked runs the same way
+// it reads simulator runs.
+type Collector struct {
+	cfg Config
+	ln  net.Listener
+
+	mu      sync.Mutex
+	hosts   map[ids.ID]*hostRecord
+	order   []ids.ID // hello order, for deterministic iteration
+	injects int
+	units   uint64
+	reports int64
+
+	tracer     *obs.Tracer
+	mConsumed  *obs.Counter
+	mReports   *obs.Counter
+	mInjects   *obs.Counter
+	mResidual  *obs.Gauge
+	mBusyTicks *obs.Gauge
+	mHosts     *obs.Gauge
+	start      time.Time
+
+	conns     map[net.Conn]struct{}
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewCollector opens the collector's listener on addr ("" = auto) and
+// starts serving. tracer may be nil (no trace output).
+func NewCollector(cfg Config, tr Transport, addr string, tracer *obs.Tracer) (*Collector, error) {
+	cfg = cfg.WithDefaults()
+	ln, err := tr.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Collector{
+		cfg:    cfg,
+		ln:     ln,
+		hosts:  make(map[ids.ID]*hostRecord),
+		tracer: tracer,
+		start:  time.Now(),
+		conns:  make(map[net.Conn]struct{}),
+		closed: make(chan struct{}),
+	}
+	if tracer != nil {
+		reg := tracer.Registry()
+		c.mConsumed = reg.Counter("net.consumed", "tasks", "cumulative task units consumed across hosts")
+		c.mReports = reg.Counter("net.reports", "msgs", "consume reports received")
+		c.mInjects = reg.Counter("net.injections", "sybils", "Sybil births reported")
+		c.mResidual = reg.Gauge("net.residual", "tasks", "summed residual task units")
+		c.mBusyTicks = reg.Gauge("net.busy_ticks", "ticks", "busy interval of the slowest host")
+		c.mHosts = reg.Gauge("net.hosts", "hosts", "hosts registered")
+		tracer.EmitMeta(obs.F{K: "source", V: "netchord-collector"})
+		tracer.EmitSchema()
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the collector's listen address.
+func (c *Collector) Addr() string { return c.ln.Addr().String() }
+
+// Close shuts the collector down and flushes the tracer.
+func (c *Collector) Close() {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		_ = c.ln.Close()
+		c.mu.Lock()
+		for conn := range c.conns {
+			_ = conn.Close()
+		}
+		c.mu.Unlock()
+	})
+	c.wg.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tracer != nil {
+		p := c.progressLocked()
+		c.tracer.Emit("done",
+			obs.F{K: "hosts", V: p.Hosts},
+			obs.F{K: "consumed", V: p.Consumed},
+			obs.F{K: "residual", V: p.Residual},
+			obs.F{K: "busy_ticks", V: p.BusyTicks},
+			obs.F{K: "injections", V: p.Injections},
+		)
+		_ = c.tracer.Close()
+		c.tracer = nil
+	}
+}
+
+// Progress snapshots the cluster-wide view.
+func (c *Collector) Progress() Progress {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.progressLocked()
+}
+
+// progressLocked assembles Progress; callers hold c.mu.
+func (c *Collector) progressLocked() Progress {
+	p := Progress{
+		Hosts:         len(c.hosts),
+		Injections:    c.injects,
+		InjectedUnits: c.units,
+		Reports:       c.reports,
+	}
+	for _, id := range c.order {
+		r := c.hosts[id]
+		p.Consumed += r.consumed
+		p.Residual += r.residual
+		p.Capacity += r.capacity
+		if r.consumed > 0 {
+			if busy := r.lastBusy - r.firstBusy + 1; busy > p.BusyTicks {
+				p.BusyTicks = busy
+			}
+		}
+	}
+	return p
+}
+
+// acceptLoop admits connections until the listener closes.
+func (c *Collector) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		c.conns[conn] = struct{}{}
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go c.serveConn(conn)
+	}
+}
+
+// serveConn answers one connection's requests until error or shutdown.
+func (c *Collector) serveConn(conn net.Conn) {
+	defer c.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		c.mu.Lock()
+		delete(c.conns, conn)
+		c.mu.Unlock()
+	}()
+	idle := c.cfg.Ticks(c.cfg.IdleConnTicks)
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(idle)); err != nil {
+			return
+		}
+		req, err := wire.ReadMsg(conn)
+		if err != nil {
+			return
+		}
+		reply := c.handle(req)
+		reply.Req = req.Req
+		if err := conn.SetWriteDeadline(time.Now().Add(c.cfg.rpcTimeout())); err != nil {
+			return
+		}
+		if err := wire.WriteMsg(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+// handle dispatches one collector request.
+func (c *Collector) handle(req *wire.Msg) *wire.Msg {
+	switch req.Type {
+	case wire.TPing:
+		return &wire.Msg{Type: wire.TPong}
+
+	case wire.THello:
+		c.mu.Lock()
+		if _, known := c.hosts[req.From.ID]; !known {
+			c.hosts[req.From.ID] = &hostRecord{}
+			c.order = append(c.order, req.From.ID)
+		}
+		c.hosts[req.From.ID].capacity = req.A
+		if c.mHosts != nil {
+			c.mHosts.SetInt(int64(len(c.hosts)))
+		}
+		c.mu.Unlock()
+		return &wire.Msg{Type: wire.TAck}
+
+	case wire.TConsumeReport:
+		c.mu.Lock()
+		r := c.hosts[req.From.ID]
+		if r == nil {
+			r = &hostRecord{}
+			c.hosts[req.From.ID] = r
+			c.order = append(c.order, req.From.ID)
+		}
+		r.consumed = req.A
+		r.residual = req.B
+		r.firstBusy = int(req.C)
+		r.lastBusy = int(req.D)
+		c.reports++
+		c.emitLocked()
+		c.mu.Unlock()
+		return &wire.Msg{Type: wire.TAck}
+
+	case wire.TInject:
+		c.mu.Lock()
+		c.injects++
+		c.units += req.A
+		c.emitLocked()
+		c.mu.Unlock()
+		return &wire.Msg{Type: wire.TAck}
+
+	case wire.TProgress:
+		c.mu.Lock()
+		p := c.progressLocked()
+		c.mu.Unlock()
+		return &wire.Msg{
+			Type: wire.TProgressOK,
+			A:    p.Consumed,
+			B:    p.Residual,
+			C:    uint64(p.BusyTicks),
+			D:    p.Capacity,
+		}
+
+	default:
+		return errorMsg(CodeBadRequest, "unexpected collector message "+req.Type.String())
+	}
+}
+
+// emitLocked refreshes the trace metrics and writes one tick record
+// stamped with the collector's wall-clock tick; callers hold c.mu.
+func (c *Collector) emitLocked() {
+	if c.tracer == nil {
+		return
+	}
+	p := c.progressLocked()
+	c.mConsumed.Set(int64(p.Consumed))
+	c.mReports.Set(p.Reports)
+	c.mInjects.Set(int64(p.Injections))
+	c.mResidual.SetInt(int64(p.Residual))
+	c.mBusyTicks.SetInt(int64(p.BusyTicks))
+	c.mHosts.SetInt(int64(p.Hosts))
+	c.tracer.EmitTick(int(time.Since(c.start) / c.cfg.TickEvery))
+}
+
+// HostIDs returns the registered host IDs in ascending order (a stable
+// order for summaries; hello order is arrival-dependent).
+func (c *Collector) HostIDs() []ids.ID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]ids.ID(nil), c.order...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

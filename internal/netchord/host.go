@@ -1,0 +1,643 @@
+package netchord
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chordbalance/internal/ids"
+	"chordbalance/internal/wire"
+	"chordbalance/internal/xrand"
+)
+
+// Strategy selects one of the paper's autonomous load-balancing
+// policies, rendered as local per-host decision rules instead of the
+// simulator's global decision pass.
+type Strategy int
+
+// The strategy set. Each value mirrors an internal/strategy policy; the
+// semantics are the same local rules, driven by each host's own loop.
+const (
+	// StrategyNone is the baseline: no Sybils, no reaction.
+	StrategyNone Strategy = iota
+	// StrategyChurn is induced churn (§IV-A): a host whose work is done
+	// leaves and rejoins under a fresh identifier, probabilistically
+	// landing in a loaded arc.
+	StrategyChurn
+	// StrategyRandom is random injection (§IV-B): an idle host projects
+	// one Sybil per decision at a uniformly random identifier, dropping
+	// Sybils that acquired nothing.
+	StrategyRandom
+	// StrategyNeighbor is neighbor injection (§IV-C): an idle host
+	// splits the largest arc among its successors at the midpoint.
+	StrategyNeighbor
+	// StrategyInvitation is the invitation strategy (§IV-D): an
+	// overloaded node invites its predecessors; an idle predecessor
+	// injects a Sybil into the inviter's arc.
+	StrategyInvitation
+)
+
+// String renders the strategy's harness-facing name.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyNone:
+		return "none"
+	case StrategyChurn:
+		return "churn"
+	case StrategyRandom:
+		return "random"
+	case StrategyNeighbor:
+		return "neighbor"
+	case StrategyInvitation:
+		return "invitation"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// ParseStrategy maps a harness-facing name to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "none", "":
+		return StrategyNone, nil
+	case "churn":
+		return StrategyChurn, nil
+	case "random":
+		return StrategyRandom, nil
+	case "neighbor":
+		return StrategyNeighbor, nil
+	case "invitation":
+		return StrategyInvitation, nil
+	}
+	return StrategyNone, fmt.Errorf("netchord: unknown strategy %q", name)
+}
+
+// HostStats snapshots one host's cumulative activity.
+type HostStats struct {
+	// Consumed is the cumulative task units consumed.
+	Consumed uint64
+	// Residual is the current residual workload across all vnodes.
+	Residual uint64
+	// FirstBusyTick and LastBusyTick bracket the host's busy interval
+	// (both 0 until work first arrives).
+	FirstBusyTick, LastBusyTick int
+	// Sybils is the current live Sybil count.
+	Sybils int
+	// Injections counts Sybils this host created over its lifetime.
+	Injections int
+	// Churns counts leave/rejoin cycles (induced-churn strategy).
+	Churns int
+	// InvitesSent and InvitesAccepted count invitation traffic from the
+	// overloaded side.
+	InvitesSent, InvitesAccepted int64
+	// Helped counts invitations this host accepted as the helper.
+	Helped int64
+}
+
+// Host is one physical machine in the networked runtime: a primary
+// virtual node plus up to MaxSybils Sybil identities, a per-tick
+// consume loop, a consume-report stream to the collector, and one of
+// the paper's strategies run as a local decision rule every
+// DecisionEveryTicks ticks.
+//
+// The Host is the networked analogue of the simulator's host: where the
+// simulator's engine calls strategy.Decide over global state, each Host
+// here acts alone on what it can observe over the wire — its own
+// workload, its nodes' successor/predecessor windows, and replies to
+// the workload/invite messages it sends.
+type Host struct {
+	cfg       Config
+	tr        Transport
+	nf        *NetFaults
+	index     int
+	strategy  Strategy
+	rng       *xrand.Rand
+	hostID    ids.ID // stable across churn; keys collector records
+	collector string // collector address ("" = no reporting)
+	ctl       *peerPool
+
+	mu        sync.Mutex
+	primary   *Node
+	sybils    []*Node
+	consumed  uint64
+	firstBusy int
+	lastBusy  int
+	everBusy  bool
+	tick      int
+	helping   bool // an accepted invitation's injection is in flight
+	injects   int
+	churns    int
+	down      bool
+
+	invitesSent, invitesAccepted, helped int64
+
+	// sybilSeq feeds jitterID; atomic because considerInvite injects
+	// from a server-handler goroutine, off the host loop (where h.rng
+	// lives and must stay).
+	sybilSeq atomic.Uint64
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewHost boots one host: it creates the primary node under a
+// deterministic per-host RNG stream, creates a fresh ring when joinAddr
+// is empty or joins through it otherwise, and starts the node's server
+// loops. Call Start to begin consuming, reporting, and deciding.
+// collectorAddr may be empty (no reports). nf may be nil (no faults).
+func NewHost(cfg Config, tr Transport, nf *NetFaults, index int, strat Strategy, seed uint64, joinAddr, collectorAddr string) (*Host, error) {
+	cfg = cfg.WithDefaults()
+	h := &Host{
+		cfg:       cfg,
+		tr:        tr,
+		nf:        nf,
+		index:     index,
+		strategy:  strat,
+		rng:       xrand.NewStream(seed, index),
+		collector: collectorAddr,
+		closed:    make(chan struct{}),
+	}
+	h.hostID = ids.Random(h.rng)
+	// Collector traffic is control-plane/observability, not protocol
+	// traffic: it bypasses the fault layer so measurements survive the
+	// faults they measure.
+	h.ctl = newPeerPool(tr, cfg, nil, func() ids.ID { return h.hostID })
+	n, err := NewNode(cfg, tr, nf, ids.Random(h.rng), "")
+	if err != nil {
+		return nil, err
+	}
+	n.host = h
+	if joinAddr == "" {
+		n.Create()
+	} else if err := n.Join(joinAddr); err != nil {
+		n.Close()
+		return nil, err
+	}
+	n.Start()
+	h.primary = n
+	return h, nil
+}
+
+// Start launches the host loop (consume, report, decide).
+func (h *Host) Start() {
+	h.hello()
+	h.wg.Add(1)
+	go h.loop()
+}
+
+// Close stops the host loop and shuts down every virtual node.
+func (h *Host) Close() {
+	h.closeOnce.Do(func() { close(h.closed) })
+	h.wg.Wait()
+	h.mu.Lock()
+	h.down = true
+	nodes := h.nodesLocked()
+	h.sybils = nil
+	h.mu.Unlock()
+	for _, n := range nodes {
+		n.Close()
+	}
+	h.ctl.close()
+}
+
+// Index returns the host's stable index.
+func (h *Host) Index() int { return h.index }
+
+// HostID returns the host's stable collector identity (distinct from
+// any ring identity; it survives churn).
+func (h *Host) HostID() ids.ID { return h.hostID }
+
+// Primary returns the host's current primary node.
+func (h *Host) Primary() *Node {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.primary
+}
+
+// Nodes returns the host's live virtual nodes, primary first.
+func (h *Host) Nodes() []*Node {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.nodesLocked()
+}
+
+// nodesLocked returns primary + sybils; callers hold h.mu.
+func (h *Host) nodesLocked() []*Node {
+	out := make([]*Node, 0, 1+len(h.sybils))
+	if h.primary != nil {
+		out = append(out, h.primary)
+	}
+	return append(out, h.sybils...)
+}
+
+// Workload sums residual task units across the host's virtual nodes —
+// the only load signal a real host has locally (§V).
+func (h *Host) Workload() uint64 {
+	var sum uint64
+	for _, n := range h.Nodes() {
+		sum += n.TaskUnits()
+	}
+	return sum
+}
+
+// Stats snapshots the host's counters.
+func (h *Host) Stats() HostStats {
+	residual := h.Workload()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HostStats{
+		Consumed:        h.consumed,
+		Residual:        residual,
+		FirstBusyTick:   h.firstBusy,
+		LastBusyTick:    h.lastBusy,
+		Sybils:          len(h.sybils),
+		Injections:      h.injects,
+		Churns:          h.churns,
+		InvitesSent:     h.invitesSent,
+		InvitesAccepted: h.invitesAccepted,
+		Helped:          h.helped,
+	}
+}
+
+// loop is the host's heartbeat: one consume step per tick, a consume
+// report every ReportEveryTicks, one strategy decision every
+// DecisionEveryTicks. Decisions may block on RPCs; missed ticker beats
+// are simply dropped, which is the honest cost of acting on a network.
+func (h *Host) loop() {
+	defer h.wg.Done()
+	ticker := time.NewTicker(h.cfg.TickEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-h.closed:
+			h.report() // final report so the collector sees the end state
+			return
+		case <-ticker.C:
+			h.mu.Lock()
+			h.tick++
+			tick := h.tick
+			h.mu.Unlock()
+			h.consumeTick(tick)
+			if tick%h.cfg.ReportEveryTicks == 0 {
+				h.report()
+			}
+			if tick%h.cfg.DecisionEveryTicks == 0 {
+				h.decide()
+			}
+		}
+	}
+}
+
+// consumeTick spends the host's per-tick compute budget across its
+// virtual nodes, primary first (the uniform-host model: capacity
+// belongs to the machine, not the identity).
+func (h *Host) consumeTick(tick int) {
+	budget := uint64(h.cfg.ConsumePerTick)
+	var done uint64
+	for _, n := range h.Nodes() {
+		if done >= budget {
+			break
+		}
+		done += n.consume(budget - done)
+	}
+	if done == 0 {
+		return
+	}
+	h.mu.Lock()
+	h.consumed += done
+	if !h.everBusy {
+		h.everBusy = true
+		h.firstBusy = tick
+	}
+	h.lastBusy = tick
+	h.mu.Unlock()
+}
+
+// hello registers the host (and its capacity) with the collector.
+func (h *Host) hello() {
+	if h.collector == "" {
+		return
+	}
+	_, _ = h.ctl.call(wire.NodeRef{Addr: h.collector}, &wire.Msg{
+		Type: wire.THello,
+		From: wire.NodeRef{ID: h.hostID, Addr: h.Primary().Addr()},
+		A:    uint64(h.cfg.ConsumePerTick),
+	})
+}
+
+// report streams the host's consumption state to the collector:
+// A = cumulative consumed, B = residual, C/D = first/last busy tick.
+func (h *Host) report() {
+	if h.collector == "" {
+		return
+	}
+	residual := h.Workload()
+	h.mu.Lock()
+	m := &wire.Msg{
+		Type: wire.TConsumeReport,
+		From: wire.NodeRef{ID: h.hostID},
+		A:    h.consumed,
+		B:    residual,
+		C:    uint64(h.firstBusy),
+		D:    uint64(h.lastBusy),
+	}
+	h.mu.Unlock()
+	_, _ = h.ctl.call(wire.NodeRef{Addr: h.collector}, m)
+}
+
+// reportInject tells the collector a Sybil was born and what it took.
+func (h *Host) reportInject(sybil wire.NodeRef, acquired uint64) {
+	if h.collector == "" {
+		return
+	}
+	_, _ = h.ctl.call(wire.NodeRef{Addr: h.collector}, &wire.Msg{
+		Type: wire.TInject,
+		From: wire.NodeRef{ID: h.hostID},
+		Node: sybil,
+		A:    acquired,
+	})
+}
+
+// decide runs one strategy decision. It executes on the host loop
+// goroutine and may perform RPCs; it never holds h.mu across a call.
+func (h *Host) decide() {
+	switch h.strategy {
+	case StrategyChurn:
+		h.decideChurn()
+	case StrategyRandom:
+		h.decideRandom()
+	case StrategyNeighbor:
+		h.decideNeighbor()
+	case StrategyInvitation:
+		h.decideInvitation()
+	}
+}
+
+// decideChurn is induced churn as a local rule: with probability
+// ChurnProb per decision pass the host leaves gracefully (handing its
+// keys and residual work to its successor) and rejoins under a fresh
+// identifier. Re-entering uniformly at random lands in large (hence
+// probably loaded) arcs with high probability — the paper's §IV-A
+// observation that turnover alone redistributes load.
+func (h *Host) decideChurn() {
+	if !h.rng.Bool(h.cfg.ChurnProb) {
+		return
+	}
+	h.mu.Lock()
+	primary := h.primary
+	h.mu.Unlock()
+	if primary == nil {
+		return
+	}
+	// Remember where to re-enter before the node departs.
+	vias := primary.SuccessorList()
+	if len(vias) == 0 || vias[0].ID == primary.ID() {
+		return // alone on the ring: churn is a no-op
+	}
+	// Leave may fail to place some state (every successor itself
+	// mid-leave, say); the leftovers are re-owned by the next identity
+	// below, so churn never loses work.
+	kvs, tasks, _ := primary.leaveRemainder()
+	var next *Node
+	for _, via := range vias {
+		n, err := NewNode(h.cfg, h.tr, h.nf, ids.Random(h.rng), "")
+		if err != nil {
+			continue
+		}
+		n.host = h
+		if err := n.Join(via.Addr); err != nil {
+			n.Close()
+			continue
+		}
+		next = n
+		break
+	}
+	if next == nil {
+		// Every rejoin path failed (e.g. mid-partition): restart alone
+		// so the host keeps serving; the graveyard probes re-merge the
+		// rings after heal.
+		n, err := NewNode(h.cfg, h.tr, h.nf, ids.Random(h.rng), "")
+		if err != nil {
+			return
+		}
+		n.host = h
+		n.Create()
+		next = n
+	}
+	next.mu.Lock()
+	for _, kv := range kvs {
+		next.data[kv.Key] = kv.Value
+	}
+	for _, tk := range tasks {
+		next.addTaskLocked(tk.Key, tk.Units)
+	}
+	next.mu.Unlock()
+	next.Start()
+	h.mu.Lock()
+	h.primary = next
+	h.churns++
+	h.mu.Unlock()
+}
+
+// decideRandom is random injection: withdraw Sybils that ended up with
+// nothing, then (if still idle and under the cap) inject one Sybil at a
+// uniformly random identifier — one per decision, as §IV-B prescribes.
+func (h *Host) decideRandom() {
+	h.dropIdleSybils()
+	if !h.idle() || !h.canSybil() {
+		return
+	}
+	_, _ = h.injectSybil(ids.Random(h.rng), h.Primary().Addr())
+}
+
+// decideNeighbor is neighbor injection: estimate the most-loaded
+// neighbor as the successor owning the largest arc (no workload
+// queries needed) and split that arc at its midpoint.
+func (h *Host) decideNeighbor() {
+	if !h.idle() || !h.canSybil() {
+		return
+	}
+	primary := h.Primary()
+	succs := primary.SuccessorList()
+	own := make(map[ids.ID]struct{})
+	for _, n := range h.Nodes() {
+		own[n.ID()] = struct{}{}
+	}
+	var bestPrev, bestCur ids.ID
+	var bestArc ids.ID
+	found := false
+	prev := primary.ID()
+	for _, s := range succs {
+		if _, mine := own[s.ID]; !mine {
+			arc := prev.Distance(s.ID)
+			if !found || bestArc.Less(arc) {
+				bestPrev, bestCur, bestArc = prev, s.ID, arc
+				found = true
+			}
+		}
+		prev = s.ID
+	}
+	if !found {
+		return
+	}
+	_, _ = h.injectSybil(h.jitterID(ids.Midpoint(bestPrev, bestCur)), primary.Addr())
+}
+
+// jitterID perturbs the low 64 bits of id with the host's stable
+// identity and a per-host sequence number. Arc midpoints are symmetric:
+// two idle hosts observing the same loaded arc compute the *same*
+// midpoint, and concurrent joins under one identifier wedge the ring
+// permanently (duplicate IDs break the successor ordering every
+// stabilization relies on). The perturbation is at most 2^64 of a
+// 2^ids.Bits space — invisible at arc scale, decisive for uniqueness.
+func (h *Host) jitterID(id ids.ID) ids.ID {
+	salt := binary.BigEndian.Uint64(h.hostID[len(h.hostID)-8:]) + h.sybilSeq.Add(1)
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], salt)
+	for i := 0; i < 8; i++ {
+		id[len(id)-8+i] ^= b[i]
+	}
+	return id
+}
+
+// decideInvitation is the overloaded side of §IV-D: a primary above the
+// invite threshold walks its predecessor chain and invites each in turn
+// until one agrees to help (the helper injects the Sybil; see
+// considerInvite).
+func (h *Host) decideInvitation() {
+	primary := h.Primary()
+	load := primary.TaskUnits()
+	if load <= h.cfg.InviteThreshold {
+		return
+	}
+	pred, ok := primary.Predecessor()
+	if !ok || pred.ID == primary.ID() {
+		return
+	}
+	cur := pred
+	for i := 0; i < h.cfg.SuccessorListLen; i++ {
+		if cur.Addr == "" || cur.ID == primary.ID() {
+			return
+		}
+		h.mu.Lock()
+		h.invitesSent++
+		h.mu.Unlock()
+		reply, err := primary.pool.call(cur, &wire.Msg{
+			Type: wire.TInvite,
+			From: primary.Ref(),
+			Node: pred,
+			A:    load,
+		})
+		if err == nil && reply.Flag {
+			h.mu.Lock()
+			h.invitesAccepted++
+			h.mu.Unlock()
+			return
+		}
+		// Walk one predecessor further back and ask again.
+		prReply, err := primary.pool.call(cur, &wire.Msg{Type: wire.TGetPred})
+		if err != nil || !prReply.Flag {
+			return
+		}
+		cur = prReply.Node
+	}
+}
+
+// considerInvite is the helper side of the invitation strategy, called
+// from a node's request handler. It answers immediately (accept or
+// refuse) and performs the injection on its own goroutine so the
+// server never blocks on a join handshake.
+func (h *Host) considerInvite(req *wire.Msg) bool {
+	if req.From.Addr == "" || req.Node.Addr == "" {
+		return false
+	}
+	if !h.idle() || !h.canSybil() {
+		return false
+	}
+	h.mu.Lock()
+	if h.helping || h.down {
+		h.mu.Unlock()
+		return false
+	}
+	h.helping = true
+	h.mu.Unlock()
+	// Jitter the midpoint: several helpers may accept invitations into
+	// the same arc concurrently, and they must not collide on one ID.
+	mid := h.jitterID(ids.Midpoint(req.Node.ID, req.From.ID))
+	via := req.From.Addr
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		defer func() {
+			h.mu.Lock()
+			h.helping = false
+			h.mu.Unlock()
+		}()
+		if _, err := h.injectSybil(mid, via); err == nil {
+			h.mu.Lock()
+			h.helped++
+			h.mu.Unlock()
+		}
+	}()
+	return true
+}
+
+// idle reports whether the host's residual workload is at or below the
+// Sybil threshold (the "under-utilized" test used by every strategy).
+func (h *Host) idle() bool { return h.Workload() <= h.cfg.SybilThreshold }
+
+// canSybil reports whether the host is under its Sybil cap.
+func (h *Host) canSybil() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.sybils) < h.cfg.MaxSybils && !h.down
+}
+
+// injectSybil projects a Sybil identity at id, joining through via, and
+// reports the birth (and the work it acquired) to the collector.
+func (h *Host) injectSybil(id ids.ID, via string) (*Node, error) {
+	n, err := NewNode(h.cfg, h.tr, h.nf, id, "")
+	if err != nil {
+		return nil, err
+	}
+	n.host = h
+	if err := n.Join(via); err != nil {
+		n.Close()
+		return nil, err
+	}
+	acquired := n.TaskUnits()
+	n.Start()
+	h.mu.Lock()
+	if h.down {
+		h.mu.Unlock()
+		n.Close()
+		return nil, ErrClosed
+	}
+	h.sybils = append(h.sybils, n)
+	h.injects++
+	h.mu.Unlock()
+	h.reportInject(n.Ref(), acquired)
+	return n, nil
+}
+
+// dropIdleSybils withdraws every Sybil when the whole host is out of
+// work (their arcs yielded nothing, or it was all consumed), freeing
+// the identities so a later pass can re-roll fresh locations.
+func (h *Host) dropIdleSybils() {
+	if h.Workload() != 0 {
+		return
+	}
+	h.mu.Lock()
+	if len(h.sybils) == 0 {
+		h.mu.Unlock()
+		return
+	}
+	drop := h.sybils
+	h.sybils = nil
+	h.mu.Unlock()
+	for _, s := range drop {
+		_ = s.Leave()
+	}
+}

@@ -1,0 +1,1243 @@
+package netchord
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chordbalance/internal/ids"
+	"chordbalance/internal/wire"
+)
+
+// joinGift is the data copy and task handoff computed for one joiner,
+// kept until the joiner's first notify confirms receipt so a retried
+// TJoin (lost reply) re-sends the identical gift. Gifts unconfirmed
+// past the client's whole retry budget are resolved by restoreGifts:
+// reachable joiner means the gift arrived (drop the stash), dead joiner
+// means the handshake died (take the task units back).
+type joinGift struct {
+	ref   wire.NodeRef
+	kvs   []wire.KV
+	tasks []wire.Task
+	born  time.Time
+}
+
+// maxSeenTokens bounds the idempotency-token memory per node.
+const maxSeenTokens = 4096
+
+// maxJoinHandoffs bounds unconfirmed join gifts kept per node.
+const maxJoinHandoffs = 64
+
+// maxLostPeers bounds the graveyard of pruned peers kept for ring
+// re-merge probing after a partition heals.
+const maxLostPeers = 16
+
+// tokenCounter feeds newToken; process-global so tokens stay unique
+// even across a host's churning identities.
+var tokenCounter atomic.Uint64
+
+// TError codes carried in TError.A.
+const (
+	// CodeBadRequest means the request was malformed for its type.
+	CodeBadRequest = 1
+	// CodeNoRoute means the callee could not route the request.
+	CodeNoRoute = 2
+	// CodeShutdown means the callee is closing.
+	CodeShutdown = 3
+)
+
+// Node is one networked Chord participant: a wire-protocol server on
+// its own listener, a client connection pool, and a background
+// maintenance loop (stabilize, notify, successor-list refresh, round-
+// robin finger repair) paced by Config.TickEvery.
+//
+// A Node is safe for concurrent use: the server handles each inbound
+// connection on its own goroutine, and all protocol state (predecessor,
+// successor list, fingers, data, tasks) sits behind one mutex. RPC
+// handlers never block on the network while holding the mutex, so
+// request cycles between nodes cannot deadlock.
+type Node struct {
+	cfg  Config
+	tr   Transport
+	nf   *NetFaults
+	host *Host // nil for standalone nodes
+	ref  wire.NodeRef
+
+	pool *peerPool
+	ln   net.Listener
+
+	mu         sync.Mutex
+	pred       wire.NodeRef
+	hasPred    bool
+	succ       []wire.NodeRef // nearest first; empty only before bootstrap
+	fingers    []wire.NodeRef // fingers[i] caches successor(id + 2^i)
+	nextFinger int
+	data       map[ids.ID][]byte
+	tasks      map[ids.ID]uint64
+	taskUnits  uint64
+	everTasked bool
+
+	// At-least-once defenses: the RPC layer retries after lost replies,
+	// so task-bearing messages must be exactly-once at the application
+	// layer. seenTokens remembers recently applied TTask/TTransfer
+	// idempotency tokens (FIFO-evicted); joinHandoff stashes the
+	// data/task gift computed for a joiner so a retried TJoin re-sends
+	// the same gift instead of finding the tasks already deleted
+	// (cleared by the joiner's first TNotify).
+	seenTokens  map[uint64]struct{}
+	tokenOrder  []uint64
+	joinHandoff map[ids.ID]*joinGift
+	joinOrder   []ids.ID
+
+	// leaving is set the moment Leave snapshots the node's state; from
+	// then on task-bearing requests are refused with CodeShutdown, so no
+	// work can slip into a node that has already counted itself out (the
+	// sender re-routes to the successor instead).
+	leaving bool
+
+	// lost is the graveyard: peers pruned as unreachable (dead successor
+	// heads, unresponsive predecessors). probeLost revisits them because
+	// after a partition the two sides each converge to a self-consistent
+	// ring, and Chord stabilization alone can never merge two such rings
+	// — every pointer on each side is internally valid. One revived
+	// graveyard entry is enough to re-link them.
+	lost     []wire.NodeRef
+	lostNext int
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+
+	served      [wire.TypeCount]atomic.Int64
+	lookups     atomic.Int64
+	lookupFails atomic.Int64
+	stabilizes  atomic.Int64
+	replicaErrs atomic.Int64
+}
+
+// NewNode opens a listener on addr (or an auto-assigned one when addr
+// is empty) and returns a stopped node with identity id. Call Create or
+// Join, then Start, to bring it onto a ring. nf may be nil (no faults).
+func NewNode(cfg Config, tr Transport, nf *NetFaults, id ids.ID, addr string) (*Node, error) {
+	cfg = cfg.WithDefaults()
+	ln, err := tr.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:         cfg,
+		tr:          tr,
+		nf:          nf,
+		ref:         wire.NodeRef{ID: id, Addr: ln.Addr().String()},
+		ln:          ln,
+		fingers:     make([]wire.NodeRef, ids.Bits),
+		data:        make(map[ids.ID][]byte),
+		tasks:       make(map[ids.ID]uint64),
+		seenTokens:  make(map[uint64]struct{}),
+		joinHandoff: make(map[ids.ID]*joinGift),
+		conns:       make(map[net.Conn]struct{}),
+		closed:      make(chan struct{}),
+	}
+	n.pool = newPeerPool(tr, cfg, nf, func() ids.ID { return id })
+	return n, nil
+}
+
+// Ref returns the node's identity and listen address.
+func (n *Node) Ref() wire.NodeRef { return n.ref }
+
+// ID returns the node's ring identifier.
+func (n *Node) ID() ids.ID { return n.ref.ID }
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.ref.Addr }
+
+// Create bootstraps a one-node ring: the node is its own successor and
+// predecessor, exactly as in the Chord paper's create().
+func (n *Node) Create() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.succ = []wire.NodeRef{n.ref}
+	n.pred = n.ref
+	n.hasPred = true
+}
+
+// Join brings the node onto the ring reachable through via: resolve the
+// node's successor with an iterative lookup starting at via, then run
+// the join handshake, acquiring the data and task units the node is now
+// responsible for. The background loops (started by Start) disseminate
+// the change from there.
+func (n *Node) Join(via string) error {
+	boot := wire.NodeRef{Addr: via}
+	succ, _, err := n.lookupFrom(boot, n.ref.ID)
+	if err != nil {
+		return fmt.Errorf("netchord: join lookup via %s: %w", via, err)
+	}
+	if succ.ID == n.ref.ID && succ.Addr != n.ref.Addr {
+		return fmt.Errorf("netchord: join: id %s already on the ring", n.ref.ID.Short())
+	}
+	reply, err := n.pool.call(succ, &wire.Msg{Type: wire.TJoin, From: n.ref})
+	if err != nil {
+		return fmt.Errorf("netchord: join handshake: %w", err)
+	}
+	n.mu.Lock()
+	list := append([]wire.NodeRef{succ}, reply.List...)
+	n.succ = dedupeRefs(list, n.ref.ID, n.cfg.SuccessorListLen)
+	for _, kv := range reply.KVs {
+		n.data[kv.Key] = kv.Value
+	}
+	for _, tk := range reply.Tasks {
+		n.addTaskLocked(tk.Key, tk.Units)
+	}
+	n.mu.Unlock()
+	// One eager stabilize round links us in without waiting a tick.
+	n.stabilizeOnce()
+	return nil
+}
+
+// Start launches the server accept loop and the background maintenance
+// loop. It panics if the node is already closed.
+func (n *Node) Start() {
+	select {
+	case <-n.closed:
+		panic("netchord: Start after Close")
+	default:
+	}
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.maintenanceLoop()
+}
+
+// Close shuts the node down: listener, inbound connections, pooled
+// client connections, and background loops. It does not hand keys off
+// (that is Leave); Close models a crash-stop or process exit.
+func (n *Node) Close() {
+	n.closeOnce.Do(func() {
+		close(n.closed)
+		_ = n.ln.Close()
+		n.connMu.Lock()
+		for c := range n.conns {
+			_ = c.Close()
+		}
+		n.connMu.Unlock()
+		n.pool.close()
+	})
+	n.wg.Wait()
+}
+
+// Leave departs gracefully: mark the node as leaving (so no new work
+// can arrive after the snapshot), move every key and task unit to the
+// first reachable successor, then Close. The snapshot is a move, not a
+// copy — once taken, the units exist only in the outbound transfer, so
+// they can be consumed locally xor handed off, never both.
+func (n *Node) Leave() error {
+	_, _, err := n.leaveRemainder()
+	return err
+}
+
+// leaveRemainder is Leave returning whatever could not be delivered to
+// any successor. A churning host (leave + rejoin) re-owns the leftovers
+// under its next identity instead of dropping them, which is what keeps
+// work conserved even when every transfer target is itself mid-leave.
+func (n *Node) leaveRemainder() ([]wire.KV, []wire.Task, error) {
+	n.mu.Lock()
+	n.leaving = true
+	kvs := make([]wire.KV, 0, len(n.data))
+	for _, k := range sortedIDKeys(n.data) {
+		kvs = append(kvs, wire.KV{Key: k, Value: n.data[k]})
+	}
+	tasks := make([]wire.Task, 0, len(n.tasks))
+	for _, k := range sortedTaskKeys(n.tasks) {
+		tasks = append(tasks, wire.Task{Key: k, Units: n.tasks[k]})
+	}
+	// Any gift still unconfirmed leaves with us: fold it into the
+	// handoff so a vanished joiner cannot take the units to the grave.
+	for _, id := range n.joinOrder {
+		if g := n.joinHandoff[id]; g != nil {
+			tasks = append(tasks, g.tasks...)
+		}
+	}
+	n.joinHandoff = make(map[ids.ID]*joinGift)
+	n.joinOrder = nil
+	n.data = make(map[ids.ID][]byte)
+	n.tasks = make(map[ids.ID]uint64)
+	n.taskUnits = 0
+	succs := append([]wire.NodeRef(nil), n.succ...)
+	n.mu.Unlock()
+
+	var err error
+	for _, s := range succs {
+		if s.ID == n.ref.ID {
+			continue
+		}
+		if len(kvs) == 0 && len(tasks) == 0 {
+			break
+		}
+		// Chunk the handoff under the wire caps; successfully delivered
+		// chunks are not re-sent when the next successor is tried.
+		if kvs, tasks, err = n.transferTo(s, kvs, tasks); err == nil {
+			break
+		}
+	}
+	n.Close()
+	return kvs, tasks, err
+}
+
+// transferTo pushes kvs and tasks to ref in wire-sized chunks, each
+// chunk carrying a fresh idempotency token so retried chunks are never
+// double-applied. It returns whatever was not acknowledged, so a caller
+// falling back to another successor resumes instead of restarting.
+func (n *Node) transferTo(ref wire.NodeRef, kvs []wire.KV, tasks []wire.Task) ([]wire.KV, []wire.Task, error) {
+	for len(kvs) > 0 || len(tasks) > 0 {
+		m := &wire.Msg{Type: wire.TTransfer, A: n.newToken()}
+		restKVs, restTasks := kvs, tasks
+		if len(kvs) > wire.MaxKVs {
+			m.KVs, restKVs = kvs[:wire.MaxKVs], kvs[wire.MaxKVs:]
+		} else {
+			m.KVs, restKVs = kvs, nil
+		}
+		if len(tasks) > wire.MaxTasks {
+			m.Tasks, restTasks = tasks[:wire.MaxTasks], tasks[wire.MaxTasks:]
+		} else {
+			m.Tasks, restTasks = tasks, nil
+		}
+		if _, err := n.pool.call(ref, m); err != nil {
+			return kvs, tasks, err
+		}
+		kvs, tasks = restKVs, restTasks
+	}
+	return nil, nil, nil
+}
+
+// --- accessors -------------------------------------------------------
+
+// Successor returns the working successor (self on a one-node ring).
+func (n *Node) Successor() wire.NodeRef {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.succ) == 0 {
+		return n.ref
+	}
+	return n.succ[0]
+}
+
+// SuccessorList returns a copy of the successor list.
+func (n *Node) SuccessorList() []wire.NodeRef {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]wire.NodeRef(nil), n.succ...)
+}
+
+// Predecessor returns the predecessor pointer and whether it is set.
+func (n *Node) Predecessor() (wire.NodeRef, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.pred, n.hasPred
+}
+
+// KeyCount returns how many keys (primary + replica) the node stores.
+func (n *Node) KeyCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.data)
+}
+
+// TaskUnits returns the node's residual work, in units.
+func (n *Node) TaskUnits() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.taskUnits
+}
+
+// NodeStats snapshots one node's protocol activity: requests served by
+// type, client-side lookup and maintenance counters, and the RPC pool's
+// retry/timeout accounting.
+type NodeStats struct {
+	// Served counts requests handled, indexed by wire.Type.
+	Served [wire.TypeCount]int64
+	// Lookups and LookupFails count client lookups started and failed.
+	Lookups, LookupFails int64
+	// Stabilizes counts stabilization rounds run.
+	Stabilizes int64
+	// ReplicaErrs counts failed replica pushes (repaired later).
+	ReplicaErrs int64
+	// RPC is the client pool's counters.
+	RPC RPCStats
+}
+
+// Stats snapshots the node's counters.
+func (n *Node) Stats() NodeStats {
+	s := NodeStats{
+		Lookups:     n.lookups.Load(),
+		LookupFails: n.lookupFails.Load(),
+		Stabilizes:  n.stabilizes.Load(),
+		ReplicaErrs: n.replicaErrs.Load(),
+		RPC:         n.pool.stats(),
+	}
+	for i := range s.Served {
+		s.Served[i] = n.served[i].Load()
+	}
+	return s
+}
+
+// newToken returns a nonzero idempotency token, unique within the
+// process and salted with this node's identity so tokens from distinct
+// senders cannot collide in a receiver's dedup window.
+func (n *Node) newToken() uint64 {
+	tok := binary.BigEndian.Uint64(n.ref.ID[:8]) ^ (tokenCounter.Add(1) << 20)
+	if tok == 0 {
+		tok = 1
+	}
+	return tok
+}
+
+// applyTokenLocked records tok and reports whether the carrying message
+// should be applied (false = duplicate of an already-applied transfer).
+// Token 0 always applies. Callers hold n.mu.
+func (n *Node) applyTokenLocked(tok uint64) bool {
+	if tok == 0 {
+		return true
+	}
+	if _, dup := n.seenTokens[tok]; dup {
+		return false
+	}
+	n.seenTokens[tok] = struct{}{}
+	n.tokenOrder = append(n.tokenOrder, tok)
+	if len(n.tokenOrder) > maxSeenTokens {
+		delete(n.seenTokens, n.tokenOrder[0])
+		n.tokenOrder = n.tokenOrder[1:]
+	}
+	return true
+}
+
+// addTaskLocked merges units of work under key; callers hold n.mu.
+func (n *Node) addTaskLocked(key ids.ID, units uint64) {
+	if units == 0 {
+		return
+	}
+	n.tasks[key] += units
+	n.taskUnits += units
+	n.everTasked = true
+}
+
+// consume drains up to budget task units in ascending key order and
+// returns how many were consumed.
+func (n *Node) consume(budget uint64) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if budget == 0 || n.taskUnits == 0 {
+		return 0
+	}
+	var done uint64
+	for _, k := range sortedTaskKeys(n.tasks) {
+		if budget == 0 {
+			break
+		}
+		take := n.tasks[k]
+		if take > budget {
+			take = budget
+		}
+		n.tasks[k] -= take
+		if n.tasks[k] == 0 {
+			delete(n.tasks, k)
+		}
+		budget -= take
+		done += take
+	}
+	n.taskUnits -= done
+	return done
+}
+
+// --- client operations ----------------------------------------------
+
+// Lookup resolves the node responsible for key, returning its ref and
+// the number of routing round trips taken.
+func (n *Node) Lookup(key ids.ID) (wire.NodeRef, int, error) {
+	n.lookups.Add(1)
+	owner, hops, err := n.lookupFrom(n.ref, key)
+	if err != nil {
+		n.lookupFails.Add(1)
+	}
+	return owner, hops, err
+}
+
+// lookupFrom runs the iterative lookup starting at start. Each step is
+// one TFindSuccessor round trip; the answering node also returns its
+// successor list as fallback candidates, so a next hop that died since
+// being cached is routed around by stepping to the closest fallback —
+// the successor-list walk that makes Chord lookups survive stale
+// fingers.
+func (n *Node) lookupFrom(start wire.NodeRef, key ids.ID) (wire.NodeRef, int, error) {
+	cur := start
+	var fallbacks []wire.NodeRef
+	hops := 0
+	for hops <= n.cfg.MaxHops {
+		var done bool
+		var next wire.NodeRef
+		var list []wire.NodeRef
+		var err error
+		if cur.Addr == n.ref.Addr {
+			done, next, list = n.routeStep(key)
+		} else {
+			var reply *wire.Msg
+			reply, err = n.pool.call(cur, &wire.Msg{Type: wire.TFindSuccessor, Key: key, A: uint64(hops)})
+			if err == nil {
+				done, next, list = reply.Flag, reply.Node, reply.List
+			}
+		}
+		if err != nil {
+			if len(fallbacks) == 0 {
+				return wire.NodeRef{}, hops, err
+			}
+			cur, fallbacks = fallbacks[0], fallbacks[1:]
+			hops++
+			continue
+		}
+		if done {
+			return next, hops, nil
+		}
+		// Keep the answerer's successor list (minus the chosen hop) as
+		// fallbacks in case next is unreachable.
+		fallbacks = fallbacks[:0]
+		for _, r := range list {
+			if r.ID != next.ID && r.Addr != "" {
+				fallbacks = append(fallbacks, r)
+			}
+		}
+		cur = next
+		hops++
+	}
+	return wire.NodeRef{}, hops, ErrNoRoute
+}
+
+// routeStep answers one routing step locally: done=true when the
+// node's immediate successor owns key; otherwise the closest preceding
+// candidate plus the successor list as fallbacks.
+func (n *Node) routeStep(key ids.ID) (done bool, next wire.NodeRef, list []wire.NodeRef) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	succ := n.ref
+	if len(n.succ) > 0 {
+		succ = n.succ[0]
+	}
+	if succ.ID == n.ref.ID || ids.BetweenRightIncl(key, n.ref.ID, succ.ID) {
+		return true, succ, nil
+	}
+	next = n.closestPrecedingLocked(key)
+	if next.ID == n.ref.ID {
+		next = succ
+	}
+	return false, next, append([]wire.NodeRef(nil), n.succ...)
+}
+
+// closestPrecedingLocked scans fingers farthest-first, then the
+// successor list, for the candidate most closely preceding key;
+// callers hold n.mu.
+func (n *Node) closestPrecedingLocked(key ids.ID) wire.NodeRef {
+	for i := ids.Bits - 1; i >= 0; i-- {
+		f := n.fingers[i]
+		if f.Addr == "" || f.ID == n.ref.ID {
+			continue
+		}
+		if ids.Between(f.ID, n.ref.ID, key) {
+			return f
+		}
+	}
+	best := n.ref
+	for _, s := range n.succ {
+		if ids.Between(s.ID, n.ref.ID, key) {
+			best = s // nearest-first: the last match is closest to key
+		}
+	}
+	return best
+}
+
+// rerouteAttempts bounds how many times a client re-resolves a key's
+// owner after an authoritative refusal (a node mid-leave answers
+// CodeShutdown; the ring needs a beat to route around it).
+const rerouteAttempts = 5
+
+// Put stores value under key at its owner and replicates it to the
+// owner's successors. Storing a key is idempotent, so every failure —
+// an owner that refuses because it is leaving, an owner that died
+// mid-call — is handled the same way: wait a stabilization beat,
+// resolve the owner again, and re-send.
+func (n *Node) Put(key ids.ID, value []byte) error {
+	var err error
+	for attempt := 0; attempt < rerouteAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(n.cfg.Ticks(n.cfg.StabilizeEveryTicks))
+		}
+		var owner wire.NodeRef
+		owner, _, err = n.Lookup(key)
+		if err != nil {
+			continue
+		}
+		if owner.Addr == n.ref.Addr {
+			n.storeAndReplicate(key, value)
+			return nil
+		}
+		if _, err = n.pool.call(owner, &wire.Msg{Type: wire.TPut, Key: key, Value: value}); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// Get fetches the value for key from its owner.
+func (n *Node) Get(key ids.ID) ([]byte, error) {
+	owner, _, err := n.Lookup(key)
+	if err != nil {
+		return nil, err
+	}
+	if owner.Addr == n.ref.Addr {
+		n.mu.Lock()
+		v, ok := n.data[key]
+		n.mu.Unlock()
+		if !ok {
+			return nil, ErrNotFound
+		}
+		return v, nil
+	}
+	reply, err := n.pool.call(owner, &wire.Msg{Type: wire.TGet, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	if !reply.Flag {
+		return nil, ErrNotFound
+	}
+	return reply.Value, nil
+}
+
+// SubmitTask routes units of work under key to its owner. The same
+// idempotency token is reused across every re-route, so even if a
+// timed-out attempt secretly landed before the owner died, the units
+// are applied at most once — re-submission after any failure is safe.
+func (n *Node) SubmitTask(key ids.ID, units uint64) error {
+	tok := n.newToken()
+	var err error
+	for attempt := 0; attempt < rerouteAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(n.cfg.Ticks(n.cfg.StabilizeEveryTicks))
+		}
+		var owner wire.NodeRef
+		owner, _, err = n.Lookup(key)
+		if err != nil {
+			continue
+		}
+		if owner.Addr == n.ref.Addr {
+			n.mu.Lock()
+			if n.applyTokenLocked(tok) {
+				n.addTaskLocked(key, units)
+			}
+			n.mu.Unlock()
+			return nil
+		}
+		if _, err = n.pool.call(owner, &wire.Msg{Type: wire.TTask, Key: key, A: units, B: tok}); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// Ping round-trips a TPing to ref.
+func (n *Node) Ping(ref wire.NodeRef) error {
+	_, err := n.pool.call(ref, &wire.Msg{Type: wire.TPing})
+	return err
+}
+
+// WorkloadOf queries ref's residual task units.
+func (n *Node) WorkloadOf(ref wire.NodeRef) (uint64, error) {
+	reply, err := n.pool.call(ref, &wire.Msg{Type: wire.TWorkloadQuery})
+	if err != nil {
+		return 0, err
+	}
+	return reply.A, nil
+}
+
+// storeAndReplicate stores key locally then pushes it to the first
+// Replicas successors, best effort.
+func (n *Node) storeAndReplicate(key ids.ID, value []byte) {
+	n.mu.Lock()
+	n.data[key] = value
+	succs := append([]wire.NodeRef(nil), n.succ...)
+	n.mu.Unlock()
+	n.replicate(succs, []wire.KV{{Key: key, Value: value}})
+}
+
+// replicate pushes kvs to up to Replicas distinct successors. Failed
+// pushes are counted and retried by the next replica-repair round.
+func (n *Node) replicate(succs []wire.NodeRef, kvs []wire.KV) {
+	sent := 0
+	for _, s := range succs {
+		if sent >= n.cfg.Replicas {
+			break
+		}
+		if s.ID == n.ref.ID {
+			continue
+		}
+		if _, err := n.pool.call(s, &wire.Msg{Type: wire.TReplicate, KVs: kvs}); err != nil {
+			n.replicaErrs.Add(1)
+			continue
+		}
+		sent++
+	}
+}
+
+// --- maintenance -----------------------------------------------------
+
+// maintenanceLoop paces stabilization in real time: every
+// StabilizeEveryTicks ticks it runs one stabilize round (successor
+// verification, notify, successor-list refresh, replica repair) and
+// fixes one finger, exactly the per-round work of the simulator's
+// StabilizeAll but on live connections.
+func (n *Node) maintenanceLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.Ticks(n.cfg.StabilizeEveryTicks))
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.closed:
+			return
+		case <-ticker.C:
+			n.stabilizeOnce()
+			n.checkPredecessor()
+			n.fixNextFinger()
+			n.repairReplicas()
+			n.probeLost()
+			n.restoreGifts()
+		}
+	}
+}
+
+// stabilizeOnce runs the classic Chord stabilization step over RPC:
+// find the first reachable successor (pruning dead heads), adopt its
+// predecessor if closer, refresh the successor list, and notify.
+func (n *Node) stabilizeOnce() {
+	n.stabilizes.Add(1)
+	for {
+		n.mu.Lock()
+		if len(n.succ) == 0 || n.succ[0].ID == n.ref.ID {
+			// Own successor: adopt the predecessor as successor if one
+			// has shown up (the bootstrap node learning of its first
+			// joiner — successor.predecessor when successor is self).
+			if n.hasPred && n.pred.ID != n.ref.ID && n.pred.Addr != "" {
+				n.succ = []wire.NodeRef{n.pred}
+			} else {
+				n.mu.Unlock()
+				return // genuinely alone on the ring
+			}
+		}
+		succ := n.succ[0]
+		n.mu.Unlock()
+
+		predReply, err := n.pool.call(succ, &wire.Msg{Type: wire.TGetPred})
+		if err != nil {
+			// Dead or unreachable successor: drop it and try the backup
+			// (this is exactly what the successor list exists for). Keep
+			// at least self so the node can rejoin via fallbacks.
+			n.mu.Lock()
+			if len(n.succ) > 0 && n.succ[0].ID == succ.ID {
+				n.succ = n.succ[1:]
+			}
+			n.rememberLostLocked(succ)
+			empty := len(n.succ) == 0
+			if empty {
+				n.succ = []wire.NodeRef{n.ref}
+			}
+			n.mu.Unlock()
+			if empty {
+				return
+			}
+			continue
+		}
+		// Adopt succ.pred if it sits between us and succ and answers.
+		if predReply.Flag {
+			x := predReply.Node
+			if x.Addr != "" && x.ID != n.ref.ID && ids.Between(x.ID, n.ref.ID, succ.ID) {
+				if err := n.Ping(x); err == nil {
+					succ = x
+				}
+			}
+		}
+		listReply, err := n.pool.call(succ, &wire.Msg{Type: wire.TGetSuccList})
+		if err != nil {
+			return // skip the round; stale pointers heal next time
+		}
+		n.mu.Lock()
+		list := append([]wire.NodeRef{succ}, listReply.List...)
+		n.succ = dedupeRefs(list, n.ref.ID, n.cfg.SuccessorListLen)
+		n.mu.Unlock()
+		_, _ = n.pool.call(succ, &wire.Msg{Type: wire.TNotify, From: n.ref})
+		return
+	}
+}
+
+// checkPredecessor is Chord's check_predecessor: clear a predecessor
+// pointer that no longer answers so the true predecessor's next notify
+// can take it (departed nodes would otherwise be remembered forever).
+func (n *Node) checkPredecessor() {
+	n.mu.Lock()
+	pred, has := n.pred, n.hasPred
+	n.mu.Unlock()
+	if !has || pred.ID == n.ref.ID || pred.Addr == "" {
+		return
+	}
+	if err := n.Ping(pred); err != nil {
+		n.mu.Lock()
+		if n.hasPred && n.pred.ID == pred.ID {
+			n.hasPred = false
+			n.rememberLostLocked(pred)
+		}
+		n.mu.Unlock()
+	}
+}
+
+// rememberLostLocked adds r to the graveyard of pruned peers (deduped,
+// FIFO-capped) so probeLost can check for its return; callers hold n.mu.
+func (n *Node) rememberLostLocked(r wire.NodeRef) {
+	if r.Addr == "" || r.ID == n.ref.ID {
+		return
+	}
+	for _, l := range n.lost {
+		if l.ID == r.ID {
+			return
+		}
+	}
+	n.lost = append(n.lost, r)
+	if len(n.lost) > maxLostPeers {
+		n.lost = n.lost[1:]
+	}
+}
+
+// probeLost revisits one graveyard entry per maintenance round with a
+// single cheap attempt (dials to dead peers fail fast; calls across an
+// active partition are refused instantly). A peer that answers again
+// means a partition healed: both sides now run self-consistent rings
+// that ordinary stabilization can never merge, so this side re-resolves
+// its own successor *through the revived peer* and adopts the answer if
+// it tightens the pointer, then notifies it — one cross-ring edge, and
+// stabilization zips the rest back together.
+func (n *Node) probeLost() {
+	n.mu.Lock()
+	if len(n.lost) == 0 {
+		n.mu.Unlock()
+		return
+	}
+	cand := n.lost[n.lostNext%len(n.lost)]
+	n.lostNext++
+	n.mu.Unlock()
+	if n.pool.tryOnce(cand, &wire.Msg{Type: wire.TPing}) != nil {
+		return // still dead or still partitioned; try again next round
+	}
+	n.mu.Lock()
+	for i, l := range n.lost {
+		if l.ID == cand.ID {
+			n.lost = append(n.lost[:i], n.lost[i+1:]...)
+			break
+		}
+	}
+	n.mu.Unlock()
+	owner, _, err := n.lookupFrom(cand, n.ref.ID.Add(ids.PowerOfTwo(0)))
+	if err != nil || owner.Addr == "" || owner.ID == n.ref.ID {
+		return
+	}
+	n.mu.Lock()
+	cur := n.ref
+	if len(n.succ) > 0 {
+		cur = n.succ[0]
+	}
+	if cur.ID == n.ref.ID || ids.Between(owner.ID, n.ref.ID, cur.ID) {
+		n.succ = dedupeRefs(append([]wire.NodeRef{owner}, n.succ...), n.ref.ID, n.cfg.SuccessorListLen)
+	}
+	n.mu.Unlock()
+	_, _ = n.pool.call(owner, &wire.Msg{Type: wire.TNotify, From: n.ref})
+}
+
+// restoreGifts resolves join gifts left unconfirmed past the joiner's
+// whole client-side retry budget (with slack). A joiner that still
+// answers a ping got its reply — or is on the ring and will notify — so
+// the stash is simply dropped; a dead joiner took the handshake with it,
+// so the extracted task units are folded back in. Work is therefore
+// conserved even when a join dies between the gift and the first notify.
+func (n *Node) restoreGifts() {
+	grace := n.cfg.Ticks(n.cfg.RPCTimeoutTicks*(n.cfg.MaxRetries+2)) * 2
+	n.mu.Lock()
+	var stale []*joinGift
+	for _, id := range n.joinOrder {
+		if g := n.joinHandoff[id]; g != nil && time.Since(g.born) > grace {
+			stale = append(stale, g)
+		}
+	}
+	n.mu.Unlock()
+	for _, g := range stale {
+		err := n.pool.tryOnce(g.ref, &wire.Msg{Type: wire.TPing})
+		n.mu.Lock()
+		if n.joinHandoff[g.ref.ID] != g {
+			n.mu.Unlock()
+			continue // confirmed or replaced while we probed
+		}
+		delete(n.joinHandoff, g.ref.ID)
+		if err != nil && !n.leaving {
+			for _, tk := range g.tasks {
+				n.addTaskLocked(tk.Key, tk.Units)
+			}
+		}
+		n.mu.Unlock()
+	}
+}
+
+// fixNextFinger advances the round-robin finger repair by one entry.
+func (n *Node) fixNextFinger() {
+	n.mu.Lock()
+	i := n.nextFinger
+	n.nextFinger = (n.nextFinger + 1) % ids.Bits
+	target := n.ref.ID.Add(ids.PowerOfTwo(i))
+	n.mu.Unlock()
+	owner, _, err := n.Lookup(target)
+	if err != nil {
+		return // leave the stale entry; a later round will retry
+	}
+	n.mu.Lock()
+	n.fingers[i] = owner
+	n.mu.Unlock()
+}
+
+// repairReplicas re-pushes the keys this node is primarily responsible
+// for — the paper's "active, aggressive" backup maintenance (§V) —
+// to its successors, in bounded batches.
+func (n *Node) repairReplicas() {
+	n.mu.Lock()
+	if !n.hasPred || len(n.data) == 0 {
+		n.mu.Unlock()
+		return
+	}
+	kvs := make([]wire.KV, 0, len(n.data))
+	for _, k := range sortedIDKeys(n.data) {
+		if ids.BetweenRightIncl(k, n.pred.ID, n.ref.ID) {
+			kvs = append(kvs, wire.KV{Key: k, Value: n.data[k]})
+		}
+	}
+	succs := append([]wire.NodeRef(nil), n.succ...)
+	n.mu.Unlock()
+	if len(kvs) == 0 {
+		return
+	}
+	for len(kvs) > 0 {
+		batch := kvs
+		if len(batch) > wire.MaxKVs {
+			batch = batch[:wire.MaxKVs]
+		}
+		kvs = kvs[len(batch):]
+		n.replicate(succs, batch)
+	}
+}
+
+// --- server ----------------------------------------------------------
+
+// acceptLoop admits inbound connections until the listener closes.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		// Replies pass through the fault layer too (remote identity is
+		// unknown server-side, so only drop/dup/delay apply; the client
+		// side already enforces the partition).
+		wrapped := n.nf.Wrap(conn, n.ref.ID, ids.Zero)
+		n.connMu.Lock()
+		n.conns[conn] = struct{}{}
+		n.connMu.Unlock()
+		n.wg.Add(1)
+		go n.serveConn(conn, wrapped)
+	}
+}
+
+// serveConn reads frames until error, idle timeout, or shutdown,
+// answering each through the handler.
+func (n *Node) serveConn(raw net.Conn, conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		_ = raw.Close()
+		n.connMu.Lock()
+		delete(n.conns, raw)
+		n.connMu.Unlock()
+	}()
+	idle := n.cfg.Ticks(n.cfg.IdleConnTicks)
+	for {
+		if err := raw.SetReadDeadline(time.Now().Add(idle)); err != nil {
+			return
+		}
+		req, err := wire.ReadMsg(conn)
+		if err != nil {
+			return // EOF, idle timeout, or malformed frame: drop the conn
+		}
+		reply := n.handle(req)
+		reply.Req = req.Req
+		if err := raw.SetWriteDeadline(time.Now().Add(n.cfg.rpcTimeout())); err != nil {
+			return
+		}
+		if err := wire.WriteMsg(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+// handle dispatches one request. Handlers touch only local state (or
+// spawn goroutines for work that needs the network), so a request cycle
+// between nodes can never deadlock on n.mu.
+func (n *Node) handle(req *wire.Msg) *wire.Msg {
+	n.served[req.Type].Add(1)
+	switch req.Type {
+	case wire.TPing:
+		return &wire.Msg{Type: wire.TPong}
+
+	case wire.TFindSuccessor:
+		if req.A > uint64(n.cfg.MaxHops) {
+			return errorMsg(CodeNoRoute, "hop budget exceeded")
+		}
+		done, next, list := n.routeStep(req.Key)
+		return &wire.Msg{Type: wire.TFindSuccessorOK, Flag: done, Node: next, List: list}
+
+	case wire.TGetPred:
+		n.mu.Lock()
+		reply := &wire.Msg{Type: wire.TGetPredOK, Flag: n.hasPred, Node: n.pred}
+		n.mu.Unlock()
+		return reply
+
+	case wire.TGetSuccList:
+		n.mu.Lock()
+		reply := &wire.Msg{Type: wire.TSuccListOK, List: append([]wire.NodeRef(nil), n.succ...)}
+		n.mu.Unlock()
+		return reply
+
+	case wire.TNotify:
+		if req.From.Addr == "" {
+			return errorMsg(CodeBadRequest, "notify without sender ref")
+		}
+		n.notify(req.From)
+		return &wire.Msg{Type: wire.TAck}
+
+	case wire.TJoin:
+		return n.handleJoin(req)
+
+	case wire.TGet:
+		n.mu.Lock()
+		v, ok := n.data[req.Key]
+		n.mu.Unlock()
+		return &wire.Msg{Type: wire.TGetOK, Flag: ok, Value: v}
+
+	case wire.TPut:
+		// Store locally only: pushing replicas here would hold the
+		// client's deadline hostage to our own downstream retries. The
+		// next repairReplicas round (one stabilize cadence away) pushes
+		// the key to the successors.
+		n.mu.Lock()
+		if n.leaving {
+			n.mu.Unlock()
+			return errorMsg(CodeShutdown, "node is leaving")
+		}
+		n.data[req.Key] = req.Value
+		n.mu.Unlock()
+		return &wire.Msg{Type: wire.TAck}
+
+	case wire.TTask:
+		// The leaving check shares the critical section with the
+		// application: checked-then-applied across two lock acquisitions
+		// would let units slip in between Leave's snapshot and Close.
+		n.mu.Lock()
+		if n.leaving {
+			n.mu.Unlock()
+			return errorMsg(CodeShutdown, "node is leaving")
+		}
+		if n.applyTokenLocked(req.B) {
+			n.addTaskLocked(req.Key, req.A)
+		}
+		n.mu.Unlock()
+		return &wire.Msg{Type: wire.TAck}
+
+	case wire.TReplicate:
+		n.mu.Lock()
+		if n.leaving {
+			n.mu.Unlock()
+			return errorMsg(CodeShutdown, "node is leaving")
+		}
+		for _, kv := range req.KVs {
+			n.data[kv.Key] = kv.Value
+		}
+		n.mu.Unlock()
+		return &wire.Msg{Type: wire.TAck}
+
+	case wire.TTransfer:
+		n.mu.Lock()
+		if n.leaving {
+			n.mu.Unlock()
+			return errorMsg(CodeShutdown, "node is leaving")
+		}
+		if n.applyTokenLocked(req.A) {
+			for _, kv := range req.KVs {
+				n.data[kv.Key] = kv.Value
+			}
+			for _, tk := range req.Tasks {
+				n.addTaskLocked(tk.Key, tk.Units)
+			}
+		}
+		n.mu.Unlock()
+		return &wire.Msg{Type: wire.TAck}
+
+	case wire.TWorkloadQuery:
+		n.mu.Lock()
+		reply := &wire.Msg{Type: wire.TWorkloadOK, A: n.taskUnits}
+		n.mu.Unlock()
+		return reply
+
+	case wire.TInvite:
+		if n.host == nil {
+			return &wire.Msg{Type: wire.TInviteOK, Flag: false}
+		}
+		return &wire.Msg{Type: wire.TInviteOK, Flag: n.host.considerInvite(req)}
+
+	default:
+		return errorMsg(CodeBadRequest, "unexpected message "+req.Type.String())
+	}
+}
+
+// handleJoin admits joiner From as this node's new predecessor,
+// handing over the data keys (kept locally as replicas) and task units
+// (moved, not copied — work must not be double-counted) in the range
+// (pred, From.ID]. The gift is stashed until the joiner's first notify:
+// a retried TJoin whose reply was lost re-sends the identical gift, so
+// task moves stay exactly-once over the at-least-once RPC layer.
+func (n *Node) handleJoin(req *wire.Msg) *wire.Msg {
+	j := req.From
+	if j.Addr == "" || j.ID == n.ref.ID {
+		return errorMsg(CodeBadRequest, "bad join ref")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.leaving {
+		return errorMsg(CodeShutdown, "node is leaving")
+	}
+	g := n.joinHandoff[j.ID]
+	if g == nil {
+		low := n.ref.ID
+		if n.hasPred {
+			low = n.pred.ID
+		}
+		g = &joinGift{ref: j, born: time.Now()}
+		// low == j.ID happens when the joiner is already our predecessor
+		// (a re-join of the same identity after its gift was confirmed);
+		// the interval (j, j] would cover the whole ring, so hand over
+		// nothing — the joiner's state never came back to us.
+		if low != j.ID {
+			for _, k := range sortedIDKeys(n.data) {
+				if ids.BetweenRightIncl(k, low, j.ID) && len(g.kvs) < wire.MaxKVs {
+					g.kvs = append(g.kvs, wire.KV{Key: k, Value: n.data[k]})
+				}
+			}
+			for _, k := range sortedTaskKeys(n.tasks) {
+				if ids.BetweenRightIncl(k, low, j.ID) && len(g.tasks) < wire.MaxTasks {
+					g.tasks = append(g.tasks, wire.Task{Key: k, Units: n.tasks[k]})
+					n.taskUnits -= n.tasks[k]
+					delete(n.tasks, k)
+				}
+			}
+		}
+		n.joinHandoff[j.ID] = g
+		n.joinOrder = append(n.joinOrder, j.ID)
+		// Evict the oldest unconfirmed gifts, skipping already-cleared
+		// entries; losing a gift is then only possible after 64 joins
+		// whose joiners all vanished before notifying.
+		for len(n.joinOrder) > maxJoinHandoffs {
+			old := n.joinOrder[0]
+			n.joinOrder = n.joinOrder[1:]
+			delete(n.joinHandoff, old)
+		}
+	}
+	reply := &wire.Msg{
+		Type:  wire.TJoinOK,
+		List:  append([]wire.NodeRef(nil), n.succ...),
+		KVs:   g.kvs,
+		Tasks: g.tasks,
+	}
+	// Adopt the joiner as predecessor when it improves the pointer.
+	if !n.hasPred || ids.Between(j.ID, n.pred.ID, n.ref.ID) {
+		n.pred = j
+		n.hasPred = true
+	}
+	return reply
+}
+
+// notify is Chord's notify handler: adopt caller as predecessor when
+// it sits between the current predecessor and us. A notify also
+// confirms any pending join gift for the caller (its join reply
+// arrived, or the ring has linked it in regardless).
+func (n *Node) notify(caller wire.NodeRef) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.joinHandoff, caller.ID)
+	if caller.ID == n.ref.ID {
+		return
+	}
+	if !n.hasPred || n.pred.ID == n.ref.ID || ids.Between(caller.ID, n.pred.ID, n.ref.ID) {
+		n.pred = caller
+		n.hasPred = true
+	}
+}
+
+// errorMsg builds a TError reply.
+func errorMsg(code uint64, text string) *wire.Msg {
+	return &wire.Msg{Type: wire.TError, A: code, Text: text}
+}
+
+// --- helpers ---------------------------------------------------------
+
+// dedupeRefs returns list with self and duplicates removed, first
+// occurrence kept, truncated to max entries.
+func dedupeRefs(list []wire.NodeRef, self ids.ID, max int) []wire.NodeRef {
+	out := make([]wire.NodeRef, 0, max)
+	seen := make(map[ids.ID]struct{}, len(list))
+	for _, r := range list {
+		if r.ID == self || r.Addr == "" {
+			continue
+		}
+		if _, dup := seen[r.ID]; dup {
+			continue
+		}
+		seen[r.ID] = struct{}{}
+		out = append(out, r)
+		if len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// sortedIDKeys returns m's keys in ascending ring order, so bulk
+// operations iterate deterministically (and lint's maporder is happy).
+func sortedIDKeys(m map[ids.ID][]byte) []ids.ID {
+	out := make([]ids.ID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// sortedTaskKeys returns m's keys in ascending ring order.
+func sortedTaskKeys(m map[ids.ID]uint64) []ids.ID {
+	out := make([]ids.ID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

@@ -1,0 +1,244 @@
+package netchord
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chordbalance/internal/faults"
+	"chordbalance/internal/ids"
+	"chordbalance/internal/wire"
+)
+
+// RPCStats counts client-side RPC activity for one pool.
+type RPCStats struct {
+	// Calls counts RPC attempts issued (first transmissions).
+	Calls int64
+	// Retries counts re-attempts after a failure or timeout.
+	Retries int64
+	// Timeouts counts RPCs abandoned after the retry budget.
+	Timeouts int64
+	// BackoffTicks accumulates tick-denominated backoff spent waiting
+	// between retries.
+	BackoffTicks int64
+	// Reconnects counts fresh dials after a pooled conn was discarded.
+	Reconnects int64
+	// PartitionRefusals counts calls refused because the destination was
+	// across an active partition.
+	PartitionRefusals int64
+}
+
+// peerPool owns one node's client side: at most one pooled connection
+// per peer address, request-id matching on each, reconnect-on-error,
+// and the retry policy of internal/chord's transport (bounded retries
+// with deterministic exponential backoff, denominated in ticks and
+// scaled to wall time).
+//
+// A pooled connection carries one call at a time (a per-peer mutex
+// serializes callers); any error — timeout, short read, decode failure
+// — closes the connection so the next call starts on a fresh, framed
+// stream rather than desynchronizing mid-frame.
+type peerPool struct {
+	tr    Transport
+	cfg   Config
+	nf    *NetFaults
+	local func() ids.ID // the caller's current ring identity
+
+	mu     sync.Mutex
+	peers  map[string]*peer
+	closed bool
+
+	reqID uint64 // atomic
+
+	calls, retries, timeouts, backoff, reconnects, refusals atomic.Int64
+}
+
+// peer is one pooled connection (possibly nil until first use).
+type peer struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func newPeerPool(tr Transport, cfg Config, nf *NetFaults, local func() ids.ID) *peerPool {
+	return &peerPool{tr: tr, cfg: cfg, nf: nf, local: local, peers: make(map[string]*peer)}
+}
+
+// stats snapshots the pool's counters.
+func (p *peerPool) stats() RPCStats {
+	return RPCStats{
+		Calls:             p.calls.Load(),
+		Retries:           p.retries.Load(),
+		Timeouts:          p.timeouts.Load(),
+		BackoffTicks:      p.backoff.Load(),
+		Reconnects:        p.reconnects.Load(),
+		PartitionRefusals: p.refusals.Load(),
+	}
+}
+
+// close tears down every pooled connection; later calls fail.
+func (p *peerPool) close() {
+	p.mu.Lock()
+	p.closed = true
+	addrs := make([]string, 0, len(p.peers))
+	for a := range p.peers {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	peers := make([]*peer, 0, len(addrs))
+	for _, a := range addrs {
+		peers = append(peers, p.peers[a])
+	}
+	p.peers = make(map[string]*peer)
+	p.mu.Unlock()
+	for _, pr := range peers {
+		pr.mu.Lock()
+		if pr.conn != nil {
+			_ = pr.conn.Close()
+			pr.conn = nil
+		}
+		pr.mu.Unlock()
+	}
+}
+
+// get returns (creating if needed) the peer record for addr.
+func (p *peerPool) get(addr string) (*peer, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	pr := p.peers[addr]
+	if pr == nil {
+		pr = &peer{}
+		p.peers[addr] = pr
+	}
+	return pr, nil
+}
+
+// call performs one request/response RPC against ref, retrying up to
+// MaxRetries times with tick-denominated exponential backoff. It fills
+// m.Req; the reply is matched by request id (stale or duplicated
+// replies from earlier attempts on the same stream are discarded).
+func (p *peerPool) call(ref wire.NodeRef, m *wire.Msg) (*wire.Msg, error) {
+	if ref.Addr == "" {
+		return nil, fmt.Errorf("netchord: call %v: empty address", m.Type)
+	}
+	pr, err := p.get(ref.Addr)
+	if err != nil {
+		return nil, err
+	}
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+
+	timeout := p.cfg.rpcTimeout()
+	p.calls.Add(1)
+	var lastErr error
+	for attempt := 0; attempt <= p.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			p.retries.Add(1)
+			wait := faults.Backoff(p.cfg.BackoffBaseTicks, attempt)
+			p.backoff.Add(int64(wait))
+			time.Sleep(p.cfg.Ticks(wait))
+		}
+		// A partition refusal is cheaper than a timeout and matches the
+		// simulator's transport semantics; the retry loop still runs so
+		// a healing partition lets later attempts through.
+		if p.nf != nil && !p.nf.SameSide(p.local(), ref.ID) {
+			p.nf.refused()
+			p.refusals.Add(1)
+			lastErr = ErrPartitioned
+			continue
+		}
+		reply, err := p.attempt(pr, ref, m, timeout)
+		if err == nil {
+			return reply, nil
+		}
+		if errors.Is(err, ErrRemote) {
+			// The peer answered authoritatively (a well-framed TError);
+			// retrying the same request cannot change its mind.
+			return nil, err
+		}
+		lastErr = err
+	}
+	p.timeouts.Add(1)
+	if lastErr == nil {
+		lastErr = ErrTimeout
+	}
+	return nil, fmt.Errorf("%w (%v to %s: %v)", ErrTimeout, m.Type, ref.Addr, lastErr)
+}
+
+// tryOnce performs a single-attempt RPC: no retries, no backoff. It is
+// the cheap probe behind graveyard revival checks and gift resolution,
+// where failure is the expected case and a full retry ladder would
+// stall the maintenance loop.
+func (p *peerPool) tryOnce(ref wire.NodeRef, m *wire.Msg) error {
+	if ref.Addr == "" {
+		return fmt.Errorf("netchord: probe %v: empty address", m.Type)
+	}
+	if p.nf != nil && !p.nf.SameSide(p.local(), ref.ID) {
+		p.nf.refused()
+		p.refusals.Add(1)
+		return ErrPartitioned
+	}
+	pr, err := p.get(ref.Addr)
+	if err != nil {
+		return err
+	}
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	p.calls.Add(1)
+	_, err = p.attempt(pr, ref, m, p.cfg.rpcTimeout())
+	return err
+}
+
+// attempt runs one transmission: ensure a connection, write the
+// request, read until the matching reply or the deadline. Any error
+// discards the pooled connection.
+func (p *peerPool) attempt(pr *peer, ref wire.NodeRef, m *wire.Msg, timeout time.Duration) (*wire.Msg, error) {
+	conn := pr.conn
+	if conn == nil {
+		raw, err := p.tr.Dial(ref.Addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		conn = p.nf.Wrap(raw, p.local(), ref.ID)
+		pr.conn = conn
+		p.reconnects.Add(1)
+	}
+	drop := func() {
+		_ = conn.Close()
+		pr.conn = nil
+	}
+	m.Req = atomic.AddUint64(&p.reqID, 1)
+	deadline := time.Now().Add(timeout)
+	if err := conn.SetWriteDeadline(deadline); err != nil {
+		drop()
+		return nil, err
+	}
+	if err := wire.WriteMsg(conn, m); err != nil {
+		drop()
+		return nil, err
+	}
+	if err := conn.SetReadDeadline(deadline); err != nil {
+		drop()
+		return nil, err
+	}
+	for {
+		reply, err := wire.ReadMsg(conn)
+		if err != nil {
+			drop()
+			return nil, err
+		}
+		if reply.Req != m.Req {
+			continue // stale or duplicated reply from an earlier attempt
+		}
+		if reply.Type == wire.TError {
+			return nil, fmt.Errorf("%w: %s (code %d)", ErrRemote, reply.Text, reply.A)
+		}
+		return reply, nil
+	}
+}

@@ -1,0 +1,154 @@
+//go:build soak
+
+package netchord
+
+// The soak test (make soak, docs/NETWORK.md) runs a 16-host cluster
+// over real loopback TCP sockets for about a minute under frame loss
+// and a mid-run partition, then asserts the two properties that only
+// show up over time: goroutine-exact shutdown (no leaked accept loops,
+// maintenance tickers, or pooled connections) and key durability with
+// Replicas >= 2 across everything the run did to the ring. It is gated
+// behind the soak build tag so `go test ./...` stays fast.
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"chordbalance/internal/faults"
+	"chordbalance/internal/ids"
+	"chordbalance/internal/xrand"
+)
+
+// soakGoroutineSlack is the tolerated post-shutdown goroutine delta.
+// The Go runtime parks a few of its own helpers (netpoll, timer
+// wakeups) on first use and never unwinds them; everything netchord
+// starts must be gone.
+const soakGoroutineSlack = 3
+
+func TestSoakCluster(t *testing.T) {
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	cfg := Config{
+		TickEvery:       2 * time.Millisecond,
+		Replicas:        2,
+		InviteThreshold: 8,
+	}.WithDefaults()
+	nf, err := NewNetFaults(faults.Plan{Seed: 42, DropRate: 0.02, DupRate: 0.01}, cfg.TickEvery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(cfg, TCP{}, nf, 16, StrategyInvitation, 101, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := false
+	t.Cleanup(func() {
+		if !closed {
+			c.Close()
+		}
+	})
+	if !c.AwaitConverged(60 * time.Second) {
+		t.Fatal("16-host TCP ring did not converge")
+	}
+
+	// Durable keys, replicated, written before any trouble starts. With
+	// Replicas >= 2 every one of them must survive the whole soak.
+	rng := xrand.New(55)
+	keys := make([]ids.ID, 64)
+	for i := range keys {
+		keys[i] = ids.Random(rng)
+		if err := c.Hosts()[i%16].Primary().Put(keys[i], []byte{byte(i)}); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+
+	// Soak window: a steady skewed task stream into one arc while a
+	// quarter of the identifier space partitions away mid-run and heals
+	// before the end. Submissions that fail during the partition are
+	// simply not counted — the accounting check below only requires
+	// that everything that entered the system is consumed.
+	target := c.Hosts()[5].Primary()
+	pred, ok := target.Predecessor()
+	if !ok {
+		t.Fatal("target has no predecessor after convergence")
+	}
+	const window = 60 * time.Second
+	start := time.Now()
+	partitionAt := start.Add(window / 3)
+	healAt := start.Add(2 * window / 3)
+	partitioned, healed := false, false
+	var submitted uint64
+	submitErrs := 0
+	for time.Since(start) < window {
+		if !partitioned && time.Now().After(partitionAt) {
+			if err := nf.ForcePartition(0.25); err != nil {
+				t.Fatal(err)
+			}
+			partitioned = true
+		}
+		if !healed && time.Now().After(healAt) {
+			nf.Heal()
+			healed = true
+		}
+		key, err := ids.UniformInRange(rng, pred.ID, target.ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Hosts()[int(submitted/8)%16].Primary().SubmitTask(key, 8); err != nil {
+			submitErrs++
+		} else {
+			submitted += 8
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !healed {
+		nf.Heal()
+	}
+	t.Logf("soak window done: submitted=%d submit-errors=%d", submitted, submitErrs)
+	if submitted == 0 {
+		t.Fatal("no submission ever succeeded during the soak window")
+	}
+
+	// Everything that entered the system must drain: consumed at least
+	// what was acknowledged, nothing residual.
+	p := awaitProgress(t, c, submitted, 120*time.Second)
+	t.Logf("drained: consumed=%d busy-ticks=%d injections=%d", p.Consumed, p.BusyTicks, p.Injections)
+
+	// The ring must re-converge after heal, and no key may be lost.
+	if !c.AwaitConverged(60 * time.Second) {
+		t.Fatal("ring did not re-converge after heal")
+	}
+	lost := 0
+	for i, k := range keys {
+		if _, err := c.Hosts()[(i+3)%16].Primary().Get(k); err != nil {
+			t.Errorf("key %s lost during soak: %v", k.Short(), err)
+			lost++
+		}
+	}
+	if lost > 0 {
+		t.Fatalf("%d/%d keys lost with Replicas=%d", lost, len(keys), cfg.Replicas)
+	}
+
+	// Shutdown must return the process to its goroutine baseline:
+	// every accept loop, node server, maintenance ticker, and pooled
+	// connection reader has to exit.
+	c.Close()
+	closed = true
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= baseline+soakGoroutineSlack {
+			t.Logf("shutdown clean: goroutines baseline=%d now=%d", baseline, g)
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak after shutdown: baseline=%d now=%d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}

@@ -1,0 +1,150 @@
+package netchord
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Transport abstracts how nodes reach each other: loopback TCP for real
+// sockets (and multi-process clusters) or an in-process pipe fabric for
+// tests. Both yield ordinary net.Conn streams, so every layer above —
+// framing, pooling, fault injection — is transport-agnostic.
+type Transport interface {
+	// Listen opens a server endpoint. addr "" asks the transport to
+	// pick one (TCP: 127.0.0.1 with an ephemeral port).
+	Listen(addr string) (net.Listener, error)
+	// Dial connects to a listener's address within timeout.
+	Dial(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// TCP is the loopback TCP transport.
+type TCP struct{}
+
+// Listen implements Transport. An empty addr binds 127.0.0.1:0.
+func (TCP) Listen(addr string) (net.Listener, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	return net.Listen("tcp", addr)
+}
+
+// Dial implements Transport.
+func (TCP) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+// PipeTransport is an in-process fabric over net.Pipe: every Listen
+// registers a named endpoint, every Dial synthesizes a synchronous,
+// deadline-capable duplex pipe to it. It exists so large-cluster tests
+// can run without consuming file descriptors or ports; the byte stream,
+// framing, timeout, and fault behavior are identical to TCP.
+type PipeTransport struct {
+	mu        sync.Mutex
+	nextID    int
+	listeners map[string]*pipeListener
+}
+
+// NewPipeTransport returns an empty fabric.
+func NewPipeTransport() *PipeTransport {
+	return &PipeTransport{listeners: make(map[string]*pipeListener)}
+}
+
+// Listen implements Transport. An empty addr allocates "pipe:<n>".
+func (t *PipeTransport) Listen(addr string) (net.Listener, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if addr == "" {
+		addr = "pipe:" + strconv.Itoa(t.nextID)
+		t.nextID++
+	}
+	if _, taken := t.listeners[addr]; taken {
+		return nil, fmt.Errorf("netchord: pipe address %q already bound", addr)
+	}
+	ln := &pipeListener{
+		t:      t,
+		addr:   pipeAddr(addr),
+		accept: make(chan net.Conn, 16),
+		closed: make(chan struct{}),
+	}
+	t.listeners[addr] = ln
+	return ln, nil
+}
+
+// Dial implements Transport.
+func (t *PipeTransport) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	t.mu.Lock()
+	ln := t.listeners[addr]
+	t.mu.Unlock()
+	if ln == nil {
+		return nil, fmt.Errorf("netchord: pipe dial %q: connection refused", addr)
+	}
+	client, server := net.Pipe()
+	select {
+	case ln.accept <- server:
+		return client, nil
+	case <-ln.closed:
+		_ = client.Close()
+		_ = server.Close()
+		return nil, fmt.Errorf("netchord: pipe dial %q: connection refused", addr)
+	case <-time.After(timeout):
+		_ = client.Close()
+		_ = server.Close()
+		return nil, fmt.Errorf("netchord: pipe dial %q: timeout", addr)
+	}
+}
+
+// pipeListener implements net.Listener over the fabric's accept queue.
+type pipeListener struct {
+	t      *PipeTransport
+	addr   pipeAddr
+	accept chan net.Conn
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// Accept implements net.Listener.
+func (l *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close implements net.Listener; it unregisters the endpoint so later
+// dials are refused, like a closed TCP listener.
+func (l *pipeListener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.closed)
+		l.t.mu.Lock()
+		delete(l.t.listeners, string(l.addr))
+		l.t.mu.Unlock()
+		// Drain connections parked in the accept queue.
+		for {
+			select {
+			case c := <-l.accept:
+				_ = c.Close()
+			default:
+				return
+			}
+		}
+	})
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *pipeListener) Addr() net.Addr { return l.addr }
+
+// pipeAddr implements net.Addr for fabric endpoints.
+type pipeAddr string
+
+// Network implements net.Addr.
+func (pipeAddr) Network() string { return "pipe" }
+
+// String implements net.Addr.
+func (a pipeAddr) String() string { return string(a) }

@@ -1,0 +1,124 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"chordbalance/internal/ids"
+)
+
+// FuzzWireRoundTrip locks in the codec's two safety properties:
+//
+//  1. Encode→Decode identity: any message assembled from fuzz inputs
+//     that Encode accepts must decode back to exactly the same struct
+//     (after masking to the type's field set, which Encode guarantees).
+//  2. Decoding arbitrary bytes never panics and never over-allocates:
+//     element storage allocated while decoding is bounded by the input
+//     length, enforced structurally by reader.count.
+//
+// Both directions run on every input: the raw bytes go straight to
+// Decode, and the structured inputs drive the round trip.
+func FuzzWireRoundTrip(f *testing.F) {
+	for ty := TPing; ty < typeCount; ty++ {
+		frame, err := Encode(&Msg{Type: ty, Req: uint64(ty)})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame, byte(ty), uint64(1), []byte("value"), "addr:1", uint64(2), true)
+	}
+	f.Add([]byte{'C', 'B', Version, 1}, byte(TJoinOK), uint64(0), []byte{}, "", uint64(0), false)
+
+	f.Fuzz(func(t *testing.T, raw []byte, ty byte, req uint64, val []byte, addr string, a uint64, flag bool) {
+		// Direction 1: arbitrary bytes must never panic the decoder, and
+		// a successful decode must re-encode to the identical frame
+		// (canonical form: Decode∘Encode is the identity on valid frames).
+		if m, n, err := Decode(raw); err == nil {
+			re, err := Encode(m)
+			if err != nil {
+				t.Fatalf("decoded message failed to re-encode: %v", err)
+			}
+			if !bytes.Equal(re, raw[:n]) {
+				t.Fatalf("re-encode mismatch:\n in: %x\nout: %x", raw[:n], re)
+			}
+		}
+		// ReadMsg must agree with Decode on the same bytes.
+		if _, err := ReadMsg(bytes.NewReader(raw)); err != nil {
+			_ = err // any error is fine; only panics are bugs
+		}
+
+		// Direction 2: a structured message round-trips exactly.
+		typ := Type(ty%byte(typeCount-1) + 1) // valid, non-TInvalid
+		in := &Msg{Type: typ, Req: req}
+		mask := Fields(typ)
+		if mask&fKey != 0 {
+			in.Key = ids.FromUint64(a)
+		}
+		if len(addr) > MaxAddrLen {
+			addr = addr[:MaxAddrLen]
+		}
+		if mask&fFrom != 0 {
+			in.From = NodeRef{ID: ids.FromBytes(val), Addr: addr}
+		}
+		if mask&fNode != 0 {
+			in.Node = NodeRef{ID: ids.FromUint64(req), Addr: addr}
+		}
+		if mask&fList != 0 && flag {
+			in.List = []NodeRef{{ID: ids.FromUint64(a), Addr: addr}}
+		}
+		if mask&fKVs != 0 && len(val) <= MaxValueLen {
+			in.KVs = []KV{{Key: ids.FromUint64(a), Value: normalize(val)}}
+		}
+		if mask&fTasks != 0 {
+			in.Tasks = []Task{{Key: ids.FromUint64(req), Units: a}}
+		}
+		if mask&fValue != 0 && len(val) <= MaxValueLen {
+			in.Value = normalize(val)
+		}
+		if mask&fA != 0 {
+			in.A = a
+		}
+		if mask&fB != 0 {
+			in.B = a ^ req
+		}
+		if mask&fC != 0 {
+			in.C = a + req
+		}
+		if mask&fD != 0 {
+			in.D = a - req
+		}
+		if mask&fFlag != 0 {
+			in.Flag = flag
+		}
+		if mask&fText != 0 {
+			text := addr
+			if len(text) > MaxTextLen {
+				text = text[:MaxTextLen]
+			}
+			in.Text = text
+		}
+		frame, err := Encode(in)
+		if err != nil {
+			t.Fatalf("encode of in-bounds message failed: %v", err)
+		}
+		out, n, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("decode of encoded message failed: %v", err)
+		}
+		if n != len(frame) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(frame))
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip mismatch\n in: %+v\nout: %+v", in, out)
+		}
+	})
+}
+
+// normalize maps empty slices to nil, matching the decoder's convention
+// so DeepEqual compares structurally identical messages.
+func normalize(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}

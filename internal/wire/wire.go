@@ -1,0 +1,697 @@
+// Package wire is the versioned, length-prefixed binary codec for the
+// networked Chord runtime (internal/netchord). It frames the protocol's
+// message set — find_successor routing steps, notify, get/put and task
+// submission, workload queries, the Sybil invite/inject strategy
+// traffic, and consume reports — as self-describing records that can be
+// written to any net.Conn with a single Write call.
+//
+// The format is deliberately tiny and strict:
+//
+//	offset  size  field
+//	0       2     magic "CB"
+//	2       1     version (currently 1)
+//	3       1     message type
+//	4       8     request id (big endian)
+//	12      4     payload length (big endian, <= MaxPayload)
+//	16      n     payload: the type's fields in fixed order
+//
+// Each message type carries a fixed subset of Msg's fields (see
+// fieldsOf); fields not in the subset are never encoded and decode to
+// their zero values, so Encode/Decode is an exact round trip for valid
+// messages. Every length read from the wire is bounds-checked against
+// both a hard cap and the bytes actually remaining in the payload, so a
+// malicious or corrupt peer can neither panic the decoder nor make it
+// over-allocate (FuzzWireRoundTrip locks both properties in).
+//
+// The codec is stdlib-only, allocation-light, and endian-explicit; see
+// docs/NETWORK.md for the full wire-format table.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"chordbalance/internal/ids"
+)
+
+// Version is the current wire-format version; bump it when the frame
+// header or any payload layout changes incompatibly.
+const Version = 1
+
+// Frame geometry and hard bounds. The caps are generous for the runtime's
+// actual traffic but small enough that a hostile peer cannot force large
+// allocations from a 16-byte header.
+const (
+	// HeaderLen is the fixed frame header size in bytes.
+	HeaderLen = 16
+	// MaxPayload caps one frame's payload.
+	MaxPayload = 1 << 20
+	// MaxValueLen caps one stored value.
+	MaxValueLen = 64 << 10
+	// MaxListLen caps a successor-list or candidate list.
+	MaxListLen = 128
+	// MaxKVs caps one bulk key/value transfer.
+	MaxKVs = 8192
+	// MaxTasks caps one bulk task transfer.
+	MaxTasks = 8192
+	// MaxAddrLen caps one node address string.
+	MaxAddrLen = 256
+	// MaxTextLen caps an error/text field.
+	MaxTextLen = 1024
+)
+
+// Codec errors.
+var (
+	// ErrBadMagic means the frame did not start with "CB".
+	ErrBadMagic = errors.New("wire: bad magic")
+	// ErrBadVersion means the peer speaks an unknown format version.
+	ErrBadVersion = errors.New("wire: unsupported version")
+	// ErrBadType means the message type byte is outside the known set.
+	ErrBadType = errors.New("wire: unknown message type")
+	// ErrTooLarge means a declared length exceeded its cap.
+	ErrTooLarge = errors.New("wire: length exceeds bound")
+	// ErrTruncated means the payload ended before its declared fields.
+	ErrTruncated = errors.New("wire: truncated payload")
+	// ErrTrailing means the payload had bytes after the last field.
+	ErrTrailing = errors.New("wire: trailing bytes after payload")
+)
+
+// Type identifies one message kind.
+type Type uint8
+
+// The message set. Requests and their replies are distinct types; TAck
+// is the generic empty success reply and TError the generic failure.
+const (
+	// TInvalid is the zero Type and never valid on the wire.
+	TInvalid Type = iota
+	// TPing probes liveness.
+	TPing
+	// TPong answers TPing.
+	TPong
+	// TFindSuccessor asks one routing step toward Key (A = hops so far).
+	TFindSuccessor
+	// TFindSuccessorOK answers: Flag means Node is the owner (done);
+	// otherwise Node is the next hop and List holds fallback candidates
+	// (the answering node's successor list).
+	TFindSuccessorOK
+	// TGetPred asks for the predecessor pointer.
+	TGetPred
+	// TGetPredOK answers: Flag reports whether Node is set.
+	TGetPredOK
+	// TGetSuccList asks for the successor list.
+	TGetSuccList
+	// TSuccListOK answers with List.
+	TSuccListOK
+	// TNotify tells the callee that From may be its predecessor.
+	TNotify
+	// TJoin asks the callee (the joiner's successor) to admit From.
+	TJoin
+	// TJoinOK answers with the callee's successor List plus the data
+	// (KVs) and work (Tasks) the joiner now owns.
+	TJoinOK
+	// TGet fetches the value for Key from its owner.
+	TGet
+	// TGetOK answers: Flag reports whether Key was present, Value holds
+	// the bytes.
+	TGetOK
+	// TPut stores Value under Key at its owner.
+	TPut
+	// TTask submits A units of work under task key Key. B is the
+	// sender's idempotency token: retries after a lost reply reuse it,
+	// and receivers apply each token at most once so work units are
+	// never double-counted (0 = no dedup).
+	TTask
+	// TReplicate pushes replica KVs to a successor.
+	TReplicate
+	// TTransfer hands off KVs and Tasks (graceful leave, churn). A is
+	// the sender's idempotency token, as in TTask: task moves must be
+	// exactly-once even over an at-least-once RPC layer.
+	TTransfer
+	// TWorkloadQuery asks a node for its residual task units.
+	TWorkloadQuery
+	// TWorkloadOK answers with A = residual task units.
+	TWorkloadOK
+	// TInvite announces that From (with predecessor Node and workload A)
+	// is overloaded and invites the callee to inject a Sybil into its
+	// arc (the paper's Invitation strategy, §IV-D).
+	TInvite
+	// TInviteOK answers: Flag reports whether the callee will help.
+	TInviteOK
+	// TInject notifies the collector that host From injected Sybil Node
+	// which acquired A task units.
+	TInject
+	// THello registers host From (capacity A) with the collector.
+	THello
+	// TConsumeReport reports host From's consumption: A = cumulative
+	// units consumed, B = residual units, C = tick work first arrived,
+	// D = tick of the last consume.
+	TConsumeReport
+	// TProgress asks the collector for cluster-wide workload progress.
+	TProgress
+	// TProgressOK answers: A = total consumed, B = total residual,
+	// C = busy ticks of the slowest host, D = summed capacity.
+	TProgressOK
+	// TAck is the generic empty success reply.
+	TAck
+	// TError is the generic failure reply: Text explains, A is a
+	// numeric code (see Err* codes in netchord).
+	TError
+
+	typeCount // sentinel: one past the last valid type
+)
+
+// TypeCount is one past the largest valid Type value; arrays indexed by
+// Type (per-type counters, dispatch tables) use it as their length.
+const TypeCount = int(typeCount)
+
+// typeNames renders Type for logs and errors.
+var typeNames = [typeCount]string{
+	TInvalid: "invalid", TPing: "ping", TPong: "pong",
+	TFindSuccessor: "find_successor", TFindSuccessorOK: "find_successor_ok",
+	TGetPred: "get_pred", TGetPredOK: "get_pred_ok",
+	TGetSuccList: "get_succ_list", TSuccListOK: "succ_list_ok",
+	TNotify: "notify", TJoin: "join", TJoinOK: "join_ok",
+	TGet: "get", TGetOK: "get_ok", TPut: "put", TTask: "task",
+	TReplicate: "replicate", TTransfer: "transfer",
+	TWorkloadQuery: "workload_query", TWorkloadOK: "workload_ok",
+	TInvite: "invite", TInviteOK: "invite_ok", TInject: "inject",
+	THello: "hello", TConsumeReport: "consume_report",
+	TProgress: "progress", TProgressOK: "progress_ok",
+	TAck: "ack", TError: "error",
+}
+
+// String names the type as used in metrics and docs.
+func (t Type) String() string {
+	if t < typeCount {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Valid reports whether t is a known, encodable message type.
+func (t Type) Valid() bool { return t > TInvalid && t < typeCount }
+
+// NodeRef names one node: its ring identifier plus the address its
+// server listens on. Refs travel in routing replies so that a peer
+// learned by ID is immediately dialable.
+type NodeRef struct {
+	ID   ids.ID
+	Addr string
+}
+
+// IsZero reports whether the ref is unset.
+func (r NodeRef) IsZero() bool { return r.ID == ids.Zero && r.Addr == "" }
+
+// KV is one stored key/value pair in a bulk transfer.
+type KV struct {
+	Key   ids.ID
+	Value []byte
+}
+
+// Task is one unit-weighted work item in a bulk transfer.
+type Task struct {
+	Key   ids.ID
+	Units uint64
+}
+
+// Msg is the decoded form of every message: one Type plus the union of
+// all field slots. Each type uses the fixed subset listed in its
+// constant's doc comment; Encode rejects nothing (it simply skips
+// fields outside the subset) and Decode leaves them zero.
+type Msg struct {
+	Type Type
+	// Req matches replies to requests on a pooled connection.
+	Req uint64
+
+	Key   ids.ID
+	From  NodeRef
+	Node  NodeRef
+	List  []NodeRef
+	KVs   []KV
+	Tasks []Task
+	Value []byte
+	// A–D are per-type numeric slots (hop counts, units, ticks...).
+	A, B, C, D uint64
+	Flag       bool
+	Text       string
+}
+
+// Field presence bits, in encoding order.
+const (
+	fKey uint16 = 1 << iota
+	fFrom
+	fNode
+	fList
+	fKVs
+	fTasks
+	fValue
+	fA
+	fB
+	fC
+	fD
+	fFlag
+	fText
+)
+
+// fieldsOf maps each type to the fields it carries on the wire.
+var fieldsOf = [typeCount]uint16{
+	TPing:            0,
+	TPong:            0,
+	TFindSuccessor:   fKey | fA,
+	TFindSuccessorOK: fNode | fList | fFlag,
+	TGetPred:         0,
+	TGetPredOK:       fNode | fFlag,
+	TGetSuccList:     0,
+	TSuccListOK:      fList,
+	TNotify:          fFrom,
+	TJoin:            fFrom,
+	TJoinOK:          fList | fKVs | fTasks,
+	TGet:             fKey,
+	TGetOK:           fValue | fFlag,
+	TPut:             fKey | fValue,
+	TTask:            fKey | fA | fB,
+	TReplicate:       fKVs,
+	TTransfer:        fKVs | fTasks | fA,
+	TWorkloadQuery:   0,
+	TWorkloadOK:      fA,
+	TInvite:          fFrom | fNode | fA,
+	TInviteOK:        fFlag,
+	TInject:          fFrom | fNode | fA,
+	THello:           fFrom | fA,
+	TConsumeReport:   fFrom | fA | fB | fC | fD,
+	TProgress:        0,
+	TProgressOK:      fA | fB | fC | fD,
+	TAck:             0,
+	TError:           fText | fA,
+}
+
+// Fields returns the field mask for t (0 for unknown types).
+func Fields(t Type) uint16 {
+	if t < typeCount {
+		return fieldsOf[t]
+	}
+	return 0
+}
+
+// Append encodes m, appending the complete frame to dst and returning
+// the extended slice. It returns an error when a field exceeds its cap
+// or the type is unknown; dst is returned unmodified on error.
+func Append(dst []byte, m *Msg) ([]byte, error) {
+	if !m.Type.Valid() {
+		return dst, fmt.Errorf("%w: %d", ErrBadType, uint8(m.Type))
+	}
+	if err := m.check(); err != nil {
+		return dst, err
+	}
+	base := len(dst)
+	dst = append(dst, 'C', 'B', Version, byte(m.Type))
+	dst = binary.BigEndian.AppendUint64(dst, m.Req)
+	dst = append(dst, 0, 0, 0, 0) // payload length backpatched below
+	payloadStart := len(dst)
+
+	mask := fieldsOf[m.Type]
+	if mask&fKey != 0 {
+		dst = append(dst, m.Key[:]...)
+	}
+	if mask&fFrom != 0 {
+		dst = appendRef(dst, m.From)
+	}
+	if mask&fNode != 0 {
+		dst = appendRef(dst, m.Node)
+	}
+	if mask&fList != 0 {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.List)))
+		for _, r := range m.List {
+			dst = appendRef(dst, r)
+		}
+	}
+	if mask&fKVs != 0 {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.KVs)))
+		for _, kv := range m.KVs {
+			dst = append(dst, kv.Key[:]...)
+			dst = binary.BigEndian.AppendUint32(dst, uint32(len(kv.Value)))
+			dst = append(dst, kv.Value...)
+		}
+	}
+	if mask&fTasks != 0 {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Tasks)))
+		for _, tk := range m.Tasks {
+			dst = append(dst, tk.Key[:]...)
+			dst = binary.BigEndian.AppendUint64(dst, tk.Units)
+		}
+	}
+	if mask&fValue != 0 {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Value)))
+		dst = append(dst, m.Value...)
+	}
+	for _, on := range [4]struct {
+		bit uint16
+		v   uint64
+	}{{fA, m.A}, {fB, m.B}, {fC, m.C}, {fD, m.D}} {
+		if mask&on.bit != 0 {
+			dst = binary.BigEndian.AppendUint64(dst, on.v)
+		}
+	}
+	if mask&fFlag != 0 {
+		b := byte(0)
+		if m.Flag {
+			b = 1
+		}
+		dst = append(dst, b)
+	}
+	if mask&fText != 0 {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Text)))
+		dst = append(dst, m.Text...)
+	}
+
+	payload := len(dst) - payloadStart
+	if payload > MaxPayload {
+		return dst[:base], fmt.Errorf("%w: payload %d > %d", ErrTooLarge, payload, MaxPayload)
+	}
+	binary.BigEndian.PutUint32(dst[payloadStart-4:payloadStart], uint32(payload))
+	return dst, nil
+}
+
+// check validates field caps before encoding.
+func (m *Msg) check() error {
+	switch {
+	case len(m.List) > MaxListLen:
+		return fmt.Errorf("%w: list %d > %d", ErrTooLarge, len(m.List), MaxListLen)
+	case len(m.KVs) > MaxKVs:
+		return fmt.Errorf("%w: kvs %d > %d", ErrTooLarge, len(m.KVs), MaxKVs)
+	case len(m.Tasks) > MaxTasks:
+		return fmt.Errorf("%w: tasks %d > %d", ErrTooLarge, len(m.Tasks), MaxTasks)
+	case len(m.Value) > MaxValueLen:
+		return fmt.Errorf("%w: value %d > %d", ErrTooLarge, len(m.Value), MaxValueLen)
+	case len(m.Text) > MaxTextLen:
+		return fmt.Errorf("%w: text %d > %d", ErrTooLarge, len(m.Text), MaxTextLen)
+	case len(m.From.Addr) > MaxAddrLen || len(m.Node.Addr) > MaxAddrLen:
+		return fmt.Errorf("%w: addr > %d", ErrTooLarge, MaxAddrLen)
+	}
+	for _, r := range m.List {
+		if len(r.Addr) > MaxAddrLen {
+			return fmt.Errorf("%w: addr > %d", ErrTooLarge, MaxAddrLen)
+		}
+	}
+	for _, kv := range m.KVs {
+		if len(kv.Value) > MaxValueLen {
+			return fmt.Errorf("%w: kv value %d > %d", ErrTooLarge, len(kv.Value), MaxValueLen)
+		}
+	}
+	return nil
+}
+
+func appendRef(dst []byte, r NodeRef) []byte {
+	dst = append(dst, r.ID[:]...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(r.Addr)))
+	return append(dst, r.Addr...)
+}
+
+// Encode returns m as a freshly allocated frame.
+func Encode(m *Msg) ([]byte, error) {
+	return Append(make([]byte, 0, HeaderLen+64), m)
+}
+
+// reader walks one payload with bounds checks; all take methods return
+// ErrTruncated once the payload is exhausted.
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) remaining() int { return len(r.b) - r.off }
+
+func (r *reader) take(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, ErrTruncated
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}
+
+func (r *reader) takeID() (ids.ID, error) {
+	b, err := r.take(ids.Bytes)
+	if err != nil {
+		return ids.Zero, err
+	}
+	return ids.FromBytes(b), nil
+}
+
+func (r *reader) takeU16() (uint16, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+func (r *reader) takeU32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (r *reader) takeU64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// takeBytes reads a u32 length then that many bytes, enforcing cap.
+func (r *reader) takeBytes(cap int) ([]byte, error) {
+	n, err := r.takeU32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > cap {
+		return nil, fmt.Errorf("%w: bytes %d > %d", ErrTooLarge, n, cap)
+	}
+	b, err := r.take(int(n))
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	// Copy out of the payload buffer so decoded messages do not alias
+	// the (reused) read buffer.
+	return append([]byte(nil), b...), nil
+}
+
+func (r *reader) takeRef() (NodeRef, error) {
+	var ref NodeRef
+	var err error
+	if ref.ID, err = r.takeID(); err != nil {
+		return ref, err
+	}
+	n, err := r.takeU16()
+	if err != nil {
+		return ref, err
+	}
+	if int(n) > MaxAddrLen {
+		return ref, fmt.Errorf("%w: addr %d > %d", ErrTooLarge, n, MaxAddrLen)
+	}
+	b, err := r.take(int(n))
+	if err != nil {
+		return ref, err
+	}
+	ref.Addr = string(b)
+	return ref, nil
+}
+
+// count reads a u16 element count, enforcing both the type cap and the
+// structural lower bound: count*minElemSize must fit in the remaining
+// payload, so a tiny frame can never cause a large allocation.
+func (r *reader) count(cap, minElemSize int) (int, error) {
+	n16, err := r.takeU16()
+	if err != nil {
+		return 0, err
+	}
+	n := int(n16)
+	if n > cap {
+		return 0, fmt.Errorf("%w: count %d > %d", ErrTooLarge, n, cap)
+	}
+	if n*minElemSize > r.remaining() {
+		return 0, ErrTruncated
+	}
+	return n, nil
+}
+
+// Decode parses one complete frame. It returns the message, the number
+// of bytes consumed, and an error for any malformed input; it never
+// panics and never allocates more than the frame's own length in
+// aggregate element storage.
+func Decode(b []byte) (*Msg, int, error) {
+	if len(b) < HeaderLen {
+		return nil, 0, ErrTruncated
+	}
+	if b[0] != 'C' || b[1] != 'B' {
+		return nil, 0, ErrBadMagic
+	}
+	if b[2] != Version {
+		return nil, 0, fmt.Errorf("%w: %d", ErrBadVersion, b[2])
+	}
+	t := Type(b[3])
+	if !t.Valid() {
+		return nil, 0, fmt.Errorf("%w: %d", ErrBadType, b[3])
+	}
+	plen := binary.BigEndian.Uint32(b[12:16])
+	if plen > MaxPayload {
+		return nil, 0, fmt.Errorf("%w: payload %d > %d", ErrTooLarge, plen, MaxPayload)
+	}
+	total := HeaderLen + int(plen)
+	if len(b) < total {
+		return nil, 0, ErrTruncated
+	}
+	m := &Msg{Type: t, Req: binary.BigEndian.Uint64(b[4:12])}
+	r := &reader{b: b[HeaderLen:total]}
+	mask := fieldsOf[t]
+	var err error
+	if mask&fKey != 0 {
+		if m.Key, err = r.takeID(); err != nil {
+			return nil, 0, err
+		}
+	}
+	if mask&fFrom != 0 {
+		if m.From, err = r.takeRef(); err != nil {
+			return nil, 0, err
+		}
+	}
+	if mask&fNode != 0 {
+		if m.Node, err = r.takeRef(); err != nil {
+			return nil, 0, err
+		}
+	}
+	if mask&fList != 0 {
+		n, err := r.count(MaxListLen, ids.Bytes+2)
+		if err != nil {
+			return nil, 0, err
+		}
+		if n > 0 {
+			m.List = make([]NodeRef, n)
+			for i := range m.List {
+				if m.List[i], err = r.takeRef(); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+	}
+	if mask&fKVs != 0 {
+		n, err := r.count(MaxKVs, ids.Bytes+4)
+		if err != nil {
+			return nil, 0, err
+		}
+		if n > 0 {
+			m.KVs = make([]KV, n)
+			for i := range m.KVs {
+				if m.KVs[i].Key, err = r.takeID(); err != nil {
+					return nil, 0, err
+				}
+				if m.KVs[i].Value, err = r.takeBytes(MaxValueLen); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+	}
+	if mask&fTasks != 0 {
+		n, err := r.count(MaxTasks, ids.Bytes+8)
+		if err != nil {
+			return nil, 0, err
+		}
+		if n > 0 {
+			m.Tasks = make([]Task, n)
+			for i := range m.Tasks {
+				if m.Tasks[i].Key, err = r.takeID(); err != nil {
+					return nil, 0, err
+				}
+				if m.Tasks[i].Units, err = r.takeU64(); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+	}
+	if mask&fValue != 0 {
+		if m.Value, err = r.takeBytes(MaxValueLen); err != nil {
+			return nil, 0, err
+		}
+	}
+	for _, slot := range [4]struct {
+		bit uint16
+		p   *uint64
+	}{{fA, &m.A}, {fB, &m.B}, {fC, &m.C}, {fD, &m.D}} {
+		if mask&slot.bit != 0 {
+			if *slot.p, err = r.takeU64(); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	if mask&fFlag != 0 {
+		b, err := r.take(1)
+		if err != nil {
+			return nil, 0, err
+		}
+		if b[0] > 1 {
+			return nil, 0, fmt.Errorf("wire: flag byte %d not 0/1", b[0])
+		}
+		m.Flag = b[0] == 1
+	}
+	if mask&fText != 0 {
+		n, err := r.count(MaxTextLen, 1)
+		if err != nil {
+			return nil, 0, err
+		}
+		tb, err := r.take(n)
+		if err != nil {
+			return nil, 0, err
+		}
+		m.Text = string(tb)
+	}
+	if r.remaining() != 0 {
+		return nil, 0, fmt.Errorf("%w: %d bytes", ErrTrailing, r.remaining())
+	}
+	return m, total, nil
+}
+
+// WriteMsg encodes m and writes the complete frame with one Write call.
+// A single Write per frame is a protocol invariant: the fault-injecting
+// conn wrapper in internal/netchord treats each Write as one message
+// when deciding drops and duplicates.
+func WriteMsg(w io.Writer, m *Msg) error {
+	frame, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(frame)
+	return err
+}
+
+// ReadMsg reads exactly one frame from r. It tolerates any stream
+// framing (io.ReadFull on the header, then the declared payload) and
+// applies the same bounds checks as Decode.
+func ReadMsg(r io.Reader) (*Msg, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	plen := binary.BigEndian.Uint32(hdr[12:16])
+	if plen > MaxPayload {
+		return nil, fmt.Errorf("%w: payload %d > %d", ErrTooLarge, plen, MaxPayload)
+	}
+	frame := make([]byte, HeaderLen+int(plen))
+	copy(frame, hdr[:])
+	if _, err := io.ReadFull(r, frame[HeaderLen:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	m, _, err := Decode(frame)
+	return m, err
+}
