@@ -11,9 +11,12 @@
 //	dhtlint ./...              # lint the whole module
 //	dhtlint -list              # show the rule registry
 //	dhtlint -rules norand ./internal/...
+//	dhtlint -json ./...        # one JSON object per finding, for CI
+//	dhtlint -suppressions ./... # audit //lint:ignore directives for staleness
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -34,11 +37,17 @@ func run(args []string, out, errw io.Writer) int {
 	flags := flag.NewFlagSet("dhtlint", flag.ContinueOnError)
 	flags.SetOutput(errw)
 	var (
-		rulesFlag = flags.String("rules", "", "comma-separated subset of rules to run (default: all)")
-		list      = flags.Bool("list", false, "list registered rules and exit")
-		verbose   = flags.Bool("v", false, "also print type-checker diagnostics (never affect exit status)")
+		rulesFlag    = flags.String("rules", "", "comma-separated subset of rules to run (default: all)")
+		list         = flags.Bool("list", false, "list registered rules and exit")
+		verbose      = flags.Bool("v", false, "also print type-checker diagnostics (never affect exit status)")
+		jsonOut      = flags.Bool("json", false, "emit findings as JSON, one object per line (file/line/col/rule/message)")
+		suppressions = flags.Bool("suppressions", false, "report stale //lint:ignore directives instead of findings; always exits 0")
 	)
 	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	if *suppressions && *rulesFlag != "" {
+		fmt.Fprintln(errw, "dhtlint: -suppressions audits against the full registry; it cannot be combined with -rules")
 		return 2
 	}
 
@@ -77,7 +86,7 @@ func run(args []string, out, errw io.Writer) int {
 
 	loader := lint.NewLoader(root, modPath)
 	runner := &lint.Runner{Rules: rules, ModuleRoot: root}
-	var findings []lint.Finding
+	var findings, stale []lint.Finding
 	for _, dir := range dirs {
 		pkgs, err := loader.LoadDir(dir)
 		if err != nil {
@@ -91,16 +100,56 @@ func run(args []string, out, errw io.Writer) int {
 				}
 			}
 		}
-		findings = append(findings, runner.Check(pkgs...)...)
+		f, s := runner.Run(pkgs...)
+		findings = append(findings, f...)
+		stale = append(stale, s...)
 	}
-	for _, f := range findings {
-		fmt.Fprintln(out, f)
+
+	if *suppressions {
+		printFindings(out, stale, *jsonOut)
+		if len(stale) > 0 {
+			fmt.Fprintf(errw, "dhtlint: %d stale suppression(s) — directives that no longer suppress anything\n", len(stale))
+		}
+		return 0
 	}
+	printFindings(out, findings, *jsonOut)
 	if len(findings) > 0 {
 		fmt.Fprintf(errw, "dhtlint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// printFindings renders findings in text or JSON-lines form, in the
+// runner's deterministic order.
+func printFindings(out io.Writer, findings []lint.Finding, asJSON bool) {
+	if !asJSON {
+		for _, f := range findings {
+			fmt.Fprintln(out, f)
+		}
+		return
+	}
+	enc := json.NewEncoder(out)
+	for _, f := range findings {
+		// Encode never fails on this plain struct; an out write error
+		// would already have broken the text path the same way.
+		_ = enc.Encode(jsonFinding{
+			File:    f.Pos.Filename,
+			Line:    f.Pos.Line,
+			Col:     f.Pos.Column,
+			Rule:    f.Rule,
+			Message: f.Message,
+		})
+	}
 }
 
 // selectRules resolves -rules against the registry.

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"chordbalance/internal/lint"
 )
 
 // writeModule lays out a throwaway module under a temp dir and chdirs
@@ -109,13 +112,110 @@ func Draw() int { return rand.Int() }
 	}
 }
 
+func TestRunJSONOutput(t *testing.T) {
+	writeModule(t, map[string]string{
+		"internal/badpkg/bad.go": `package badpkg
+
+import "math/rand"
+
+func Draw() int { return rand.Int() }
+`,
+	})
+	var out, errw bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &out, &errw); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, errw.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	sawNorand := false
+	for _, line := range lines {
+		var f jsonFinding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("line %q is not a JSON object: %v", line, err)
+		}
+		if f.File == "" || f.Line == 0 || f.Rule == "" || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+		if f.Rule == "norand" && f.File == "internal/badpkg/bad.go" && f.Line == 3 {
+			sawNorand = true
+		}
+	}
+	if !sawNorand {
+		t.Errorf("missing norand finding at internal/badpkg/bad.go:3 in:\n%s", out.String())
+	}
+}
+
+func TestRunSuppressionsMode(t *testing.T) {
+	writeModule(t, map[string]string{
+		"internal/pkg/a.go": `// Package pkg is a fixture with a stale directive.
+package pkg
+
+// Add returns a+b.
+func Add(a, b int) int {
+	//lint:ignore norand nothing random here anymore
+	return a + b
+}
+`,
+	})
+	var out, errw bytes.Buffer
+	if code := run([]string{"-suppressions", "./..."}, &out, &errw); code != 0 {
+		t.Fatalf("exit = %d, want 0 (-suppressions is advisory)\nstderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "[lint-stale]") || !strings.Contains(out.String(), "norand") {
+		t.Errorf("missing stale-directive report:\n%s", out.String())
+	}
+	if !strings.Contains(errw.String(), "stale suppression(s)") {
+		t.Errorf("missing stderr summary: %s", errw.String())
+	}
+}
+
+func TestRunSuppressionsRejectsRulesSubset(t *testing.T) {
+	writeModule(t, nil)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-suppressions", "-rules", "norand", "./..."}, &out, &errw); code != 2 {
+		t.Fatalf("exit = %d, want 2 (auditing a subset would mis-report directives as stale)", code)
+	}
+}
+
+// TestSelfLint runs the full registry over this repository itself: the
+// tree must stay clean, and every remaining //lint:ignore must still
+// suppress something.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module lint is slow")
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _, err := lint.FindModule(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := filepath.Join(root, "...")
+	var out, errw bytes.Buffer
+	if code := run([]string{pattern}, &out, &errw); code != 0 {
+		t.Errorf("repository does not self-lint (exit %d):\n%s%s", code, out.String(), errw.String())
+	}
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-suppressions", pattern}, &out, &errw); code != 0 {
+		t.Fatalf("suppressions audit exit = %d, want 0:\n%s", code, errw.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("stale //lint:ignore directives:\n%s", out.String())
+	}
+}
+
 func TestRunList(t *testing.T) {
 	writeModule(t, nil)
 	var out, errw bytes.Buffer
 	if code := run([]string{"-list"}, &out, &errw); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, rule := range []string{"norand", "nowallclock", "maporder", "mutexcopy", "seedflow", "errcheck-lite", "doccomment"} {
+	for _, rule := range []string{
+		"norand", "nowallclock", "maporder", "mutexcopy", "seedflow", "errcheck-lite", "doccomment",
+		"lockheld", "lockorder", "goroleak", "chanownership",
+	} {
 		if !strings.Contains(out.String(), rule) {
 			t.Errorf("-list output missing rule %s:\n%s", rule, out.String())
 		}

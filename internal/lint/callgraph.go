@@ -1,0 +1,277 @@
+package lint
+
+// This file is the interprocedural half of the concurrency analysis: it
+// stitches the per-function summaries produced by lockset.go into a
+// package-level call graph, condenses it with Tarjan's SCC algorithm,
+// and runs a deterministic fixpoint in reverse topological order
+// (callees before callers) that propagates two monotone facts:
+//
+//   - mayBlock: the function can block its goroutine, with a
+//     human-readable chain (blockWhy) explaining the shortest discovered
+//     reason — either a direct blocking operation or a call into a
+//     function that blocks.
+//   - transAcq: the set of lock keys the function may (transitively)
+//     acquire, each with a chain explaining the path.
+//
+// Both facts are set-once: a function's blockWhy and a transAcq entry's
+// chain never change after first discovery, so the fixpoint terminates
+// even on mutually recursive functions (the sets only grow, and they are
+// bounded by the package's locks). Processing functions in declaration
+// order and map keys in sorted order keeps every output deterministic.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+)
+
+// runFixpoint resolves call and go targets and propagates mayBlock and
+// transAcq over the condensation of the call graph.
+func runFixpoint(an *lockAnalysis) {
+	// Resolve static targets within this package.
+	for _, fi := range an.funcs {
+		for i := range fi.calls {
+			fi.calls[i].target = an.byObj[fi.calls[i].callee]
+		}
+		for i := range fi.gos {
+			if gs := &fi.gos[i]; gs.target == nil && gs.callee != nil {
+				gs.target = an.byObj[gs.callee]
+			}
+		}
+		fi.transAcq = make(map[string]transAcquire)
+	}
+
+	// Seed the local facts.
+	for _, fi := range an.funcs {
+		if len(fi.blocks) > 0 {
+			b := fi.blocks[0]
+			fi.mayBlock = true
+			fi.blockWhy = fmt.Sprintf("%s at %s", b.desc, shortPos(an, b.node))
+		} else {
+			for _, cs := range fi.calls {
+				if cs.extBlock != "" {
+					fi.mayBlock = true
+					fi.blockWhy = fmt.Sprintf("%s at %s", cs.extBlock, shortPos(an, cs.node))
+					break
+				}
+			}
+		}
+		for _, acq := range fi.acquires {
+			if _, ok := fi.transAcq[acq.key.id]; !ok {
+				fi.transAcq[acq.key.id] = transAcquire{
+					key:   acq.key,
+					chain: fmt.Sprintf("acquires %s at %s", acq.key.label, shortPos(an, acq.node)),
+				}
+			}
+		}
+	}
+
+	// Condense and propagate, callees first. Tarjan emits each SCC only
+	// after every SCC reachable from it, so iterating components in
+	// emission order visits callees before callers.
+	for _, scc := range tarjanSCCs(an) {
+		for changed := true; changed; {
+			changed = false
+			for _, fi := range scc {
+				if propagateOne(an, fi) {
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// propagateOne pulls facts from fi's resolved callees; it reports
+// whether anything new was learned.
+func propagateOne(an *lockAnalysis, fi *funcInfo) bool {
+	changed := false
+	for _, cs := range fi.calls {
+		t := cs.target
+		if t == nil || t == fi {
+			continue
+		}
+		if t.mayBlock && !fi.mayBlock {
+			fi.mayBlock = true
+			fi.blockWhy = fmt.Sprintf("calls %s at %s, which blocks: %s", t.name, shortPos(an, cs.node), t.blockWhy)
+			changed = true
+		}
+		ids := make([]string, 0, len(t.transAcq))
+		for id := range t.transAcq {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			if _, ok := fi.transAcq[id]; ok {
+				continue
+			}
+			ta := t.transAcq[id]
+			fi.transAcq[id] = transAcquire{
+				key:   ta.key,
+				chain: fmt.Sprintf("calls %s at %s, which %s", t.name, shortPos(an, cs.node), ta.chain),
+			}
+			changed = true
+		}
+	}
+	return changed
+}
+
+// shortPos renders a node position as "file.go:line" for chain text.
+func shortPos(an *lockAnalysis, node ast.Node) string {
+	pos := an.fset.Position(node.Pos())
+	return fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+}
+
+// nodePosition resolves a node's full position through the analysis'
+// file set.
+func nodePosition(an *lockAnalysis, node ast.Node) token.Position {
+	return an.fset.Position(node.Pos())
+}
+
+// tarjanSCCs computes strongly connected components of the call graph
+// in emission order (every SCC after all SCCs it can reach).
+func tarjanSCCs(an *lockAnalysis) [][]*funcInfo {
+	index := make(map[*funcInfo]int)
+	low := make(map[*funcInfo]int)
+	onStack := make(map[*funcInfo]bool)
+	var stack []*funcInfo
+	var sccs [][]*funcInfo
+	next := 0
+
+	var strongconnect func(fi *funcInfo)
+	strongconnect = func(fi *funcInfo) {
+		index[fi] = next
+		low[fi] = next
+		next++
+		stack = append(stack, fi)
+		onStack[fi] = true
+		for _, cs := range fi.calls {
+			t := cs.target
+			if t == nil {
+				continue
+			}
+			if _, seen := index[t]; !seen {
+				strongconnect(t)
+				if low[t] < low[fi] {
+					low[fi] = low[t]
+				}
+			} else if onStack[t] && index[t] < low[fi] {
+				low[fi] = index[t]
+			}
+		}
+		if low[fi] == index[fi] {
+			var scc []*funcInfo
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[top] = false
+				scc = append(scc, top)
+				if top == fi {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, fi := range an.funcs {
+		if _, seen := index[fi]; !seen {
+			strongconnect(fi)
+		}
+	}
+	return sccs
+}
+
+// orderEdge is one observed acquisition ordering: "to was acquired while
+// from was held", with the first witness found.
+type orderEdge struct {
+	from, to lockKey
+	node     ast.Node
+	filename string
+	witness  string
+}
+
+// computeLockOrder derives the package's lock-ordering findings: for
+// every ordered pair of locks acquired in both orders somewhere in the
+// package, one inversion finding carrying both witness paths; and for
+// every reacquisition of a lock already held (directly or through a
+// callee), a self-deadlock finding.
+func computeLockOrder(an *lockAnalysis) []orderFinding {
+	edges := make(map[string]*orderEdge) // "fromID\x00toID" -> first witness
+	var order []string                   // insertion order of edge keys, for determinism
+	addEdge := func(from, to lockKey, node ast.Node, fi *funcInfo, witness string) {
+		k := from.id + "\x00" + to.id
+		if _, ok := edges[k]; ok {
+			return
+		}
+		edges[k] = &orderEdge{from: from, to: to, node: node, filename: fi.filename, witness: witness}
+		order = append(order, k)
+	}
+
+	var findings []orderFinding
+	for _, fi := range an.funcs {
+		for _, acq := range fi.acquires {
+			for _, h := range acq.held {
+				if h.id == acq.key.id {
+					findings = append(findings, orderFinding{
+						node:     acq.node,
+						filename: fi.filename,
+						msg: fmt.Sprintf("%s reacquires %s while already holding it (sync mutexes are not reentrant; this self-deadlocks)",
+							fi.name, acq.key.label),
+					})
+					continue
+				}
+				addEdge(h, acq.key, acq.node, fi,
+					fmt.Sprintf("%s acquires %s at %s while holding %s",
+						fi.name, acq.key.label, shortPos(an, acq.node), h.label))
+			}
+		}
+		for _, cs := range fi.calls {
+			if cs.target == nil || len(cs.held) == 0 {
+				continue
+			}
+			ids := make([]string, 0, len(cs.target.transAcq))
+			for id := range cs.target.transAcq {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			for _, id := range ids {
+				ta := cs.target.transAcq[id]
+				for _, h := range cs.held {
+					if h.id == id {
+						findings = append(findings, orderFinding{
+							node:     cs.node,
+							filename: fi.filename,
+							msg: fmt.Sprintf("%s calls %s while holding %s, and the callee %s (reacquiring a held sync mutex self-deadlocks)",
+								fi.name, cs.target.name, h.label, ta.chain),
+						})
+						continue
+					}
+					addEdge(h, ta.key, cs.node, fi,
+						fmt.Sprintf("%s, while holding %s, calls %s at %s, which %s",
+							fi.name, h.label, cs.target.name, shortPos(an, cs.node), ta.chain))
+				}
+			}
+		}
+	}
+
+	// Report each inverted pair once, anchored at the lexicographically
+	// first direction's witness.
+	for _, k := range order {
+		e := edges[k]
+		if e.from.id >= e.to.id {
+			continue
+		}
+		rev, ok := edges[e.to.id+"\x00"+e.from.id]
+		if !ok {
+			continue
+		}
+		findings = append(findings, orderFinding{
+			node:     e.node,
+			filename: e.filename,
+			msg: fmt.Sprintf("lock order inversion between %s and %s: one path %s; another path %s — two goroutines taking these in opposite orders deadlock",
+				e.from.label, e.to.label, e.witness, rev.witness),
+		})
+	}
+	return findings
+}

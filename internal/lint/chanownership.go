@@ -1,0 +1,41 @@
+package lint
+
+import "go/ast"
+
+// ChanOwnership enforces the close-by-owner discipline: close(ch) is
+// only safe from the channel's owner, because a second close or a send
+// after close panics, and only the owner can order those events. A
+// function owns a channel it made with make, a channel field of its own
+// method receiver, a package-level channel, or a send-only (chan<-)
+// parameter — the producer-closes convention. Closing a bidirectional
+// parameter, a field of some other value, or a call result is reported.
+// The rule also reports sends on known-unbuffered channels while a
+// mutex is held: the send cannot complete until a receiver runs, and a
+// receiver that needs the lock never will.
+func ChanOwnership() *Rule {
+	return &Rule{
+		Name: "chanownership",
+		Doc:  "flag close() of channels the function does not own, and sends on unbuffered channels under a held lock",
+		Skip: func(relFile string, isTest bool) bool { return isTest },
+		Check: func(pkg *Package, file *ast.File, report ReportFunc) {
+			an := pkg.lockInfo()
+			fname := pkg.Fset.Position(file.Package).Filename
+			for _, fi := range an.funcs {
+				if fi.filename != fname {
+					continue
+				}
+				for _, c := range fi.closes {
+					if c.owned {
+						continue
+					}
+					report(c.node, "%s closes %s, %s — only the owner (creator, receiver holder, or chan<- taker) may close",
+						fi.name, c.what, c.why)
+				}
+				for _, sn := range fi.sends {
+					report(sn.node, "%s sends on unbuffered channel %s while holding %s — the send blocks until a receiver runs, and a receiver needing the lock deadlocks",
+						fi.name, sn.what, heldLabels(sn.held))
+				}
+			}
+		},
+	}
+}

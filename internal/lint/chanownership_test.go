@@ -1,0 +1,113 @@
+package lint
+
+import "testing"
+
+func TestChanOwnershipCloseFires(t *testing.T) {
+	src := `package fixture
+
+type peer struct {
+	done chan struct{}
+}
+
+func badParam(ch chan int) {
+	close(ch)
+}
+
+func badOtherField(p *peer) {
+	close(p.done)
+}
+
+func newCh() chan int { return make(chan int) }
+
+func badResult() {
+	close(newCh())
+}
+`
+	got := checkFixture(t, ChanOwnership(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "chanownership", 8, 12, 18)
+}
+
+func TestChanOwnershipUnbufferedSendUnderLock(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type c struct {
+	mu sync.Mutex
+}
+
+func (s *c) badUnbufSend() {
+	ch := make(chan int)
+	s.mu.Lock()
+	ch <- 1
+	s.mu.Unlock()
+	close(ch)
+}
+
+func (s *c) okBufferedSend() {
+	ch := make(chan int, 4)
+	s.mu.Lock()
+	ch <- 1
+	s.mu.Unlock()
+	close(ch)
+}
+
+func (s *c) okUnbufNoLock() {
+	ch := make(chan int)
+	go func() { <-ch }()
+	ch <- 1
+}
+`
+	got := checkFixture(t, ChanOwnership(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "chanownership", 12)
+}
+
+func TestChanOwnershipCleanPatterns(t *testing.T) {
+	src := `package fixture
+
+type s2 struct {
+	closed chan struct{}
+}
+
+var global = make(chan int)
+
+func (s *s2) okReceiverField() {
+	close(s.closed)
+}
+
+func okLocal() {
+	ch := make(chan int)
+	close(ch)
+}
+
+func okProducer(out chan<- int) {
+	defer close(out)
+	out <- 1
+}
+
+func okGlobal() {
+	close(global)
+}
+
+func okCaptured() {
+	ch := make(chan int, 1)
+	go func() {
+		close(ch)
+	}()
+}
+`
+	got := checkFixture(t, ChanOwnership(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "chanownership")
+}
+
+func TestChanOwnershipRespectsIgnore(t *testing.T) {
+	src := `package fixture
+
+func shutdown(ch chan int) {
+	//lint:ignore chanownership the caller hands over ownership at shutdown
+	close(ch)
+}
+`
+	got := checkFixture(t, ChanOwnership(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "chanownership")
+}

@@ -1,0 +1,46 @@
+package lint
+
+import "go/ast"
+
+// GoroLeak reports two goroutine-hygiene hazards at `go` statements.
+// First, launching a goroutine while holding a mutex: the goroutine
+// inherits nothing, but the launch order suggests the author thought it
+// did, and the new goroutine racing for the same lock is a classic
+// source of startup nondeterminism. Second, goroutines with no visible
+// termination path: the body (a literal, or a statically resolved
+// package-local function) loops forever — a `for {}` with no reachable
+// return, goto, panic, or loop-level break — and none of the recognized
+// termination signals are present: a sync.WaitGroup.Done call, a
+// deferred close of a channel, or a context/channel parameter acting as
+// a stop signal. Dynamic targets (function values, cross-package calls)
+// are skipped; see docs/LINTING.md for the false-negative list.
+func GoroLeak() *Rule {
+	return &Rule{
+		Name: "goroleak",
+		Doc:  "flag goroutines launched under a held lock and goroutines with no visible termination path",
+		Skip: func(relFile string, isTest bool) bool { return isTest },
+		Check: func(pkg *Package, file *ast.File, report ReportFunc) {
+			an := pkg.lockInfo()
+			fname := pkg.Fset.Position(file.Package).Filename
+			for _, fi := range an.funcs {
+				if fi.filename != fname {
+					continue
+				}
+				for _, gs := range fi.gos {
+					if len(gs.held) > 0 {
+						report(gs.node, "%s launches a goroutine while holding %s — launch after releasing the lock, or the new goroutine races for it",
+							fi.name, heldLabels(gs.held))
+					}
+					t := gs.target
+					if t == nil {
+						continue // dynamic target: cannot see the body
+					}
+					if t.endlessFor && !t.callsDone && !t.defersSignal && !t.stopParam {
+						report(gs.node, "goroutine %s loops forever with no visible termination path (no WaitGroup.Done, no deferred close, no stop-channel or context parameter)",
+							t.name)
+					}
+				}
+			}
+		},
+	}
+}

@@ -1,0 +1,143 @@
+package lint
+
+import "testing"
+
+func TestGoroLeakFires(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type g struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (s *g) underLock() {
+	s.mu.Lock()
+	go s.once()
+	s.mu.Unlock()
+}
+
+func (s *g) once() {
+	<-s.ch
+}
+
+func (s *g) leakyLit() {
+	go func() {
+		for {
+			<-s.ch
+		}
+	}()
+}
+
+func (s *g) drain() {
+	for {
+		<-s.ch
+	}
+}
+
+func (s *g) leakyNamed() {
+	go s.drain()
+}
+`
+	got := checkFixture(t, GoroLeak(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "goroleak", 12, 21, 35)
+}
+
+func TestGoroLeakCleanPatterns(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type w struct {
+	wg   sync.WaitGroup
+	ch   chan int
+	stop chan struct{}
+}
+
+func (s *w) okDone() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			<-s.ch
+		}
+	}()
+}
+
+func (s *w) okSelectStop() {
+	go func() {
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-s.ch:
+			}
+		}
+	}()
+}
+
+func (s *w) okStopParam() {
+	go pump(s.ch, s.stop)
+}
+
+func pump(ch chan int, stop chan struct{}) {
+	for {
+		<-ch
+	}
+}
+
+func (s *w) okDeferClose(done chan struct{}) {
+	go func() {
+		defer close(done)
+		for {
+			<-s.ch
+		}
+	}()
+}
+
+func (s *w) okRange() {
+	go func() {
+		for v := range s.ch {
+			_ = v
+		}
+	}()
+}
+
+func (s *w) okBounded() {
+	go func() {
+		s.ch <- 1
+	}()
+}
+
+func (s *w) okAfterUnlock(mu *sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+	go func() {
+		<-s.ch
+	}()
+}
+`
+	got := checkFixture(t, GoroLeak(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "goroleak")
+}
+
+func TestGoroLeakRespectsIgnore(t *testing.T) {
+	src := `package fixture
+
+type d struct {
+	ch chan int
+}
+
+func (s *d) forever() {
+	//lint:ignore goroleak drains for the process lifetime by design
+	go func() {
+		for {
+			<-s.ch
+		}
+	}()
+}
+`
+	got := checkFixture(t, GoroLeak(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "goroleak")
+}

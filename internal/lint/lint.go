@@ -49,6 +49,10 @@ type Package struct {
 	// TypeErrors collects type-checker diagnostics. Rules still run on
 	// partial information; the driver can surface these for debugging.
 	TypeErrors []error
+
+	// lockan caches the package-wide lockset/call-graph analysis shared
+	// by the concurrency rules (see lockset.go).
+	lockan *lockAnalysis
 }
 
 // ReportFunc emits one finding anchored at node.
@@ -80,6 +84,10 @@ func DefaultRules(modulePath string) []*Rule {
 		SeedFlow(),
 		ErrCheckLite(modulePath),
 		DocComment(),
+		LockHeld(),
+		LockOrder(),
+		GoroLeak(),
+		ChanOwnership(),
 	}
 }
 
@@ -107,7 +115,18 @@ func (r *Runner) relFile(filename string) string {
 // Check runs every rule over every file of the given packages and
 // returns the surviving findings in file/line order.
 func (r *Runner) Check(pkgs ...*Package) []Finding {
-	var out []Finding
+	findings, _ := r.Run(pkgs...)
+	return findings
+}
+
+// Run is Check plus a stale-suppression audit: the second return value
+// lists //lint:ignore directives that suppressed nothing during this
+// run — either the code they excused is gone, or the named rule no
+// longer fires there. Stale directives are reported under the
+// "lint-stale" pseudo-rule so `dhtlint -suppressions` can surface them.
+// A directive is only meaningfully audited when the rules it names
+// actually ran, so the audit should be driven with the full registry.
+func (r *Runner) Run(pkgs ...*Package) (findings, stale []Finding) {
 	for _, pkg := range pkgs {
 		for _, file := range pkg.Files {
 			rel := r.relFile(pkg.Fset.Position(file.Package).Filename)
@@ -115,7 +134,7 @@ func (r *Runner) Check(pkgs ...*Package) []Finding {
 			ig, malformed := parseIgnores(pkg.Fset, file)
 			for _, f := range malformed {
 				f.Pos.Filename = r.relFile(f.Pos.Filename)
-				out = append(out, f)
+				findings = append(findings, f)
 			}
 			for _, rule := range r.Rules {
 				if rule.Skip != nil && rule.Skip(rel, isTest) {
@@ -127,11 +146,30 @@ func (r *Runner) Check(pkgs ...*Package) []Finding {
 						return
 					}
 					pos.Filename = r.relFile(pos.Filename)
-					out = append(out, Finding{Pos: pos, Rule: rule.Name, Message: fmt.Sprintf(format, args...)})
+					findings = append(findings, Finding{Pos: pos, Rule: rule.Name, Message: fmt.Sprintf(format, args...)})
+				})
+			}
+			for _, d := range ig.directives {
+				if d.used {
+					continue
+				}
+				pos := d.pos
+				pos.Filename = r.relFile(pos.Filename)
+				stale = append(stale, Finding{
+					Pos:     pos,
+					Rule:    "lint-stale",
+					Message: fmt.Sprintf("//lint:ignore %s suppresses nothing — the finding it excused is gone; remove the directive", strings.Join(d.rules, ",")),
 				})
 			}
 		}
 	}
+	sortFindings(findings)
+	sortFindings(stale)
+	return findings, stale
+}
+
+// sortFindings orders findings by file, line, column, then rule.
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -145,21 +183,33 @@ func (r *Runner) Check(pkgs ...*Package) []Finding {
 		}
 		return a.Rule < b.Rule
 	})
-	return out
 }
 
-// ignoreSet maps a source line to the rule names suppressed by a
-// directive written on that line.
-type ignoreSet map[int][]string
+// ignoreDirective is one parsed //lint:ignore comment, with a usage mark
+// for the stale-suppression audit.
+type ignoreDirective struct {
+	pos   token.Position
+	rules []string
+	used  bool
+}
 
-// suppressed reports whether rule is ignored at line: a directive
-// applies to its own line (trailing comment) and to the next line
-// (comment above the statement).
-func (ig ignoreSet) suppressed(rule string, line int) bool {
+// ignoreSet indexes a file's directives by source line.
+type ignoreSet struct {
+	byLine     map[int][]*ignoreDirective
+	directives []*ignoreDirective // parse order, for deterministic stale reports
+}
+
+// suppressed reports whether rule is ignored at line, marking the
+// matching directive as used: a directive applies to its own line
+// (trailing comment) and to the next line (comment above the statement).
+func (ig *ignoreSet) suppressed(rule string, line int) bool {
 	for _, l := range [2]int{line, line - 1} {
-		for _, name := range ig[l] {
-			if name == rule || name == "all" {
-				return true
+		for _, d := range ig.byLine[l] {
+			for _, name := range d.rules {
+				if name == rule || name == "all" {
+					d.used = true
+					return true
+				}
 			}
 		}
 	}
@@ -171,8 +221,8 @@ const ignorePrefix = "//lint:ignore"
 // parseIgnores scans a file's comments for //lint:ignore directives.
 // Malformed directives (missing rule list or missing reason) are
 // returned as findings so suppressions can never silently rot.
-func parseIgnores(fset *token.FileSet, file *ast.File) (ignoreSet, []Finding) {
-	ig := make(ignoreSet)
+func parseIgnores(fset *token.FileSet, file *ast.File) (*ignoreSet, []Finding) {
+	ig := &ignoreSet{byLine: make(map[int][]*ignoreDirective)}
 	var malformed []Finding
 	for _, group := range file.Comments {
 		for _, c := range group.List {
@@ -190,7 +240,9 @@ func parseIgnores(fset *token.FileSet, file *ast.File) (ignoreSet, []Finding) {
 				})
 				continue
 			}
-			ig[pos.Line] = append(ig[pos.Line], strings.Split(fields[0], ",")...)
+			d := &ignoreDirective{pos: pos, rules: strings.Split(fields[0], ",")}
+			ig.byLine[pos.Line] = append(ig.byLine[pos.Line], d)
+			ig.directives = append(ig.directives, d)
 		}
 	}
 	return ig, malformed

@@ -34,6 +34,14 @@ func fixtureLoader(t *testing.T) *Loader {
 // and runs a single rule over it, returning the findings.
 func checkFixture(t *testing.T, rule *Rule, sources map[string]string) []Finding {
 	t.Helper()
+	findings, _ := runFixture(t, []*Rule{rule}, sources)
+	return findings
+}
+
+// runFixture is checkFixture for multiple rules, also returning the
+// stale-suppression audit.
+func runFixture(t *testing.T, rules []*Rule, sources map[string]string) (findings, stale []Finding) {
+	t.Helper()
 	loaderMu.Lock()
 	defer loaderMu.Unlock()
 	l := fixtureLoader(t)
@@ -41,8 +49,8 @@ func checkFixture(t *testing.T, rule *Rule, sources map[string]string) []Finding
 	if err != nil {
 		t.Fatalf("CheckSource: %v", err)
 	}
-	runner := &Runner{Rules: []*Rule{rule}}
-	return runner.Check(pkg)
+	runner := &Runner{Rules: rules}
+	return runner.Run(pkg)
 }
 
 // wantFindings asserts the findings hit exactly the given lines (in any
@@ -146,7 +154,10 @@ import _ "crypto/rand"
 
 func TestDefaultRulesRegistry(t *testing.T) {
 	rules := DefaultRules("chordbalance")
-	want := []string{"norand", "nowallclock", "maporder", "mutexcopy", "seedflow", "errcheck-lite", "doccomment"}
+	want := []string{
+		"norand", "nowallclock", "maporder", "mutexcopy", "seedflow", "errcheck-lite", "doccomment",
+		"lockheld", "lockorder", "goroleak", "chanownership",
+	}
 	if len(rules) != len(want) {
 		t.Fatalf("registry has %d rules, want %d", len(rules), len(want))
 	}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// LockHeld reports mutexes held across operations that can block the
+// goroutine — channel sends and receives, selects without a default
+// clause, sync.WaitGroup.Wait, timer waits, dials, and connection I/O —
+// whether the blocking operation is in the function itself or reached
+// through a chain of (package-local, statically resolved) callees. A
+// goroutine that blocks while holding a lock stalls every goroutine
+// that needs that lock; when the blocked operation itself needs a
+// lock-holder to make progress (an RPC served by a handler that takes
+// the same lock), it deadlocks. See docs/LINTING.md for the analysis
+// model and its limits.
+func LockHeld() *Rule {
+	return &Rule{
+		Name: "lockheld",
+		Doc:  "forbid holding a mutex across blocking ops (channel ops, select, WaitGroup.Wait, timers, connection I/O), directly or via callees",
+		Skip: func(relFile string, isTest bool) bool { return isTest },
+		Check: func(pkg *Package, file *ast.File, report ReportFunc) {
+			an := pkg.lockInfo()
+			fname := pkg.Fset.Position(file.Package).Filename
+			for _, fi := range an.funcs {
+				if fi.filename != fname {
+					continue
+				}
+				for _, b := range fi.blocks {
+					if len(b.held) == 0 {
+						continue
+					}
+					report(b.node, "%s holds %s across %s — a goroutine that needs the lock to let this complete deadlocks",
+						fi.name, heldLabels(b.held), b.desc)
+				}
+				for _, cs := range fi.calls {
+					if len(cs.held) == 0 || cs.extBlock != "" {
+						continue // extBlock sites are already reported as block sites above
+					}
+					if cs.target == nil || !cs.target.mayBlock {
+						continue
+					}
+					report(cs.node, "%s holds %s across a call to %s, which blocks: %s",
+						fi.name, heldLabels(cs.held), cs.target.name, cs.target.blockWhy)
+				}
+			}
+		},
+	}
+}
+
+// heldLabels renders a held lockset for messages ("Node.mu" or
+// "Node.mu+Host.mu").
+func heldLabels(held []lockKey) string {
+	labels := make([]string, len(held))
+	for i, k := range held {
+		labels[i] = k.label
+	}
+	return strings.Join(labels, "+")
+}

@@ -1,0 +1,198 @@
+package lint
+
+import "testing"
+
+func TestLockHeldFires(t *testing.T) {
+	src := `package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu sync.Mutex
+	ch chan int
+	wg sync.WaitGroup
+}
+
+func (s *server) badSend() {
+	s.mu.Lock()
+	s.ch <- 1
+	s.mu.Unlock()
+}
+
+func (s *server) badRecv() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.ch
+}
+
+func (s *server) badWait() {
+	s.mu.Lock()
+	s.wg.Wait()
+	s.mu.Unlock()
+}
+
+func (s *server) badSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond)
+	s.mu.Unlock()
+}
+
+func (s *server) badSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.ch:
+	}
+}
+
+func (s *server) pump() {
+	<-s.ch
+}
+
+func (s *server) badTransitive() {
+	s.mu.Lock()
+	s.pump()
+	s.mu.Unlock()
+}
+`
+	got := checkFixture(t, LockHeld(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "lockheld", 16, 23, 28, 34, 41, 52)
+}
+
+func TestLockHeldConnIO(t *testing.T) {
+	// A conn-shaped type (Read/Write plus deadline methods) counts as
+	// connection I/O; a plain writer does not.
+	src := `package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type fakeConn struct{}
+
+func (fakeConn) Read(p []byte) (int, error)        { return 0, nil }
+func (fakeConn) Write(p []byte) (int, error)       { return 0, nil }
+func (fakeConn) SetReadDeadline(t time.Time) error { return nil }
+
+type plainSink struct{}
+
+func (plainSink) Write(p []byte) (int, error) { return 0, nil }
+
+type wrap struct {
+	mu   sync.Mutex
+	conn fakeConn
+	sink plainSink
+}
+
+func (w *wrap) badConnWrite(p []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, _ = w.conn.Write(p)
+}
+
+func (w *wrap) okSinkWrite(p []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, _ = w.sink.Write(p)
+}
+`
+	got := checkFixture(t, LockHeld(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "lockheld", 27)
+}
+
+func TestLockHeldCleanPatterns(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (b *box) okReleased() {
+	b.mu.Lock()
+	b.mu.Unlock()
+	<-b.ch
+}
+
+func (b *box) okSelectDefault() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case v := <-b.ch:
+		_ = v
+	default:
+	}
+}
+
+func (b *box) okBranchRelease(c bool) {
+	b.mu.Lock()
+	if c {
+		b.mu.Unlock()
+		<-b.ch
+		return
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) okComputeOnly() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.grow()
+}
+
+func (b *box) grow() { b.ch = make(chan int, 8) }
+`
+	got := checkFixture(t, LockHeld(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "lockheld")
+}
+
+func TestLockHeldBranchMayHold(t *testing.T) {
+	// A lock released on only one branch may still be held at the join:
+	// the analysis unions the branches, so the later receive is flagged.
+	src := `package fixture
+
+import "sync"
+
+type half struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (h *half) maybeHolds(c bool) {
+	h.mu.Lock()
+	if c {
+		h.mu.Unlock()
+	}
+	<-h.ch
+}
+`
+	got := checkFixture(t, LockHeld(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "lockheld", 15)
+}
+
+func TestLockHeldRespectsIgnore(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type q struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (s *q) waitUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore lockheld the lock is the intended serializer here
+	<-s.ch
+}
+`
+	got := checkFixture(t, LockHeld(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "lockheld")
+}

@@ -1,0 +1,31 @@
+package lint
+
+import "go/ast"
+
+// LockOrder reports lock-acquisition-order inversions across the
+// package's call graph: if one code path acquires lock A and then
+// (possibly through callees) lock B, while another path acquires B and
+// then A, two goroutines running those paths concurrently can each hold
+// one lock and wait forever for the other. Each inversion is reported
+// once, with both witness paths spelled out. The rule also reports
+// reacquisition of a lock already held — directly or through a callee —
+// since sync mutexes are not reentrant and a self-reacquire deadlocks
+// unconditionally. Locks are keyed by role (type + field), not by
+// instance; see docs/LINTING.md.
+func LockOrder() *Rule {
+	return &Rule{
+		Name: "lockorder",
+		Doc:  "flag lock-acquisition-order inversions (A→B on one path, B→A on another) and reacquisition of held mutexes",
+		Skip: func(relFile string, isTest bool) bool { return isTest },
+		Check: func(pkg *Package, file *ast.File, report ReportFunc) {
+			an := pkg.lockInfo()
+			fname := pkg.Fset.Position(file.Package).Filename
+			for _, inv := range an.inversions {
+				if inv.filename != fname {
+					continue
+				}
+				report(inv.node, "%s", inv.msg)
+			}
+		},
+	}
+}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLockOrderDirectInversion(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+var muA sync.Mutex
+var muB sync.Mutex
+
+func first() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func second() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+`
+	got := checkFixture(t, LockOrder(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "lockorder", 10)
+	if !strings.Contains(got[0].Message, "first") || !strings.Contains(got[0].Message, "second") {
+		t.Errorf("inversion message must carry both witness paths, got: %s", got[0].Message)
+	}
+}
+
+func TestLockOrderInterproceduralInversion(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+var muA sync.Mutex
+var muB sync.Mutex
+
+func lockB() {
+	muB.Lock()
+	muB.Unlock()
+}
+
+func aThenB() {
+	muA.Lock()
+	lockB()
+	muA.Unlock()
+}
+
+func bThenA() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+`
+	got := checkFixture(t, LockOrder(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "lockorder", 15)
+	if !strings.Contains(got[0].Message, "lockB") {
+		t.Errorf("interprocedural witness must name the callee, got: %s", got[0].Message)
+	}
+}
+
+func TestLockOrderSelfReacquire(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+var mu sync.Mutex
+
+func double() {
+	mu.Lock()
+	mu.Lock()
+	mu.Unlock()
+	mu.Unlock()
+}
+
+func lockIt() {
+	mu.Lock()
+	mu.Unlock()
+}
+
+func reenter() {
+	mu.Lock()
+	lockIt()
+	mu.Unlock()
+}
+`
+	got := checkFixture(t, LockOrder(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "lockorder", 9, 21)
+}
+
+func TestLockOrderConsistentOrderClean(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+var muA sync.Mutex
+var muB sync.Mutex
+
+func one() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func two() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+`
+	got := checkFixture(t, LockOrder(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "lockorder")
+}
+
+func TestLockOrderRespectsIgnore(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+var muA sync.Mutex
+var muB sync.Mutex
+
+func first() {
+	muA.Lock()
+	//lint:ignore lockorder documented exception for the fixture
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func second() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+`
+	got := checkFixture(t, LockOrder(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "lockorder")
+}

@@ -1,0 +1,1230 @@
+package lint
+
+// This file is the per-function half of the interprocedural concurrency
+// analysis behind the lockheld, lockorder, goroleak, and chanownership
+// rules: a small abstract interpreter that walks each function body once,
+// tracking the set of mutexes that may be held at every statement, and
+// records the sites later passes care about — lock acquisitions, blocking
+// operations, calls, `go` statements, channel closes, and channel sends.
+// The call-graph fixpoint that stitches the summaries together lives in
+// callgraph.go.
+//
+// Mutexes are keyed instance-insensitively: `n.mu` where n is a *Node
+// becomes the key "Node.mu" regardless of which Node instance is locked.
+// That is exactly what lock-ordering arguments are about (the discipline
+// is per lock *role*, not per instance) and it keeps the analysis
+// flow-insensitive about aliasing. Local mutex variables are keyed by
+// their declaration position instead, so two different locals never
+// collapse into one key.
+//
+// The interpreter is deliberately may-analysis shaped: at a control-flow
+// join the held set is the union of the incoming branches (branches that
+// provably terminated — return, panic, break — are excluded), so a lock
+// released on only one path still counts as held afterwards. That
+// overapproximates, which is the right direction for every rule built on
+// it: "may be held across a blocking call" is the thing worth reporting.
+//
+// Known false negatives (documented in docs/LINTING.md): function values
+// called through variables, dynamic dispatch through interfaces with no
+// static callee, cross-package call edges, and locks reached through
+// maps or slices.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// lockKey identifies one mutex role. id is the stable comparison key
+// (fully qualified); label is the short human-readable form used in
+// messages ("Node.mu").
+type lockKey struct {
+	id    string
+	label string
+}
+
+// acquireSite is one Lock/RLock call, with the locks already held when
+// it executes.
+type acquireSite struct {
+	key  lockKey
+	node ast.Node
+	held []lockKey
+}
+
+// blockSite is one operation that can block the goroutine: a channel
+// send/receive, a select without default, WaitGroup.Wait, a timer wait,
+// or network I/O.
+type blockSite struct {
+	desc string
+	node ast.Node
+	held []lockKey
+}
+
+// callSite is one statically resolved call. target is filled in by the
+// fixpoint when the callee is defined in the same package; extBlock is
+// non-empty when the callee is an external function known to block.
+type callSite struct {
+	callee   *types.Func
+	target   *funcInfo
+	node     ast.Node
+	held     []lockKey
+	extBlock string
+}
+
+// goSite is one `go` statement. Exactly one of target (a function
+// literal, analyzed as its own synthetic funcInfo) and callee (a named
+// function, resolved by the fixpoint) is set when resolution succeeded;
+// both nil means the target was dynamic.
+type goSite struct {
+	node   ast.Node
+	held   []lockKey
+	target *funcInfo
+	callee *types.Func
+}
+
+// closeSite is one close(ch) call with the ownership verdict for ch.
+type closeSite struct {
+	node  ast.Node
+	owned bool
+	what  string // rendering of the channel expression
+	why   string // non-owned: why the closer does not own it
+}
+
+// sendSite is a send on a known-unbuffered channel while a lock is held.
+type sendSite struct {
+	node ast.Node
+	held []lockKey
+	what string
+}
+
+// transAcquire records that a function (transitively) acquires key, with
+// a human-readable chain explaining how.
+type transAcquire struct {
+	key   lockKey
+	chain string
+}
+
+// funcInfo is the per-function summary. One exists for every FuncDecl
+// with a body and for every function literal that escapes synchronous
+// control flow (go/defer targets, stored literals, callback arguments).
+type funcInfo struct {
+	name     string
+	decl     ast.Node // *ast.FuncDecl or *ast.FuncLit
+	obj      *types.Func
+	filename string
+
+	acquires []acquireSite
+	blocks   []blockSite
+	calls    []callSite
+	gos      []goSite
+	closes   []closeSite
+	sends    []sendSite
+
+	// Termination signals for goroleak.
+	callsDone    bool // calls (*sync.WaitGroup).Done, deferred or not
+	defersSignal bool // defers a close(ch) (directly or via a deferred literal)
+	stopParam    bool // has a context.Context or channel parameter
+	endlessFor   bool // contains a `for {}` with no reachable return/break
+
+	// Fixpoint outputs (callgraph.go).
+	mayBlock bool
+	blockWhy string
+	transAcq map[string]transAcquire
+}
+
+// lockAnalysis is the package-wide result, cached on the Package.
+type lockAnalysis struct {
+	fset  *token.FileSet
+	funcs []*funcInfo
+	byObj map[*types.Func]*funcInfo
+	// inversions and selfCycles are the lockorder findings, precomputed
+	// once per package (the rule filters them per file).
+	inversions []orderFinding
+}
+
+// orderFinding is one lockorder diagnostic anchored at a node.
+type orderFinding struct {
+	node     ast.Node
+	filename string
+	msg      string
+}
+
+// lockInfo returns the package's lockset analysis, computing it on first
+// use. The Runner is single-goroutine, so a plain nil check suffices.
+func (p *Package) lockInfo() *lockAnalysis {
+	if p.lockan == nil {
+		p.lockan = computeLockAnalysis(p)
+	}
+	return p.lockan
+}
+
+// computeLockAnalysis walks every function body in the package and runs
+// the call-graph fixpoint over the summaries.
+func computeLockAnalysis(pkg *Package) *lockAnalysis {
+	an := &lockAnalysis{fset: pkg.Fset, byObj: make(map[*types.Func]*funcInfo)}
+	for _, file := range pkg.Files {
+		fname := pkg.Fset.Position(file.Package).Filename
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fi := &funcInfo{name: funcDisplayName(fd), decl: fd, filename: fname}
+			if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				fi.obj = obj
+				an.byObj[obj] = fi
+			}
+			an.funcs = append(an.funcs, fi)
+			w := &funcWalker{
+				pkg:   pkg,
+				an:    an,
+				fn:    fi,
+				owned: make(map[types.Object]bool),
+				unbuf: make(map[types.Object]bool),
+			}
+			if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+				w.recv = pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+			}
+			w.noteParams(fd.Type)
+			w.walkStmtList(&lockState{}, fd.Body.List)
+		}
+	}
+	runFixpoint(an)
+	an.inversions = computeLockOrder(an)
+	return an
+}
+
+// funcDisplayName renders a FuncDecl's name with its receiver type, e.g.
+// "(*Node).stabilizeOnce" or "NewHost".
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	var b strings.Builder
+	b.WriteString("(")
+	writeTypeExpr(&b, recv)
+	b.WriteString(").")
+	b.WriteString(fd.Name.Name)
+	return b.String()
+}
+
+// writeTypeExpr renders the small subset of type expressions receivers
+// use (idents, pointers, generic instantiations).
+func writeTypeExpr(b *strings.Builder, e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		b.WriteString(e.Name)
+	case *ast.StarExpr:
+		b.WriteString("*")
+		writeTypeExpr(b, e.X)
+	case *ast.IndexExpr:
+		writeTypeExpr(b, e.X)
+	case *ast.IndexListExpr:
+		writeTypeExpr(b, e.X)
+	default:
+		b.WriteString("?")
+	}
+}
+
+// lockState is the abstract state at one program point: the ordered set
+// of locks that may be held, and whether this path has terminated.
+type lockState struct {
+	held []lockKey
+	dead bool
+}
+
+// holds reports whether id is in the held set.
+func (st *lockState) holds(id string) bool {
+	for _, k := range st.held {
+		if k.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// acquire adds key to the held set (idempotent).
+func (st *lockState) acquire(key lockKey) {
+	if !st.holds(key.id) {
+		st.held = append(st.held, key)
+	}
+}
+
+// release removes key from the held set.
+func (st *lockState) release(id string) {
+	for i, k := range st.held {
+		if k.id == id {
+			st.held = append(st.held[:i:i], st.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// clone copies the state for a branch.
+func (st *lockState) clone() *lockState {
+	return &lockState{held: append([]lockKey(nil), st.held...), dead: st.dead}
+}
+
+// mergeInto unions other's held set into st (may-held join). Dead
+// branches are the caller's responsibility to exclude.
+func (st *lockState) mergeInto(other *lockState) {
+	for _, k := range other.held {
+		st.acquire(k)
+	}
+}
+
+// heldCopy snapshots the held set for a site record.
+func heldCopy(st *lockState) []lockKey {
+	if len(st.held) == 0 {
+		return nil
+	}
+	return append([]lockKey(nil), st.held...)
+}
+
+// funcWalker drives the abstract interpretation of one function body.
+// Synthetic walkers for escaping function literals share the analysis,
+// the receiver object, and the channel-ownership maps (a literal may
+// close a channel its enclosing function created).
+type funcWalker struct {
+	pkg  *Package
+	an   *lockAnalysis
+	fn   *funcInfo
+	recv types.Object
+
+	owned map[types.Object]bool // channels created here (make) or owned by convention
+	unbuf map[types.Object]bool // channels known to be unbuffered
+
+	// noBlocks suppresses block-site recording while interpreting select
+	// comm clauses (their channel ops belong to the select itself).
+	noBlocks bool
+}
+
+// noteParams records termination-signal and ownership facts carried by
+// the parameter list: a context or channel parameter is a stop signal
+// for goroleak, and a send-only channel parameter is owned by convention
+// (the producer-closes idiom).
+func (w *funcWalker) noteParams(ft *ast.FuncType) {
+	if ft == nil || ft.Params == nil {
+		return
+	}
+	for _, field := range ft.Params.List {
+		t := w.pkg.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if ch, ok := t.Underlying().(*types.Chan); ok {
+			w.fn.stopParam = true
+			if ch.Dir() == types.SendOnly {
+				for _, name := range field.Names {
+					if obj := w.pkg.Info.Defs[name]; obj != nil {
+						w.owned[obj] = true
+					}
+				}
+			}
+			continue
+		}
+		if named, ok := t.(*types.Named); ok &&
+			named.Obj().Name() == "Context" && pkgPathSuffix(named.Obj().Pkg(), "context") {
+			w.fn.stopParam = true
+		}
+	}
+}
+
+// walkStmtList interprets a statement sequence in order.
+func (w *funcWalker) walkStmtList(st *lockState, list []ast.Stmt) {
+	for _, s := range list {
+		if st.dead {
+			return
+		}
+		w.walkStmt(st, s)
+	}
+}
+
+// walkStmt interprets one statement, updating st in place.
+func (w *funcWalker) walkStmt(st *lockState, s ast.Stmt) {
+	if s == nil || st.dead {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.walkStmtList(st, s.List)
+
+	case *ast.ExprStmt:
+		w.walkExpr(st, s.X)
+
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.walkExpr(st, rhs)
+		}
+		w.noteChanMakes(s.Lhs, s.Rhs)
+		for _, lhs := range s.Lhs {
+			if _, ok := lhs.(*ast.Ident); !ok {
+				w.walkExpr(st, lhs)
+			}
+		}
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.walkExpr(st, v)
+					}
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, n := range vs.Names {
+						lhs[i] = n
+					}
+					w.noteChanMakes(lhs, vs.Values)
+				}
+			}
+		}
+
+	case *ast.IfStmt:
+		w.walkStmt(st, s.Init)
+		w.walkExpr(st, s.Cond)
+		then := st.clone()
+		w.walkStmt(then, s.Body)
+		els := st.clone()
+		if s.Else != nil {
+			w.walkStmt(els, s.Else)
+		}
+		st.held = nil
+		st.dead = then.dead && els.dead
+		if !then.dead {
+			st.mergeInto(then)
+		}
+		if !els.dead {
+			st.mergeInto(els)
+		}
+		if st.dead {
+			// Keep the union anyway so a dead-end state is still sane if
+			// consulted; nothing after it runs.
+			st.mergeInto(then)
+			st.mergeInto(els)
+		}
+
+	case *ast.ForStmt:
+		w.walkStmt(st, s.Init)
+		w.walkExpr(st, s.Cond)
+		body := st.clone()
+		w.walkStmt(body, s.Body)
+		w.walkStmt(body, s.Post)
+		if !body.dead {
+			st.mergeInto(body)
+		}
+		if s.Cond == nil && !loopExits(s.Body) {
+			w.fn.endlessFor = true
+			st.dead = true
+		}
+
+	case *ast.RangeStmt:
+		w.walkExpr(st, s.X)
+		if t := w.pkg.Info.TypeOf(s.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				w.block(st, s, "range over channel (blocking receive)")
+			}
+		}
+		body := st.clone()
+		w.walkStmt(body, s.Body)
+		if !body.dead {
+			st.mergeInto(body)
+		}
+
+	case *ast.SwitchStmt:
+		w.walkStmt(st, s.Init)
+		w.walkExpr(st, s.Tag)
+		w.walkCaseClauses(st, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(st, s.Init)
+		w.walkStmt(st, s.Assign)
+		w.walkCaseClauses(st, s.Body)
+
+	case *ast.SelectStmt:
+		w.walkSelect(st, s)
+
+	case *ast.SendStmt:
+		w.walkExpr(st, s.Value)
+		w.walkExpr(st, s.Chan)
+		w.block(st, s, "channel send")
+		w.noteUnbufferedSend(st, s)
+
+	case *ast.GoStmt:
+		w.walkGo(st, s)
+
+	case *ast.DeferStmt:
+		w.walkDefer(st, s)
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.walkExpr(st, r)
+		}
+		st.dead = true
+
+	case *ast.BranchStmt:
+		if s.Tok == token.BREAK || s.Tok == token.CONTINUE || s.Tok == token.GOTO {
+			st.dead = true
+		}
+
+	case *ast.LabeledStmt:
+		w.walkStmt(st, s.Stmt)
+
+	case *ast.IncDecStmt:
+		w.walkExpr(st, s.X)
+	}
+}
+
+// walkCaseClauses interprets a switch body: every clause starts from the
+// pre-switch state; the post state is the union of the non-terminated
+// clauses (plus the entry state when there is no default clause, since
+// the switch may match nothing).
+func (w *funcWalker) walkCaseClauses(st *lockState, body *ast.BlockStmt) {
+	entry := st.clone()
+	hasDefault := false
+	var exits []*lockState
+	for _, clause := range body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		cs := entry.clone()
+		for _, e := range cc.List {
+			w.walkExpr(cs, e)
+		}
+		w.walkStmtList(cs, cc.Body)
+		exits = append(exits, cs)
+	}
+	w.joinBranches(st, entry, exits, hasDefault)
+}
+
+// walkSelect interprets a select statement: without a default clause the
+// select itself blocks; channel operations in the comm clauses are part
+// of the select's wait rather than independent blocking sites, so they
+// are interpreted with blocking recording suppressed.
+func (w *funcWalker) walkSelect(st *lockState, s *ast.SelectStmt) {
+	entry := st.clone()
+	hasDefault := false
+	var exits []*lockState
+	for _, clause := range s.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			hasDefault = true
+		}
+		cs := entry.clone()
+		w.suppressBlocks(func() {
+			w.walkStmt(cs, cc.Comm)
+		})
+		w.walkStmtList(cs, cc.Body)
+		exits = append(exits, cs)
+	}
+	if !hasDefault {
+		w.block(st, s, "select without default")
+	}
+	w.joinBranches(st, entry, exits, hasDefault)
+}
+
+// joinBranches merges clause exit states into st. exhaustive means one
+// clause always runs (a default exists), so the entry state is excluded
+// from the join.
+func (w *funcWalker) joinBranches(st *lockState, entry *lockState, exits []*lockState, exhaustive bool) {
+	st.held = nil
+	live := false
+	if !exhaustive {
+		st.mergeInto(entry)
+		live = true
+	}
+	for _, e := range exits {
+		if !e.dead {
+			st.mergeInto(e)
+			live = true
+		}
+	}
+	if !live {
+		for _, e := range exits {
+			st.mergeInto(e)
+		}
+		st.dead = true
+	}
+}
+
+// suppressBlocks runs fn with block-site recording disabled (used for
+// select comm clauses, whose channel ops belong to the select itself).
+func (w *funcWalker) suppressBlocks(fn func()) {
+	saved := w.noBlocks
+	w.noBlocks = true
+	fn()
+	w.noBlocks = saved
+}
+
+// block records one blocking operation (unless suppressed).
+func (w *funcWalker) block(st *lockState, node ast.Node, desc string) {
+	if w.noBlocks {
+		return
+	}
+	w.fn.blocks = append(w.fn.blocks, blockSite{desc: desc, node: node, held: heldCopy(st)})
+}
+
+// walkExpr interprets one expression.
+func (w *funcWalker) walkExpr(st *lockState, e ast.Expr) {
+	if e == nil || st.dead {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		w.walkCall(st, e)
+	case *ast.UnaryExpr:
+		w.walkExpr(st, e.X)
+		if e.Op == token.ARROW {
+			w.block(st, e, "channel receive")
+		}
+	case *ast.BinaryExpr:
+		w.walkExpr(st, e.X)
+		w.walkExpr(st, e.Y)
+	case *ast.ParenExpr:
+		w.walkExpr(st, e.X)
+	case *ast.StarExpr:
+		w.walkExpr(st, e.X)
+	case *ast.SelectorExpr:
+		w.walkExpr(st, e.X)
+	case *ast.IndexExpr:
+		w.walkExpr(st, e.X)
+		w.walkExpr(st, e.Index)
+	case *ast.IndexListExpr:
+		w.walkExpr(st, e.X)
+	case *ast.SliceExpr:
+		w.walkExpr(st, e.X)
+		w.walkExpr(st, e.Low)
+		w.walkExpr(st, e.High)
+		w.walkExpr(st, e.Max)
+	case *ast.TypeAssertExpr:
+		w.walkExpr(st, e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.walkExpr(st, el)
+		}
+	case *ast.KeyValueExpr:
+		w.walkExpr(st, e.Value)
+	case *ast.FuncLit:
+		// A literal reaching here escapes synchronous control flow (it is
+		// stored or passed as a value): analyze it as its own function
+		// with an empty lockset, since we cannot tell when it runs.
+		w.spawnLit(e, "func literal")
+	}
+}
+
+// walkCall interprets one call expression: lock operations, builtins,
+// inlined literals, blocking classification, and call-edge recording.
+func (w *funcWalker) walkCall(st *lockState, call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+
+	// Immediately invoked literal: runs here, under the current lockset.
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		for _, a := range call.Args {
+			w.walkArg(st, a)
+		}
+		w.walkStmtList(st, lit.Body.List)
+		return
+	}
+
+	// close(ch).
+	if id, ok := fun.(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 && w.isBuiltin(id) {
+		w.walkArg(st, call.Args[0])
+		w.recordClose(call, call.Args[0])
+		return
+	}
+
+	// Lock/Unlock on a sync mutex.
+	if key, acquire, ok := w.lockOp(call); ok {
+		if sel, selOK := fun.(*ast.SelectorExpr); selOK {
+			w.walkExpr(st, sel.X)
+		}
+		if acquire {
+			w.fn.acquires = append(w.fn.acquires, acquireSite{key: key, node: call, held: heldCopy(st)})
+			st.acquire(key)
+		} else {
+			st.release(key.id)
+		}
+		return
+	}
+
+	callee := calleeFunc(w.pkg, call.Fun)
+
+	// sync.Once.Do(f): f runs synchronously under the current lockset.
+	if callee != nil && callee.Name() == "Do" && isSyncType(methodRecvNamed(w.pkg, call.Fun), "Once") && len(call.Args) == 1 {
+		if lit, ok := ast.Unparen(call.Args[0]).(*ast.FuncLit); ok {
+			w.walkStmtList(st, lit.Body.List)
+		} else {
+			w.walkArg(st, call.Args[0])
+		}
+		return
+	}
+
+	// Evaluate the receiver/fun expression and arguments.
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		w.walkExpr(st, sel.X)
+	}
+	for _, a := range call.Args {
+		w.walkArg(st, a)
+	}
+
+	if callee != nil {
+		if callee.Name() == "Done" && isSyncType(methodRecvNamed(w.pkg, call.Fun), "WaitGroup") {
+			w.fn.callsDone = true
+		}
+		ext := w.extBlocking(call, callee)
+		if ext != "" {
+			w.block(st, call, ext)
+		}
+		w.fn.calls = append(w.fn.calls, callSite{callee: callee, node: call, held: heldCopy(st), extBlock: ext})
+	}
+}
+
+// walkArg interprets a call argument. Function literals passed as
+// arguments may run at any later time, so they are analyzed as separate
+// functions with an empty lockset rather than inline.
+func (w *funcWalker) walkArg(st *lockState, a ast.Expr) {
+	if lit, ok := ast.Unparen(a).(*ast.FuncLit); ok {
+		w.spawnLit(lit, "func literal")
+		return
+	}
+	w.walkExpr(st, a)
+}
+
+// walkGo records a `go` statement: arguments evaluate in the caller, the
+// body runs on a fresh goroutine with an empty lockset.
+func (w *funcWalker) walkGo(st *lockState, s *ast.GoStmt) {
+	call := s.Call
+	fun := ast.Unparen(call.Fun)
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		w.walkExpr(st, sel.X)
+	}
+	for _, a := range call.Args {
+		w.walkArg(st, a)
+	}
+	gs := goSite{node: s, held: heldCopy(st)}
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		gs.target = w.spawnLit(lit, "go literal")
+	} else {
+		gs.callee = calleeFunc(w.pkg, call.Fun)
+	}
+	w.fn.gos = append(w.fn.gos, gs)
+}
+
+// walkDefer interprets a defer statement. A deferred Unlock is the
+// canonical release-at-return idiom: the lock stays held for the rest of
+// the body, which is exactly what leaving the state untouched models. A
+// deferred close or WaitGroup.Done is a termination signal. Other
+// deferred calls are recorded against the current lockset: in the
+// dominant `mu.Lock(); defer mu.Unlock(); defer f()` ordering, f runs
+// before the unlock, so the approximation errs conservatively.
+func (w *funcWalker) walkDefer(st *lockState, s *ast.DeferStmt) {
+	call := s.Call
+	fun := ast.Unparen(call.Fun)
+
+	if _, _, ok := w.lockOp(call); ok {
+		return // deferred Lock is nonsense; deferred Unlock keeps the body's held state
+	}
+	if id, ok := fun.(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 && w.isBuiltin(id) {
+		w.fn.defersSignal = true
+		w.recordClose(call, call.Args[0])
+		return
+	}
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		for _, a := range call.Args {
+			w.walkArg(st, a)
+		}
+		// The deferred literal runs at return; interpret it against an
+		// empty lockset but within this function's summary so closes and
+		// Done calls count as this function's signals.
+		w.scanDeferredLit(lit)
+		w.walkStmtList(&lockState{}, lit.Body.List)
+		return
+	}
+	for _, a := range call.Args {
+		w.walkArg(st, a)
+	}
+	if callee := calleeFunc(w.pkg, call.Fun); callee != nil {
+		if callee.Name() == "Done" && isSyncType(methodRecvNamed(w.pkg, call.Fun), "WaitGroup") {
+			w.fn.callsDone = true
+			return
+		}
+		ext := w.extBlocking(call, callee)
+		if ext != "" {
+			w.block(st, call, ext+" (deferred)")
+		}
+		w.fn.calls = append(w.fn.calls, callSite{callee: callee, node: call, held: heldCopy(st), extBlock: ext})
+	}
+}
+
+// scanDeferredLit marks termination signals carried by a deferred
+// literal's body (close/Done anywhere inside it).
+func (w *funcWalker) scanDeferredLit(lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" && w.isBuiltin(id) {
+			w.fn.defersSignal = true
+		}
+		if callee := calleeFunc(w.pkg, call.Fun); callee != nil &&
+			callee.Name() == "Done" && isSyncType(methodRecvNamed(w.pkg, call.Fun), "WaitGroup") {
+			w.fn.callsDone = true
+		}
+		return true
+	})
+}
+
+// spawnLit analyzes an escaping function literal as its own synthetic
+// funcInfo, inheriting the receiver and channel-ownership maps (captured
+// variables keep their ownership) but starting from an empty lockset.
+func (w *funcWalker) spawnLit(lit *ast.FuncLit, kind string) *funcInfo {
+	pos := w.pkg.Fset.Position(lit.Pos())
+	fi := &funcInfo{
+		name:     fmt.Sprintf("%s (%s at %s:%d)", w.fn.name, kind, filepath.Base(pos.Filename), pos.Line),
+		decl:     lit,
+		filename: w.fn.filename,
+	}
+	w.an.funcs = append(w.an.funcs, fi)
+	w2 := &funcWalker{pkg: w.pkg, an: w.an, fn: fi, recv: w.recv, owned: w.owned, unbuf: w.unbuf}
+	w2.noteParams(lit.Type)
+	w2.walkStmtList(&lockState{}, lit.Body.List)
+	return fi
+}
+
+// noteChanMakes records channel ownership facts from an assignment:
+// x := make(chan T[, n]) makes x owned here, and unbuffered when n is
+// absent or a constant zero.
+func (w *funcWalker) noteChanMakes(lhs, rhs []ast.Expr) {
+	if len(lhs) != len(rhs) {
+		return
+	}
+	for i, r := range rhs {
+		call, ok := ast.Unparen(r).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" || !w.isBuiltin(id) || len(call.Args) == 0 {
+			continue
+		}
+		t := w.pkg.Info.TypeOf(call.Args[0])
+		if t == nil {
+			continue
+		}
+		if _, isChan := t.Underlying().(*types.Chan); !isChan {
+			continue
+		}
+		target, ok := ast.Unparen(lhs[i]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := w.pkg.Info.Defs[target]
+		if obj == nil {
+			obj = w.pkg.Info.Uses[target]
+		}
+		if obj == nil {
+			continue
+		}
+		w.owned[obj] = true
+		if len(call.Args) == 1 {
+			w.unbuf[obj] = true
+		} else if tv, ok := w.pkg.Info.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.String() == "0" {
+			w.unbuf[obj] = true
+		}
+	}
+}
+
+// noteUnbufferedSend records a send on a known-unbuffered channel while
+// a lock is held (the chanownership rule's second trigger: the sender
+// cannot make progress until a receiver runs, and the receiver may need
+// the lock).
+func (w *funcWalker) noteUnbufferedSend(st *lockState, s *ast.SendStmt) {
+	if len(st.held) == 0 {
+		return
+	}
+	id, ok := ast.Unparen(s.Chan).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := w.pkg.Info.Uses[id]
+	if obj == nil || !w.unbuf[obj] {
+		return
+	}
+	w.fn.sends = append(w.fn.sends, sendSite{node: s, held: heldCopy(st), what: id.Name})
+}
+
+// recordClose classifies one close(ch) call's ownership. A function owns
+// a channel it made, a channel field of its own receiver, a send-only
+// channel parameter (the producer-closes convention), or a package-level
+// channel. Everything else — bidirectional parameters, fields of other
+// values, call results — is closing someone else's channel.
+func (w *funcWalker) recordClose(call *ast.CallExpr, ch ast.Expr) {
+	owned, what, why := w.chanOwnership(ch)
+	w.fn.closes = append(w.fn.closes, closeSite{node: call, owned: owned, what: what, why: why})
+}
+
+// chanOwnership decides whether this function owns the channel denoted
+// by e; when it does not, why explains the verdict.
+func (w *funcWalker) chanOwnership(e ast.Expr) (owned bool, what, why string) {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := w.pkg.Info.Uses[e]
+		if obj == nil {
+			obj = w.pkg.Info.Defs[e]
+		}
+		if obj == nil {
+			return true, e.Name, "" // unresolved: give the benefit of the doubt
+		}
+		if w.owned[obj] {
+			return true, e.Name, ""
+		}
+		if v, ok := obj.(*types.Var); ok && v.Parent() == w.pkg.Types.Scope() {
+			return true, e.Name, "" // package-level channel
+		}
+		if w.isParam(obj) {
+			return false, e.Name, "a channel received as a plain parameter; only a send-only (chan<-) parameter marks the callee as owner"
+		}
+		return false, e.Name, "a channel this function neither created nor received as owner"
+	case *ast.SelectorExpr:
+		what = exprIdentPath(e)
+		if base, ok := ast.Unparen(e.X).(*ast.Ident); ok && w.recv != nil {
+			if obj := w.pkg.Info.Uses[base]; obj != nil && obj == w.recv {
+				return true, what, "" // field of the method's own receiver
+			}
+		}
+		return false, what, "a channel field of a value this method does not own (not its receiver)"
+	default:
+		return false, "channel expression", "a channel reached through an arbitrary expression"
+	}
+}
+
+// isParam reports whether obj is one of the current function's (or an
+// enclosing literal's) parameters. Parameters are *types.Var whose
+// declaration sits inside a parameter list; checking IsField excludes
+// struct fields, and the owned map has already excused send-only ones.
+func (w *funcWalker) isParam(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	var isParam bool
+	ast.Inspect(w.fn.decl, func(n ast.Node) bool {
+		var ft *ast.FuncType
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			ft = n.Type
+		case *ast.FuncLit:
+			ft = n.Type
+		default:
+			return true
+		}
+		if ft.Params == nil {
+			return true
+		}
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				if w.pkg.Info.Defs[name] == obj {
+					isParam = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return isParam
+}
+
+// exprIdentPath renders a dotted selector path ("n.closed") for
+// messages.
+func exprIdentPath(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprIdentPath(e.X) + "." + e.Sel.Name
+	default:
+		return "?"
+	}
+}
+
+// isBuiltin reports whether id resolves to the universe-scope builtin of
+// the same name (i.e. is not shadowed).
+func (w *funcWalker) isBuiltin(id *ast.Ident) bool {
+	obj := w.pkg.Info.Uses[id]
+	if obj == nil {
+		return true // unresolved: assume the builtin
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// lockOp recognizes Lock/RLock/Unlock/RUnlock calls on sync.Mutex or
+// sync.RWMutex (including promoted methods of embedded mutexes) and
+// computes the lock key. Read and write locks share a key: an RLock held
+// across a blocking call or taken in inverted order is the same hazard
+// once a writer queues up.
+func (w *funcWalker) lockOp(call *ast.CallExpr) (key lockKey, acquire bool, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return lockKey{}, false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return lockKey{}, false, false
+	}
+	s := w.pkg.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return lockKey{}, false, false
+	}
+	fn, isFn := s.Obj().(*types.Func)
+	if !isFn {
+		return lockKey{}, false, false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return lockKey{}, false, false
+	}
+	recvNamed := derefNamed(sig.Recv().Type())
+	if recvNamed == nil || !pkgPathSuffix(recvNamed.Obj().Pkg(), "sync") {
+		return lockKey{}, false, false
+	}
+	if name := recvNamed.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return lockKey{}, false, false
+	}
+	return w.lockKeyFor(sel.X), acquire, true
+}
+
+// lockKeyFor computes the instance-insensitive key for the mutex denoted
+// by e (the receiver expression of a Lock/Unlock call).
+func (w *funcWalker) lockKeyFor(e ast.Expr) lockKey {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		// n.mu: key by the owning named type, not the instance.
+		if named := derefNamed(w.pkg.Info.TypeOf(e.X)); named != nil {
+			return lockKey{
+				id:    named.String() + "." + e.Sel.Name,
+				label: named.Obj().Name() + "." + e.Sel.Name,
+			}
+		}
+		return w.posKey(e, exprIdentPath(e))
+	case *ast.Ident:
+		obj := w.pkg.Info.Uses[e]
+		if obj == nil {
+			obj = w.pkg.Info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if v.Parent() == w.pkg.Types.Scope() {
+				pkgPath := ""
+				if v.Pkg() != nil {
+					pkgPath = v.Pkg().Path()
+				}
+				return lockKey{id: pkgPath + "." + v.Name(), label: v.Name()}
+			}
+			// A named type with an embedded mutex, locked through the
+			// value itself (s.Lock()): key by the type.
+			if named := derefNamed(v.Type()); named != nil && !pkgPathSuffix(named.Obj().Pkg(), "sync") {
+				return lockKey{
+					id:    named.String() + ".<embedded mutex>",
+					label: named.Obj().Name() + ".Mutex",
+				}
+			}
+			// A plain local mutex variable: key by declaration site.
+			pos := w.pkg.Fset.Position(v.Pos())
+			name := fmt.Sprintf("%s@%s:%d", v.Name(), filepath.Base(pos.Filename), pos.Line)
+			return lockKey{id: name, label: v.Name()}
+		}
+		return w.posKey(e, e.Name)
+	default:
+		return w.posKey(e, "mutex expression")
+	}
+}
+
+// posKey builds a position-unique fallback key for mutex expressions the
+// abstraction cannot name (map elements, call results).
+func (w *funcWalker) posKey(e ast.Expr, label string) lockKey {
+	pos := w.pkg.Fset.Position(e.Pos())
+	id := fmt.Sprintf("%s@%s:%d:%d", label, filepath.Base(pos.Filename), pos.Line, pos.Column)
+	return lockKey{id: id, label: label}
+}
+
+// extBlocking classifies calls into external (or stdlib) functions that
+// are known to block: WaitGroup.Wait, timer waits, dials, connection
+// I/O, listener accepts, and the repo's wire codec. Plain io.Writer
+// sinks (buffers, files used for traces) are deliberately not classified
+// — only types that carry network deadlines count as connection I/O.
+func (w *funcWalker) extBlocking(call *ast.CallExpr, callee *types.Func) string {
+	name := callee.Name()
+	if recv := methodRecvNamed(w.pkg, call.Fun); recv != nil {
+		if isSyncType(recv, "WaitGroup") && name == "Wait" {
+			return "sync.WaitGroup.Wait"
+		}
+	}
+	if callee.Pkg() != nil && callee.Pkg().Path() == "time" && name == "Sleep" {
+		return "time.Sleep"
+	}
+	if pkgPathSuffix(callee.Pkg(), "wire") && (name == "ReadMsg" || name == "WriteMsg") {
+		return "wire." + name + " (connection I/O)"
+	}
+	if name == "Dial" || name == "DialTimeout" {
+		return name + " (connection setup)"
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	recvType := sig.Recv().Type()
+	switch name {
+	case "Read", "Write":
+		if hasMethod(recvType, "SetReadDeadline") {
+			return "net.Conn " + name + " (connection I/O)"
+		}
+	case "Accept":
+		if hasMethod(recvType, "Addr") {
+			return "Listener.Accept"
+		}
+	case "Wait":
+		if named := derefNamed(recvType); named != nil && isSyncType(named, "Cond") {
+			return "sync.Cond.Wait"
+		}
+	}
+	return ""
+}
+
+// hasMethod reports whether t (or *t) has a method with the given name.
+func hasMethod(t types.Type, name string) bool {
+	if _, ok := t.Underlying().(*types.Pointer); !ok {
+		if _, isIface := t.Underlying().(*types.Interface); !isIface {
+			if _, isPtr := t.(*types.Pointer); !isPtr {
+				t = types.NewPointer(t)
+			}
+		}
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	_, ok := obj.(*types.Func)
+	return ok
+}
+
+// isSyncType reports whether named is sync.<name>.
+func isSyncType(named *types.Named, name string) bool {
+	return named != nil && named.Obj().Name() == name && pkgPathSuffix(named.Obj().Pkg(), "sync")
+}
+
+// derefNamed unwraps pointers and aliases down to a named type, or nil.
+func derefNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// loopExits reports whether a `for {}` body contains a statement that
+// can leave the loop: a return, a goto, a panic call, or a break that
+// binds to this loop (breaks inside nested loops, switches, and selects
+// bind to those instead).
+func loopExits(body *ast.BlockStmt) bool {
+	for _, s := range body.List {
+		if stmtExitsLoop(s, true) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmtExitsLoop is the recursive worker for loopExits. breakExits tracks
+// whether an unlabeled break at this nesting level leaves the loop under
+// inspection.
+func stmtExitsLoop(s ast.Stmt, breakExits bool) bool {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		if s.Tok == token.GOTO {
+			return true
+		}
+		if s.Tok == token.BREAK && (breakExits || s.Label != nil) {
+			return true
+		}
+		return false
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+		return false
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			if stmtExitsLoop(inner, breakExits) {
+				return true
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		if stmtExitsLoop(s.Body, breakExits) {
+			return true
+		}
+		return s.Else != nil && stmtExitsLoop(s.Else, breakExits)
+	case *ast.LabeledStmt:
+		return stmtExitsLoop(s.Stmt, breakExits)
+	case *ast.ForStmt:
+		return stmtExitsLoop(s.Body, false)
+	case *ast.RangeStmt:
+		return stmtExitsLoop(s.Body, false)
+	case *ast.SwitchStmt:
+		return caseBodiesExit(s.Body)
+	case *ast.TypeSwitchStmt:
+		return caseBodiesExit(s.Body)
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				for _, inner := range cc.Body {
+					if stmtExitsLoop(inner, false) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// caseBodiesExit scans switch clauses for loop-exiting statements
+// (unlabeled break binds to the switch, so it does not count).
+func caseBodiesExit(body *ast.BlockStmt) bool {
+	for _, clause := range body.List {
+		if cc, ok := clause.(*ast.CaseClause); ok {
+			for _, inner := range cc.Body {
+				if stmtExitsLoop(inner, false) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,116 @@
+package lint
+
+import "testing"
+
+// TestFixpointTerminatesOnMutualRecursion is a regression test for the
+// call-graph fixpoint: ping and pong form a strongly connected
+// component, and the iteration over it must reach a fixed point (it
+// would previously be an easy place to loop forever if facts were not
+// monotone). The blocking fact must also propagate through the cycle,
+// so the caller holding a lock across the call is flagged.
+func TestFixpointTerminatesOnMutualRecursion(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+var mu sync.Mutex
+var ch = make(chan int)
+
+func ping(n int) {
+	if n > 0 {
+		pong(n - 1)
+	}
+	<-ch
+}
+
+func pong(n int) {
+	if n > 0 {
+		ping(n - 1)
+	}
+}
+
+func useUnderLock() {
+	mu.Lock()
+	pong(3)
+	mu.Unlock()
+}
+`
+	got := checkFixture(t, LockHeld(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "lockheld", 23)
+}
+
+// TestFixpointPropagatesAcquiresThroughRecursion checks the transitive-
+// acquisition side of the fixpoint: recB acquires muY only via the
+// mutually recursive recA, and the inversion against inv2's direct
+// muY→muX ordering must still surface.
+func TestFixpointPropagatesAcquiresThroughRecursion(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+var muX sync.Mutex
+var muY sync.Mutex
+
+func recA(n int) {
+	if n > 0 {
+		recB(n - 1)
+	}
+	muY.Lock()
+	muY.Unlock()
+}
+
+func recB(n int) {
+	if n > 0 {
+		recA(n - 1)
+	}
+}
+
+func inv1() {
+	muX.Lock()
+	recB(2)
+	muX.Unlock()
+}
+
+func inv2() {
+	muY.Lock()
+	muX.Lock()
+	muX.Unlock()
+	muY.Unlock()
+}
+`
+	got := checkFixture(t, LockOrder(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "lockorder", 24)
+}
+
+func TestStaleSuppressionAudit(t *testing.T) {
+	src := `package fixture
+
+//lint:ignore norand nothing here draws randomness anymore
+const answer = 42
+`
+	findings, stale := runFixture(t, []*Rule{NoRand()}, map[string]string{"internal/fix/a.go": src})
+	if len(findings) != 0 {
+		t.Fatalf("unexpected findings:\n%s", renderFindings(findings))
+	}
+	if len(stale) != 1 {
+		t.Fatalf("got %d stale reports, want 1:\n%s", len(stale), renderFindings(stale))
+	}
+	if stale[0].Rule != "lint-stale" || stale[0].Pos.Line != 3 {
+		t.Errorf("stale report = %s, want lint-stale at line 3", stale[0])
+	}
+}
+
+func TestUsedSuppressionNotStale(t *testing.T) {
+	src := `package fixture
+
+//lint:ignore norand fixture exercises the suppression path
+import _ "math/rand"
+`
+	findings, stale := runFixture(t, []*Rule{NoRand()}, map[string]string{"internal/fix/a.go": src})
+	if len(findings) != 0 {
+		t.Fatalf("unexpected findings:\n%s", renderFindings(findings))
+	}
+	if len(stale) != 0 {
+		t.Fatalf("used directive reported stale:\n%s", renderFindings(stale))
+	}
+}

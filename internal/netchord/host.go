@@ -190,9 +190,15 @@ func (h *Host) Start() {
 // Close stops the host loop and shuts down every virtual node.
 func (h *Host) Close() {
 	h.closeOnce.Do(func() { close(h.closed) })
-	h.wg.Wait()
+	// down must be set before Wait: considerInvite checks it and calls
+	// wg.Add under one h.mu critical section, so either it observes down
+	// and bails, or its Add is ordered before this Wait — never an Add
+	// racing a Wait that already saw a zero counter.
 	h.mu.Lock()
 	h.down = true
+	h.mu.Unlock()
+	h.wg.Wait()
+	h.mu.Lock()
 	nodes := h.nodesLocked()
 	h.sybils = nil
 	h.mu.Unlock()
@@ -562,12 +568,14 @@ func (h *Host) considerInvite(req *wire.Msg) bool {
 		return false
 	}
 	h.helping = true
+	// Add inside the critical section that checked down: pairs with the
+	// down-before-Wait ordering in Close to keep the WaitGroup race-free.
+	h.wg.Add(1)
 	h.mu.Unlock()
 	// Jitter the midpoint: several helpers may accept invitations into
 	// the same arc concurrently, and they must not collide on one ID.
 	mid := h.jitterID(ids.Midpoint(req.Node.ID, req.From.ID))
 	via := req.From.Addr
-	h.wg.Add(1)
 	go func() {
 		defer h.wg.Done()
 		defer func() {
