@@ -71,6 +71,8 @@ func run(args []string, out io.Writer) error {
 		threshold = fs.Uint64("threshold", 0, "sybilThreshold: residual at or below which a host seeks work")
 		invite    = fs.Uint64("invite-threshold", 8, "workload above which an invitation-strategy node calls for help")
 		churnProb = fs.Float64("churn-prob", 0.05, "per-decision leave+rejoin probability (churn strategy)")
+		dataDir   = fs.String("data", "", "base directory for durable segment logs (empty = memory-backed); restart with the same -seed and -data to recover from the logs")
+		noSync    = fs.Bool("nosync", false, "skip fsync-on-acknowledge (benchmarks only: crashes may lose acked writes)")
 
 		// Deterministic fault plan, mapped onto the live sockets
 		// (docs/NETWORK.md; decision streams per docs/FAULTS.md).
@@ -103,6 +105,8 @@ func run(args []string, out io.Writer) error {
 		SybilThreshold:     *threshold,
 		InviteThreshold:    *invite,
 		ChurnProb:          *churnProb,
+		DataDir:            *dataDir,
+		NoSync:             *noSync,
 	}.WithDefaults()
 
 	var nf *netchord.NetFaults

@@ -61,6 +61,15 @@ type summary struct {
 	Lookups       int     `json:"lookups"`
 	LookupsOK     int     `json:"lookups_ok"`
 	LookupSuccess float64 `json:"lookup_success"`
+
+	// Durability verification (-verify): every acknowledged write must
+	// later read back at >= its acknowledged version, with the exact
+	// bytes when the version matches. VerifyLost must be zero on any
+	// run — an acknowledged write that cannot be read back at its
+	// version is a broken durability contract, not bad luck.
+	VerifyAcked int `json:"verify_acked,omitempty"`
+	VerifyLost  int `json:"verify_lost,omitempty"`
+	VerifyStale int `json:"verify_stale,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -77,6 +86,7 @@ func run(args []string, out io.Writer) error {
 		rps       = fs.Float64("rps", 500, "target request rate for puts and submissions")
 		await     = fs.Duration("await", 0, "poll the collector until the workload completes (0 = don't wait)")
 		lookups   = fs.Int("lookups", 64, "random lookups probed after the workload")
+		verify    = fs.Int("verify", 0, "durability verification writes over a small key pool (0 = off); the summary's verify_lost must be 0")
 		tick      = fs.Duration("tick", 5*time.Millisecond, "logical tick length (must match the cluster's)")
 		jsonOut   = fs.Bool("json", false, "emit the summary as JSON (for scripting)")
 		tracePath = fs.String("trace", "", "write the latency histogram as a JSONL trace to this file")
@@ -117,6 +127,9 @@ func run(args []string, out io.Writer) error {
 	hist := reg.Histogram("load.latency", "us", "operation latency", obs.LogEdges(1e7, 3))
 	ops := reg.Counter("load.ops", "ops", "operations issued")
 	errs := reg.Counter("load.errors", "ops", "operations failed")
+	vAcked := reg.Counter("load.verify.acked", "writes", "verification writes acknowledged")
+	vLost := reg.Counter("load.verify.lost", "writes", "acknowledged writes that failed to read back")
+	vStale := reg.Counter("load.verify.stale", "reads", "reads that transiently observed an older version")
 	if tracer != nil {
 		tracer.EmitMeta(obs.F{K: "source", V: "dhtload"})
 		tracer.EmitSchema()
@@ -155,6 +168,79 @@ func run(args []string, out io.Writer) error {
 			s.PutErrors++
 		} else {
 			s.Puts++
+		}
+	}
+
+	// Phase 1.5 (-verify): the durability verification stream. A small
+	// key pool is overwritten repeatedly; every acknowledged write is
+	// remembered with its acknowledged version, checked read-your-writes
+	// immediately, and swept again at the end. Re-used keys make the
+	// read-latest check meaningful: an old replica resurrecting a
+	// superseded version is as much a bug as a lost write.
+	type ackedWrite struct {
+		ver   uint64
+		value []byte
+	}
+	var verifyKeys []ids.ID
+	verified := make(map[ids.ID]ackedWrite)
+	// checkKey reads key until it observes the latest acknowledged
+	// state (version >= acked, exact bytes at equality), counting
+	// transient stale observations; retries ride out churn and
+	// anti-entropy lag before a miss is declared a loss.
+	checkKey := func(key ids.ID, want ackedWrite, attempts int) {
+		sawStale := false
+		for a := 0; a < attempts; a++ {
+			if a > 0 {
+				time.Sleep(cfg.Ticks(cfg.StabilizeEveryTicks * 2))
+			}
+			v, ver, err := client.GetVer(key)
+			if err == nil && ver > want.ver {
+				break // overwritten by a later acked write: fine
+			}
+			if err == nil && ver == want.ver && string(v) == string(want.value) {
+				break
+			}
+			sawStale = true
+			if a == attempts-1 {
+				s.VerifyLost++
+				vLost.Add(1)
+				return
+			}
+		}
+		if sawStale {
+			s.VerifyStale++
+			vStale.Add(1)
+		}
+	}
+	if *verify > 0 {
+		pool := *verify / 4
+		if pool < 1 {
+			pool = 1
+		}
+		if pool > 64 {
+			pool = 64
+		}
+		for i := 0; i < pool; i++ {
+			verifyKeys = append(verifyKeys, ids.Random(rng))
+		}
+		for i := 0; i < *verify; i++ {
+			key := verifyKeys[rng.Intn(len(verifyKeys))]
+			val := []byte(fmt.Sprintf("verify-%s-%d", key.Short(), i))
+			var ver uint64
+			err := timed(func() error {
+				var err error
+				ver, err = client.PutVer(key, val)
+				return err
+			})
+			if err != nil {
+				s.PutErrors++
+				continue // never acknowledged: nothing to hold the ring to
+			}
+			s.VerifyAcked++
+			vAcked.Add(1)
+			verified[key] = ackedWrite{ver: ver, value: val}
+			// Read-your-writes: the ack means durable now, not eventually.
+			checkKey(key, verified[key], 3)
 		}
 	}
 
@@ -215,6 +301,18 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	// Phase 3.5 (-verify): the read-latest sweep. After the workload —
+	// and whatever churn, Sybils, and faults it drove — every key's
+	// latest acknowledged write must still read back. More retries than
+	// the inline check: the cluster may still be reconverging.
+	for _, key := range verifyKeys {
+		want, ok := verified[key]
+		if !ok {
+			continue // no write to this key was ever acknowledged
+		}
+		checkKey(key, want, 8)
+	}
+
 	// Phase 4: the lookup probe — routability after whatever the run
 	// (faults, churn, Sybils) did to the ring.
 	for i := 0; i < *lookups; i++ {
@@ -245,6 +343,9 @@ func run(args []string, out io.Writer) error {
 	if *collector != "" && *await > 0 {
 		fmt.Fprintf(out, "completed=%v consumed=%d residual=%d busy-ticks=%d runtime-factor=%.3f\n",
 			s.Completed, s.Consumed, s.Residual, s.BusyTicks, s.RuntimeFactor)
+	}
+	if *verify > 0 {
+		fmt.Fprintf(out, "verify acked=%d lost=%d stale=%d\n", s.VerifyAcked, s.VerifyLost, s.VerifyStale)
 	}
 	fmt.Fprintf(out, "lookup-success=%.3f (%d/%d)\n", s.LookupSuccess, s.LookupsOK, s.Lookups)
 	return nil

@@ -94,8 +94,18 @@ func (c *Client) Lookup(key ids.ID) (wire.NodeRef, int, error) {
 }
 
 // Put stores value under key at its owner, re-resolving the owner after
-// any failure (storing is idempotent, so blind re-sends are safe).
+// any failure (storing is idempotent, so blind re-sends are safe). A
+// nil error means the write is durable: fsynced at the owner and
+// acknowledged by its replica quorum.
 func (c *Client) Put(key ids.ID, value []byte) error {
+	_, err := c.PutVer(key, value)
+	return err
+}
+
+// PutVer is Put returning the version the write was acknowledged at —
+// the handle a verifier needs to later prove the write survived (a read
+// at version >= this one with these bytes, or newer).
+func (c *Client) PutVer(key ids.ID, value []byte) (uint64, error) {
 	var err error
 	for attempt := 0; attempt < rerouteAttempts; attempt++ {
 		if attempt > 0 {
@@ -106,27 +116,35 @@ func (c *Client) Put(key ids.ID, value []byte) error {
 		if err != nil {
 			continue
 		}
-		if _, err = c.pool.call(owner, &wire.Msg{Type: wire.TPut, Key: key, Value: value}); err == nil {
-			return nil
+		var reply *wire.Msg
+		if reply, err = c.pool.call(owner, &wire.Msg{Type: wire.TPut, Key: key, Value: value}); err == nil {
+			return reply.A, nil
 		}
 	}
-	return err
+	return 0, err
 }
 
 // Get fetches the value stored under key from its owner.
 func (c *Client) Get(key ids.ID) ([]byte, error) {
+	v, _, err := c.GetVer(key)
+	return v, err
+}
+
+// GetVer is Get returning the owner's stored version alongside the
+// value.
+func (c *Client) GetVer(key ids.ID) ([]byte, uint64, error) {
 	owner, _, err := c.Lookup(key)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	reply, err := c.pool.call(owner, &wire.Msg{Type: wire.TGet, Key: key})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if !reply.Flag {
-		return nil, ErrNotFound
+		return nil, 0, ErrNotFound
 	}
-	return reply.Value, nil
+	return reply.Value, reply.A, nil
 }
 
 // SubmitTask routes units of work under key to its owner, reusing one

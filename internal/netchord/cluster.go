@@ -128,11 +128,9 @@ func (c *Cluster) AwaitConverged(timeout time.Duration) bool {
 func (c *Cluster) TotalKeys() int {
 	seen := make(map[ids.ID]struct{})
 	for _, n := range c.Nodes() {
-		n.mu.Lock()
-		for k := range n.data {
+		for _, k := range n.st.Keys() {
 			seen[k] = struct{}{}
 		}
-		n.mu.Unlock()
 	}
 	return len(seen)
 }

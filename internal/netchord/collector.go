@@ -35,6 +35,15 @@ type Progress struct {
 	InjectedUnits uint64
 	// Reports counts consume reports received.
 	Reports int64
+	// Acked is the summed durably acknowledged owner writes.
+	Acked int64
+	// AntiEntropyRounds is the summed anti-entropy passes started.
+	AntiEntropyRounds int64
+	// AntiEntropyRepairs is the summed records pushed or pulled by
+	// anti-entropy reconciliation.
+	AntiEntropyRepairs int64
+	// AntiEntropyBytes is the summed value bytes anti-entropy moved.
+	AntiEntropyBytes int64
 }
 
 // RuntimeFactor is the paper's headline metric (§V-C): the slowest
@@ -60,6 +69,12 @@ type hostRecord struct {
 	residual  uint64
 	firstBusy int
 	lastBusy  int
+
+	// Storage report state (TStoreReport): cumulative per host.
+	acked      int64
+	antiRounds int64
+	antiReps   int64
+	antiBytes  int64
 }
 
 // Collector is the runtime's measurement sink: a small wire server that
@@ -92,6 +107,11 @@ type Collector struct {
 	mResidual  *obs.Gauge
 	mBusyTicks *obs.Gauge
 	mHosts     *obs.Gauge
+	mAcked     *obs.Counter
+	mAntiRound *obs.Counter
+	mAntiReps  *obs.Counter
+	mAntiBytes *obs.Counter
+	hRepair    *obs.Histogram
 	start      time.Time
 
 	conns     map[net.Conn]struct{}
@@ -125,6 +145,12 @@ func NewCollector(cfg Config, tr Transport, addr string, tracer *obs.Tracer) (*C
 		c.mResidual = reg.Gauge("net.residual", "tasks", "summed residual task units")
 		c.mBusyTicks = reg.Gauge("net.busy_ticks", "ticks", "busy interval of the slowest host")
 		c.mHosts = reg.Gauge("net.hosts", "hosts", "hosts registered")
+		c.mAcked = reg.Counter("net.store.acked", "writes", "durably acknowledged owner writes")
+		c.mAntiRound = reg.Counter("net.store.anti_rounds", "rounds", "anti-entropy passes started")
+		c.mAntiReps = reg.Counter("net.store.anti_repairs", "recs", "records repaired by anti-entropy")
+		c.mAntiBytes = reg.Counter("net.store.anti_bytes", "bytes", "value bytes moved by anti-entropy")
+		c.hRepair = reg.Histogram("net.store.repair_batch", "recs",
+			"records repaired per store report interval", obs.LogEdges(1<<20, 4))
 		tracer.EmitMeta(obs.F{K: "source", V: "netchord-collector"})
 		tracer.EmitSchema()
 	}
@@ -184,6 +210,10 @@ func (c *Collector) progressLocked() Progress {
 		p.Consumed += r.consumed
 		p.Residual += r.residual
 		p.Capacity += r.capacity
+		p.Acked += r.acked
+		p.AntiEntropyRounds += r.antiRounds
+		p.AntiEntropyRepairs += r.antiReps
+		p.AntiEntropyBytes += r.antiBytes
 		if r.consumed > 0 {
 			if busy := r.lastBusy - r.firstBusy + 1; busy > p.BusyTicks {
 				p.BusyTicks = busy
@@ -274,6 +304,28 @@ func (c *Collector) handle(req *wire.Msg) *wire.Msg {
 		c.mu.Unlock()
 		return &wire.Msg{Type: wire.TAck}
 
+	case wire.TStoreReport:
+		c.mu.Lock()
+		r := c.hosts[req.From.ID]
+		if r == nil {
+			r = &hostRecord{}
+			c.hosts[req.From.ID] = r
+			c.order = append(c.order, req.From.ID)
+		}
+		// Repair-batch histogram: observe the per-interval delta, not
+		// the cumulative counter, so the distribution reads "how much
+		// did one report interval repair".
+		if delta := int64(req.C) - r.antiReps; delta > 0 && c.hRepair != nil {
+			c.hRepair.ObserveInt(int(delta))
+		}
+		r.acked = int64(req.A)
+		r.antiRounds = int64(req.B)
+		r.antiReps = int64(req.C)
+		r.antiBytes = int64(req.D)
+		c.emitLocked()
+		c.mu.Unlock()
+		return &wire.Msg{Type: wire.TAck}
+
 	case wire.TInject:
 		c.mu.Lock()
 		c.injects++
@@ -312,6 +364,10 @@ func (c *Collector) emitLocked() {
 	c.mResidual.SetInt(int64(p.Residual))
 	c.mBusyTicks.SetInt(int64(p.BusyTicks))
 	c.mHosts.SetInt(int64(p.Hosts))
+	c.mAcked.Set(p.Acked)
+	c.mAntiRound.Set(p.AntiEntropyRounds)
+	c.mAntiReps.Set(p.AntiEntropyRepairs)
+	c.mAntiBytes.Set(p.AntiEntropyBytes)
 	c.tracer.EmitTick(int(time.Since(c.start) / c.cfg.TickEvery))
 }
 

@@ -137,6 +137,15 @@ type Host struct {
 	// lives and must stay).
 	sybilSeq atomic.Uint64
 
+	// Storage counters, cumulative across churn: nodes mirror their
+	// per-identity counters here because induced churn replaces the
+	// identity (and its counters) wholesale, and the collector needs
+	// monotone per-host series.
+	stAcked       atomic.Int64 // durably acknowledged owner writes
+	stAntiRounds  atomic.Int64 // anti-entropy passes started
+	stAntiRepairs atomic.Int64 // records pushed or pulled by anti-entropy
+	stAntiBytes   atomic.Int64 // value bytes moved by anti-entropy
+
 	closeOnce sync.Once
 	closed    chan struct{}
 	wg        sync.WaitGroup
@@ -351,6 +360,17 @@ func (h *Host) report() {
 	}
 	h.mu.Unlock()
 	_, _ = h.ctl.call(wire.NodeRef{Addr: h.collector}, m)
+	// The storage companion report: durable acks and anti-entropy
+	// repair totals, cumulative across churn (host atomics, not node
+	// counters).
+	_, _ = h.ctl.call(wire.NodeRef{Addr: h.collector}, &wire.Msg{
+		Type: wire.TStoreReport,
+		From: wire.NodeRef{ID: h.hostID},
+		A:    uint64(h.stAcked.Load()),
+		B:    uint64(h.stAntiRounds.Load()),
+		C:    uint64(h.stAntiRepairs.Load()),
+		D:    uint64(h.stAntiBytes.Load()),
+	})
 }
 
 // reportInject tells the collector a Sybil was born and what it took.
@@ -405,7 +425,7 @@ func (h *Host) decideChurn() {
 	// Leave may fail to place some state (every successor itself
 	// mid-leave, say); the leftovers are re-owned by the next identity
 	// below, so churn never loses work.
-	kvs, tasks, _ := primary.leaveRemainder()
+	recs, tasks, _ := primary.leaveRemainder()
 	var next *Node
 	for _, via := range vias {
 		n, err := NewNode(h.cfg, h.tr, h.nf, ids.Random(h.rng), "")
@@ -433,13 +453,15 @@ func (h *Host) decideChurn() {
 		next = n
 	}
 	next.mu.Lock()
-	for _, kv := range kvs {
-		next.data[kv.Key] = kv.Value
-	}
 	for _, tk := range tasks {
 		next.addTaskLocked(tk.Key, tk.Units)
 	}
 	next.mu.Unlock()
+	if _, err := next.st.ApplyAll(storeRecs(recs)); err != nil {
+		// Surviving replicas still hold these records; anti-entropy
+		// re-converges the set even if the re-own write fails.
+		next.replicaErrs.Add(1)
+	}
 	next.Start()
 	h.mu.Lock()
 	h.primary = next

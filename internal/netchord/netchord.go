@@ -108,6 +108,19 @@ type Config struct {
 	// ReportEveryTicks is the consume-report cadence to the collector.
 	// Default 2.
 	ReportEveryTicks int
+	// DataDir is the base directory for the nodes' durable segment logs
+	// (internal/store). Each node logs under DataDir/node-<id>; empty
+	// means memory-backed stores (same semantics, no files, no
+	// durability across process restarts).
+	DataDir string
+	// NoSync disables the fsync-on-acknowledge discipline for durable
+	// stores. Writes still hit the log (a graceful close flushes them)
+	// but a crash can lose acknowledged writes — only for benchmarks.
+	NoSync bool
+	// AntiEntropyEveryTicks is the replica anti-entropy cadence: every
+	// so many ticks a node compares Merkle digests of its primary arc
+	// with its replicas and reconciles the differences. Default 8.
+	AntiEntropyEveryTicks int
 }
 
 // WithDefaults fills unset fields with the defaults above.
@@ -156,6 +169,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.ReportEveryTicks == 0 {
 		c.ReportEveryTicks = 2
+	}
+	if c.AntiEntropyEveryTicks == 0 {
+		c.AntiEntropyEveryTicks = 8
 	}
 	return c
 }

@@ -4,12 +4,14 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"chordbalance/internal/ids"
+	"chordbalance/internal/store"
 	"chordbalance/internal/wire"
 )
 
@@ -21,7 +23,7 @@ import (
 // means the handshake died (take the task units back).
 type joinGift struct {
 	ref   wire.NodeRef
-	kvs   []wire.KV
+	recs  []wire.Rec
 	tasks []wire.Task
 	born  time.Time
 }
@@ -48,7 +50,17 @@ const (
 	CodeNoRoute = 2
 	// CodeShutdown means the callee is closing.
 	CodeShutdown = 3
+	// CodeUnavailable means the callee could not meet the durability
+	// contract right now (not enough reachable replicas); the caller
+	// should re-resolve the owner and retry.
+	CodeUnavailable = 4
 )
+
+// putVersionAttempts bounds the owner's version-bump retry loop: when a
+// replica acknowledges a TReplicate with a higher current version than
+// the one pushed (a stale higher history is shadowing the fresh write),
+// the owner re-appends the value above that version and pushes again.
+const putVersionAttempts = 4
 
 // Node is one networked Chord participant: a wire-protocol server on
 // its own listener, a client connection pool, and a background
@@ -57,15 +69,23 @@ const (
 //
 // A Node is safe for concurrent use: the server handles each inbound
 // connection on its own goroutine, and all protocol state (predecessor,
-// successor list, fingers, data, tasks) sits behind one mutex. RPC
+// successor list, fingers, tasks) sits behind one mutex; key/value data
+// lives in the node's store.Store, which does its own locking. RPC
 // handlers never block on the network while holding the mutex, so
-// request cycles between nodes cannot deadlock.
+// request cycles between nodes cannot deadlock. The TPut handler does
+// block on its replica round trips — without holding any lock — because
+// the durability contract is exactly "acknowledged means replicated".
 type Node struct {
 	cfg  Config
 	tr   Transport
 	nf   *NetFaults
 	host *Host // nil for standalone nodes
 	ref  wire.NodeRef
+
+	// st is the node's durable storage engine: an append-only segment
+	// log (or its memory-backed twin when Config.DataDir is empty) with
+	// last-writer-wins versioning and Merkle arc digests.
+	st *store.Store
 
 	pool *peerPool
 	ln   net.Listener
@@ -76,7 +96,6 @@ type Node struct {
 	succ       []wire.NodeRef // nearest first; empty only before bootstrap
 	fingers    []wire.NodeRef // fingers[i] caches successor(id + 2^i)
 	nextFinger int
-	data       map[ids.ID][]byte
 	tasks      map[ids.ID]uint64
 	taskUnits  uint64
 	everTasked bool
@@ -120,15 +139,33 @@ type Node struct {
 	lookupFails atomic.Int64
 	stabilizes  atomic.Int64
 	replicaErrs atomic.Int64
+	acked       atomic.Int64
+	antiRounds  atomic.Int64
+	antiPushed  atomic.Int64
+	antiPulled  atomic.Int64
+	antiBytes   atomic.Int64
 }
 
 // NewNode opens a listener on addr (or an auto-assigned one when addr
 // is empty) and returns a stopped node with identity id. Call Create or
 // Join, then Start, to bring it onto a ring. nf may be nil (no faults).
+//
+// When cfg.DataDir is set the node opens (or reopens) its segment log
+// at DataDir/node-<id>: a node restarted under the same identity and
+// data directory replays its log and rejoins with its pre-crash keys.
 func NewNode(cfg Config, tr Transport, nf *NetFaults, id ids.ID, addr string) (*Node, error) {
 	cfg = cfg.WithDefaults()
+	dir := ""
+	if cfg.DataDir != "" {
+		dir = filepath.Join(cfg.DataDir, "node-"+id.String())
+	}
+	st, err := store.Open(dir, store.Options{SyncWrites: !cfg.NoSync})
+	if err != nil {
+		return nil, fmt.Errorf("netchord: opening store: %w", err)
+	}
 	ln, err := tr.Listen(addr)
 	if err != nil {
+		_ = st.Close()
 		return nil, err
 	}
 	n := &Node{
@@ -136,9 +173,9 @@ func NewNode(cfg Config, tr Transport, nf *NetFaults, id ids.ID, addr string) (*
 		tr:          tr,
 		nf:          nf,
 		ref:         wire.NodeRef{ID: id, Addr: ln.Addr().String()},
+		st:          st,
 		ln:          ln,
 		fingers:     make([]wire.NodeRef, ids.Bits),
-		data:        make(map[ids.ID][]byte),
 		tasks:       make(map[ids.ID]uint64),
 		seenTokens:  make(map[uint64]struct{}),
 		joinHandoff: make(map[ids.ID]*joinGift),
@@ -189,13 +226,13 @@ func (n *Node) Join(via string) error {
 	n.mu.Lock()
 	list := append([]wire.NodeRef{succ}, reply.List...)
 	n.succ = dedupeRefs(list, n.ref.ID, n.cfg.SuccessorListLen)
-	for _, kv := range reply.KVs {
-		n.data[kv.Key] = kv.Value
-	}
 	for _, tk := range reply.Tasks {
 		n.addTaskLocked(tk.Key, tk.Units)
 	}
 	n.mu.Unlock()
+	if _, err := n.st.ApplyAll(storeRecs(reply.Recs)); err != nil {
+		return fmt.Errorf("netchord: join: applying gift: %w", err)
+	}
 	// One eager stabilize round links us in without waiting a tick.
 	n.stabilizeOnce()
 	return nil
@@ -215,8 +252,10 @@ func (n *Node) Start() {
 }
 
 // Close shuts the node down: listener, inbound connections, pooled
-// client connections, and background loops. It does not hand keys off
-// (that is Leave); Close models a crash-stop or process exit.
+// client connections, background loops, and the store. It does not hand
+// keys off (that is Leave); Close models a crash-stop or process exit,
+// so the segment log directory is kept — a node restarted under the
+// same identity and DataDir replays it.
 func (n *Node) Close() {
 	n.closeOnce.Do(func() {
 		close(n.closed)
@@ -229,6 +268,7 @@ func (n *Node) Close() {
 		n.pool.close()
 	})
 	n.wg.Wait()
+	_ = n.st.Close()
 }
 
 // Leave departs gracefully: mark the node as leaving (so no new work
@@ -245,13 +285,12 @@ func (n *Node) Leave() error {
 // any successor. A churning host (leave + rejoin) re-owns the leftovers
 // under its next identity instead of dropping them, which is what keeps
 // work conserved even when every transfer target is itself mid-leave.
-func (n *Node) leaveRemainder() ([]wire.KV, []wire.Task, error) {
+// On return the node's store is destroyed: ownership of every record
+// has moved into the transfer (or the returned remainder), so keeping
+// the log would only resurrect stale replicas on an identity reuse.
+func (n *Node) leaveRemainder() ([]wire.Rec, []wire.Task, error) {
 	n.mu.Lock()
 	n.leaving = true
-	kvs := make([]wire.KV, 0, len(n.data))
-	for _, k := range sortedIDKeys(n.data) {
-		kvs = append(kvs, wire.KV{Key: k, Value: n.data[k]})
-	}
 	tasks := make([]wire.Task, 0, len(n.tasks))
 	for _, k := range sortedTaskKeys(n.tasks) {
 		tasks = append(tasks, wire.Task{Key: k, Units: n.tasks[k]})
@@ -265,52 +304,57 @@ func (n *Node) leaveRemainder() ([]wire.KV, []wire.Task, error) {
 	}
 	n.joinHandoff = make(map[ids.ID]*joinGift)
 	n.joinOrder = nil
-	n.data = make(map[ids.ID][]byte)
 	n.tasks = make(map[ids.ID]uint64)
 	n.taskUnits = 0
 	succs := append([]wire.NodeRef(nil), n.succ...)
 	n.mu.Unlock()
+	// The leaving flag is set, so no new writes can land after this
+	// snapshot: the store's contents move with us, versions intact, and
+	// the receiver merges them last-writer-wins.
+	arc, err := n.st.ArcRecs(ids.Zero, ids.Zero, 1<<30)
+	if err != nil {
+		n.Close()
+		return nil, tasks, err
+	}
+	recs := wireRecs(arc)
 
-	var err error
 	for _, s := range succs {
 		if s.ID == n.ref.ID {
 			continue
 		}
-		if len(kvs) == 0 && len(tasks) == 0 {
+		if len(recs) == 0 && len(tasks) == 0 {
 			break
 		}
 		// Chunk the handoff under the wire caps; successfully delivered
 		// chunks are not re-sent when the next successor is tried.
-		if kvs, tasks, err = n.transferTo(s, kvs, tasks); err == nil {
+		if recs, tasks, err = n.transferTo(s, recs, tasks); err == nil {
 			break
 		}
 	}
 	n.Close()
-	return kvs, tasks, err
+	_ = n.st.Destroy()
+	return recs, tasks, err
 }
 
-// transferTo pushes kvs and tasks to ref in wire-sized chunks, each
+// transferTo pushes recs and tasks to ref in wire-sized chunks, each
 // chunk carrying a fresh idempotency token so retried chunks are never
 // double-applied. It returns whatever was not acknowledged, so a caller
 // falling back to another successor resumes instead of restarting.
-func (n *Node) transferTo(ref wire.NodeRef, kvs []wire.KV, tasks []wire.Task) ([]wire.KV, []wire.Task, error) {
-	for len(kvs) > 0 || len(tasks) > 0 {
+func (n *Node) transferTo(ref wire.NodeRef, recs []wire.Rec, tasks []wire.Task) ([]wire.Rec, []wire.Task, error) {
+	for len(recs) > 0 || len(tasks) > 0 {
 		m := &wire.Msg{Type: wire.TTransfer, A: n.newToken()}
-		restKVs, restTasks := kvs, tasks
-		if len(kvs) > wire.MaxKVs {
-			m.KVs, restKVs = kvs[:wire.MaxKVs], kvs[wire.MaxKVs:]
-		} else {
-			m.KVs, restKVs = kvs, nil
-		}
+		var restRecs []wire.Rec
+		m.Recs, restRecs = splitRecChunk(recs)
+		var restTasks []wire.Task
 		if len(tasks) > wire.MaxTasks {
 			m.Tasks, restTasks = tasks[:wire.MaxTasks], tasks[wire.MaxTasks:]
 		} else {
 			m.Tasks, restTasks = tasks, nil
 		}
 		if _, err := n.pool.call(ref, m); err != nil {
-			return kvs, tasks, err
+			return recs, tasks, err
 		}
-		kvs, tasks = restKVs, restTasks
+		recs, tasks = restRecs, restTasks
 	}
 	return nil, nil, nil
 }
@@ -342,11 +386,11 @@ func (n *Node) Predecessor() (wire.NodeRef, bool) {
 }
 
 // KeyCount returns how many keys (primary + replica) the node stores.
-func (n *Node) KeyCount() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return len(n.data)
-}
+func (n *Node) KeyCount() int { return n.st.Len() }
+
+// Store returns the node's storage engine (for stats and tests; the
+// protocol paths go through the node's own methods).
+func (n *Node) Store() *store.Store { return n.st }
 
 // TaskUnits returns the node's residual work, in units.
 func (n *Node) TaskUnits() uint64 {
@@ -367,6 +411,14 @@ type NodeStats struct {
 	Stabilizes int64
 	// ReplicaErrs counts failed replica pushes (repaired later).
 	ReplicaErrs int64
+	// Acked counts durably acknowledged writes this node owned.
+	Acked int64
+	// AntiEntropyRounds counts per-replica anti-entropy syncs run;
+	// AntiEntropyPushed and AntiEntropyPulled count records repaired in
+	// each direction; AntiEntropyBytes counts value bytes moved.
+	AntiEntropyRounds, AntiEntropyPushed, AntiEntropyPulled, AntiEntropyBytes int64
+	// Store is the storage engine's counters.
+	Store store.Stats
 	// RPC is the client pool's counters.
 	RPC RPCStats
 }
@@ -374,11 +426,17 @@ type NodeStats struct {
 // Stats snapshots the node's counters.
 func (n *Node) Stats() NodeStats {
 	s := NodeStats{
-		Lookups:     n.lookups.Load(),
-		LookupFails: n.lookupFails.Load(),
-		Stabilizes:  n.stabilizes.Load(),
-		ReplicaErrs: n.replicaErrs.Load(),
-		RPC:         n.pool.stats(),
+		Lookups:           n.lookups.Load(),
+		LookupFails:       n.lookupFails.Load(),
+		Stabilizes:        n.stabilizes.Load(),
+		ReplicaErrs:       n.replicaErrs.Load(),
+		Acked:             n.acked.Load(),
+		AntiEntropyRounds: n.antiRounds.Load(),
+		AntiEntropyPushed: n.antiPushed.Load(),
+		AntiEntropyPulled: n.antiPulled.Load(),
+		AntiEntropyBytes:  n.antiBytes.Load(),
+		Store:             n.st.Stats(),
+		RPC:               n.pool.stats(),
 	}
 	for i := range s.Served {
 		s.Served[i] = n.served[i].Load()
@@ -563,12 +621,20 @@ func (n *Node) closestPrecedingLocked(key ids.ID) wire.NodeRef {
 // CodeShutdown; the ring needs a beat to route around it).
 const rerouteAttempts = 5
 
-// Put stores value under key at its owner and replicates it to the
-// owner's successors. Storing a key is idempotent, so every failure —
-// an owner that refuses because it is leaving, an owner that died
-// mid-call — is handled the same way: wait a stabilization beat,
-// resolve the owner again, and re-send.
+// Put stores value under key at its owner, which acknowledges only
+// after the record is durable locally and at the owner's replica
+// quorum (Config.Replicas copies in total, successor list permitting).
+// Storing a key is idempotent, so every failure — an owner that refuses
+// because it is leaving, an owner that died mid-call — is handled the
+// same way: wait a stabilization beat, resolve the owner again, and
+// re-send.
 func (n *Node) Put(key ids.ID, value []byte) error {
+	_, err := n.PutVer(key, value)
+	return err
+}
+
+// PutVer is Put returning the version the write was acknowledged at.
+func (n *Node) PutVer(key ids.ID, value []byte) (uint64, error) {
 	var err error
 	for attempt := 0; attempt < rerouteAttempts; attempt++ {
 		if attempt > 0 {
@@ -580,39 +646,50 @@ func (n *Node) Put(key ids.ID, value []byte) error {
 			continue
 		}
 		if owner.Addr == n.ref.Addr {
-			n.storeAndReplicate(key, value)
-			return nil
+			var ver uint64
+			if ver, err = n.putDurable(key, value); err == nil {
+				return ver, nil
+			}
+			continue
 		}
-		if _, err = n.pool.call(owner, &wire.Msg{Type: wire.TPut, Key: key, Value: value}); err == nil {
-			return nil
+		var reply *wire.Msg
+		if reply, err = n.pool.call(owner, &wire.Msg{Type: wire.TPut, Key: key, Value: value}); err == nil {
+			return reply.A, nil
 		}
 	}
-	return err
+	return 0, err
 }
 
 // Get fetches the value for key from its owner.
 func (n *Node) Get(key ids.ID) ([]byte, error) {
+	v, _, err := n.GetVer(key)
+	return v, err
+}
+
+// GetVer is Get returning the version the owner served.
+func (n *Node) GetVer(key ids.ID) ([]byte, uint64, error) {
 	owner, _, err := n.Lookup(key)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if owner.Addr == n.ref.Addr {
-		n.mu.Lock()
-		v, ok := n.data[key]
-		n.mu.Unlock()
-		if !ok {
-			return nil, ErrNotFound
+		v, ver, ok, err := n.st.Get(key)
+		if err != nil {
+			return nil, 0, err
 		}
-		return v, nil
+		if !ok {
+			return nil, 0, ErrNotFound
+		}
+		return v, ver, nil
 	}
 	reply, err := n.pool.call(owner, &wire.Msg{Type: wire.TGet, Key: key})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if !reply.Flag {
-		return nil, ErrNotFound
+		return nil, 0, ErrNotFound
 	}
-	return reply.Value, nil
+	return reply.Value, reply.A, nil
 }
 
 // SubmitTask routes units of work under key to its owner. The same
@@ -661,46 +738,113 @@ func (n *Node) WorkloadOf(ref wire.NodeRef) (uint64, error) {
 	return reply.A, nil
 }
 
-// storeAndReplicate stores key locally then pushes it to the first
-// Replicas successors, best effort.
-func (n *Node) storeAndReplicate(key ids.ID, value []byte) {
+// putDurable runs the owner's write path: append (and fsync) locally,
+// push the record to Replicas-1 distinct successors, and acknowledge
+// only once every required copy has confirmed durability. A replica
+// whose TAck carries a higher current version than the one pushed is
+// shadowing the fresh write with older high-versioned history (a stale
+// log reopened under a reused identity, say); the owner then re-appends
+// the value above that version and pushes again, so an acknowledged
+// write is never silently lost to version arithmetic.
+func (n *Node) putDurable(key ids.ID, value []byte) (uint64, error) {
 	n.mu.Lock()
-	n.data[key] = value
-	succs := append([]wire.NodeRef(nil), n.succ...)
+	leaving := n.leaving
 	n.mu.Unlock()
-	n.replicate(succs, []wire.KV{{Key: key, Value: value}})
+	if leaving {
+		return 0, fmt.Errorf("%w: node is leaving", ErrClosed)
+	}
+	minVer := uint64(0)
+	var ver uint64
+	for attempt := 0; attempt < putVersionAttempts; attempt++ {
+		var err error
+		ver, err = n.st.PutAtLeast(key, minVer, value)
+		if err != nil {
+			return 0, err
+		}
+		maxPeer, err := n.pushReplicas(key, ver, value)
+		if err != nil {
+			return 0, err
+		}
+		if maxPeer <= ver {
+			n.acked.Add(1)
+			if n.host != nil {
+				n.host.stAcked.Add(1)
+			}
+			return ver, nil
+		}
+		minVer = maxPeer + 1
+	}
+	return 0, fmt.Errorf("netchord: put %s: version chase exceeded %d attempts", key.Short(), putVersionAttempts)
 }
 
-// replicate pushes kvs to up to Replicas distinct successors. Failed
-// pushes are counted and retried by the next replica-repair round.
-func (n *Node) replicate(succs []wire.NodeRef, kvs []wire.KV) {
-	sent := 0
+// pushReplicas pushes one record to the first Replicas-1 distinct
+// successors, walking further down the list when a push fails so the
+// quorum survives individual dead successors. It returns the highest
+// current version any replica reported, and an error when fewer than
+// the required number of replicas acknowledged.
+func (n *Node) pushReplicas(key ids.ID, ver uint64, value []byte) (uint64, error) {
+	n.mu.Lock()
+	succs := append([]wire.NodeRef(nil), n.succ...)
+	n.mu.Unlock()
+	need := n.cfg.Replicas - 1
+	distinct := 0
 	for _, s := range succs {
-		if sent >= n.cfg.Replicas {
+		if s.ID != n.ref.ID {
+			distinct++
+		}
+	}
+	if need > distinct {
+		// A short ring cannot hold more copies than it has nodes; the
+		// durability contract degrades to what membership allows.
+		need = distinct
+	}
+	if need <= 0 {
+		return 0, nil
+	}
+	rec := []wire.Rec{{Key: key, Ver: ver, Value: value}}
+	acked := 0
+	var maxPeer uint64
+	for _, s := range succs {
+		if acked >= need {
 			break
 		}
 		if s.ID == n.ref.ID {
 			continue
 		}
-		if _, err := n.pool.call(s, &wire.Msg{Type: wire.TReplicate, KVs: kvs}); err != nil {
+		reply, err := n.pool.call(s, &wire.Msg{Type: wire.TReplicate, Recs: rec})
+		if err != nil {
 			n.replicaErrs.Add(1)
 			continue
 		}
-		sent++
+		if reply.A > maxPeer {
+			maxPeer = reply.A
+		}
+		acked++
 	}
+	if acked < need {
+		return maxPeer, fmt.Errorf("netchord: put %s: %d/%d replicas acknowledged", key.Short(), acked, need)
+	}
+	return maxPeer, nil
 }
 
 // --- maintenance -----------------------------------------------------
 
 // maintenanceLoop paces stabilization in real time: every
 // StabilizeEveryTicks ticks it runs one stabilize round (successor
-// verification, notify, successor-list refresh, replica repair) and
-// fixes one finger, exactly the per-round work of the simulator's
-// StabilizeAll but on live connections.
+// verification, notify, successor-list refresh) and fixes one finger,
+// exactly the per-round work of the simulator's StabilizeAll but on
+// live connections. Every AntiEntropyEveryTicks ticks it also runs one
+// Merkle anti-entropy pass against its replicas and offers the store a
+// compaction opportunity.
 func (n *Node) maintenanceLoop() {
 	defer n.wg.Done()
 	ticker := time.NewTicker(n.cfg.Ticks(n.cfg.StabilizeEveryTicks))
 	defer ticker.Stop()
+	every := n.cfg.AntiEntropyEveryTicks / n.cfg.StabilizeEveryTicks
+	if every < 1 {
+		every = 1
+	}
+	round := 0
 	for {
 		select {
 		case <-n.closed:
@@ -709,7 +853,13 @@ func (n *Node) maintenanceLoop() {
 			n.stabilizeOnce()
 			n.checkPredecessor()
 			n.fixNextFinger()
-			n.repairReplicas()
+			round++
+			if round%every == 0 {
+				n.antiEntropyOnce()
+				if _, err := n.st.MaybeCompact(); err != nil {
+					n.replicaErrs.Add(1)
+				}
+			}
 			n.probeLost()
 			n.restoreGifts()
 		}
@@ -909,36 +1059,6 @@ func (n *Node) fixNextFinger() {
 	n.mu.Unlock()
 }
 
-// repairReplicas re-pushes the keys this node is primarily responsible
-// for — the paper's "active, aggressive" backup maintenance (§V) —
-// to its successors, in bounded batches.
-func (n *Node) repairReplicas() {
-	n.mu.Lock()
-	if !n.hasPred || len(n.data) == 0 {
-		n.mu.Unlock()
-		return
-	}
-	kvs := make([]wire.KV, 0, len(n.data))
-	for _, k := range sortedIDKeys(n.data) {
-		if ids.BetweenRightIncl(k, n.pred.ID, n.ref.ID) {
-			kvs = append(kvs, wire.KV{Key: k, Value: n.data[k]})
-		}
-	}
-	succs := append([]wire.NodeRef(nil), n.succ...)
-	n.mu.Unlock()
-	if len(kvs) == 0 {
-		return
-	}
-	for len(kvs) > 0 {
-		batch := kvs
-		if len(batch) > wire.MaxKVs {
-			batch = batch[:wire.MaxKVs]
-		}
-		kvs = kvs[len(batch):]
-		n.replicate(succs, batch)
-	}
-}
-
 // --- server ----------------------------------------------------------
 
 // acceptLoop admits inbound connections until the listener closes.
@@ -1030,24 +1150,30 @@ func (n *Node) handle(req *wire.Msg) *wire.Msg {
 		return n.handleJoin(req)
 
 	case wire.TGet:
-		n.mu.Lock()
-		v, ok := n.data[req.Key]
-		n.mu.Unlock()
-		return &wire.Msg{Type: wire.TGetOK, Flag: ok, Value: v}
+		v, ver, ok, err := n.st.Get(req.Key)
+		if err != nil {
+			return errorMsg(CodeUnavailable, "store read: "+err.Error())
+		}
+		return &wire.Msg{Type: wire.TGetOK, Flag: ok, Value: v, A: ver}
 
 	case wire.TPut:
-		// Store locally only: pushing replicas here would hold the
-		// client's deadline hostage to our own downstream retries. The
-		// next repairReplicas round (one stabilize cadence away) pushes
-		// the key to the successors.
-		n.mu.Lock()
-		if n.leaving {
+		// The owner write path: durable locally (fsynced when SyncWrites
+		// is on) AND acknowledged by Replicas-1 distinct successors
+		// before the TAck goes back. Blocking on those round trips here
+		// is deadlock-free — serveConn runs one goroutine per
+		// connection and putDurable holds no lock while calling out —
+		// and is exactly what "acknowledged means durable" requires.
+		ver, err := n.putDurable(req.Key, req.Value)
+		if err != nil {
+			n.mu.Lock()
+			leaving := n.leaving
 			n.mu.Unlock()
-			return errorMsg(CodeShutdown, "node is leaving")
+			if leaving {
+				return errorMsg(CodeShutdown, "node is leaving")
+			}
+			return errorMsg(CodeUnavailable, "durable put: "+err.Error())
 		}
-		n.data[req.Key] = req.Value
-		n.mu.Unlock()
-		return &wire.Msg{Type: wire.TAck}
+		return &wire.Msg{Type: wire.TAck, A: ver}
 
 	case wire.TTask:
 		// The leaving check shares the critical section with the
@@ -1065,16 +1191,23 @@ func (n *Node) handle(req *wire.Msg) *wire.Msg {
 		return &wire.Msg{Type: wire.TAck}
 
 	case wire.TReplicate:
+		// Replica push: apply version-winning records and report our
+		// resulting version for the (single-record) durable-put ack
+		// path. The leaving check keeps Leave's snapshot authoritative.
 		n.mu.Lock()
 		if n.leaving {
 			n.mu.Unlock()
 			return errorMsg(CodeShutdown, "node is leaving")
 		}
-		for _, kv := range req.KVs {
-			n.data[kv.Key] = kv.Value
-		}
 		n.mu.Unlock()
-		return &wire.Msg{Type: wire.TAck}
+		if _, err := n.st.ApplyAll(storeRecs(req.Recs)); err != nil {
+			return errorMsg(CodeUnavailable, "replica apply: "+err.Error())
+		}
+		var cur uint64
+		if len(req.Recs) == 1 {
+			cur, _ = n.st.Ver(req.Recs[0].Key)
+		}
+		return &wire.Msg{Type: wire.TAck, A: cur}
 
 	case wire.TTransfer:
 		n.mu.Lock()
@@ -1082,16 +1215,59 @@ func (n *Node) handle(req *wire.Msg) *wire.Msg {
 			n.mu.Unlock()
 			return errorMsg(CodeShutdown, "node is leaving")
 		}
-		if n.applyTokenLocked(req.A) {
-			for _, kv := range req.KVs {
-				n.data[kv.Key] = kv.Value
-			}
+		fresh := n.applyTokenLocked(req.A)
+		if fresh {
 			for _, tk := range req.Tasks {
 				n.addTaskLocked(tk.Key, tk.Units)
 			}
 		}
 		n.mu.Unlock()
+		if fresh {
+			if _, err := n.st.ApplyAll(storeRecs(req.Recs)); err != nil {
+				return errorMsg(CodeUnavailable, "transfer apply: "+err.Error())
+			}
+		}
 		return &wire.Msg{Type: wire.TAck}
+
+	case wire.TSyncDigest:
+		n.mu.Lock()
+		leaving := n.leaving
+		n.mu.Unlock()
+		if leaving {
+			return errorMsg(CodeShutdown, "node is leaving")
+		}
+		sum, count := n.st.Digest(req.Key, req.Key2)
+		return &wire.Msg{Type: wire.TSyncDigestOK, Value: sum[:], A: uint64(count)}
+
+	case wire.TSyncKeys:
+		n.mu.Lock()
+		leaving := n.leaving
+		n.mu.Unlock()
+		if leaving {
+			return errorMsg(CodeShutdown, "node is leaving")
+		}
+		metas, total := n.st.Metas(req.Key, req.Key2, wire.MaxMetas)
+		return &wire.Msg{Type: wire.TSyncKeysOK, Metas: wireMetas(metas), A: uint64(total)}
+
+	case wire.TSyncFetch:
+		n.mu.Lock()
+		leaving := n.leaving
+		n.mu.Unlock()
+		if leaving {
+			return errorMsg(CodeShutdown, "node is leaving")
+		}
+		recs := make([]wire.Rec, 0, len(req.Metas))
+		for _, m := range req.Metas {
+			v, ver, ok, err := n.st.Get(m.Key)
+			if err != nil {
+				return errorMsg(CodeUnavailable, "sync fetch: "+err.Error())
+			}
+			if ok {
+				recs = append(recs, wire.Rec{Key: m.Key, Ver: ver, Value: v})
+			}
+		}
+		recs, _ = splitRecChunk(recs)
+		return &wire.Msg{Type: wire.TSyncFetchOK, Recs: recs}
 
 	case wire.TWorkloadQuery:
 		n.mu.Lock()
@@ -1138,11 +1314,13 @@ func (n *Node) handleJoin(req *wire.Msg) *wire.Msg {
 		// the interval (j, j] would cover the whole ring, so hand over
 		// nothing — the joiner's state never came back to us.
 		if low != j.ID {
-			for _, k := range sortedIDKeys(n.data) {
-				if ids.BetweenRightIncl(k, low, j.ID) && len(g.kvs) < wire.MaxKVs {
-					g.kvs = append(g.kvs, wire.KV{Key: k, Value: n.data[k]})
-				}
+			arc, err := n.st.ArcRecs(low, j.ID, wire.MaxRecs)
+			if err != nil {
+				return errorMsg(CodeUnavailable, "join gift: "+err.Error())
 			}
+			// One frame only: anti-entropy tops up whatever the byte
+			// budget trims once the joiner is linked in.
+			g.recs, _ = splitRecChunk(wireRecs(arc))
 			for _, k := range sortedTaskKeys(n.tasks) {
 				if ids.BetweenRightIncl(k, low, j.ID) && len(g.tasks) < wire.MaxTasks {
 					g.tasks = append(g.tasks, wire.Task{Key: k, Units: n.tasks[k]})
@@ -1165,7 +1343,7 @@ func (n *Node) handleJoin(req *wire.Msg) *wire.Msg {
 	reply := &wire.Msg{
 		Type:  wire.TJoinOK,
 		List:  append([]wire.NodeRef(nil), n.succ...),
-		KVs:   g.kvs,
+		Recs:  g.recs,
 		Tasks: g.tasks,
 	}
 	// Adopt the joiner as predecessor when it improves the pointer.
@@ -1221,18 +1399,8 @@ func dedupeRefs(list []wire.NodeRef, self ids.ID, max int) []wire.NodeRef {
 	return out
 }
 
-// sortedIDKeys returns m's keys in ascending ring order, so bulk
+// sortedTaskKeys returns m's keys in ascending ring order, so bulk
 // operations iterate deterministically (and lint's maporder is happy).
-func sortedIDKeys(m map[ids.ID][]byte) []ids.ID {
-	out := make([]ids.ID, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
-}
-
-// sortedTaskKeys returns m's keys in ascending ring order.
 func sortedTaskKeys(m map[ids.ID]uint64) []ids.ID {
 	out := make([]ids.ID, 0, len(m))
 	for k := range m {

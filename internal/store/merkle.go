@@ -1,0 +1,130 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+
+	"chordbalance/internal/ids"
+)
+
+// Anti-entropy support: a replica pair compares a key arc by exchanging
+// the SHA-256 digest of the arc's (key, version, value-sum) triples in
+// clockwise order. Equal digests prove the replicas hold byte-identical
+// state for the arc without moving a single value; a mismatch is
+// narrowed by splitting the arc at its midpoint and recursing (see
+// internal/netchord's sync loop and docs/STORAGE.md).
+
+// Meta is one key's comparison metadata: enough to decide staleness
+// (Ver, with Sum as the deterministic tie-break) without the value.
+type Meta struct {
+	Key ids.ID
+	Ver uint64
+	Sum [sha256.Size]byte
+}
+
+// Wins reports whether m supersedes other under the store's
+// last-writer-wins rule.
+func (m Meta) Wins(other Meta) bool {
+	return wins(m.Ver, m.Sum, other.Ver, other.Sum)
+}
+
+// forArcLocked calls fn with the index position of every live key in
+// the clockwise arc (lo, hi], starting from the first key after lo.
+// lo == hi names the whole ring. fn returning false stops the walk.
+// Caller holds mu.
+func (s *Store) forArcLocked(lo, hi ids.ID, fn func(i int) bool) {
+	n := len(s.keys)
+	if n == 0 {
+		return
+	}
+	start := sort.Search(n, func(i int) bool { return lo.Less(s.keys[i]) })
+	for k := 0; k < n; k++ {
+		j := (start + k) % n
+		if !ids.BetweenRightIncl(s.keys[j], lo, hi) {
+			return
+		}
+		if !fn(j) {
+			return
+		}
+	}
+}
+
+// Digest returns the arc digest over (lo, hi] and the number of live
+// keys it covers. Two stores return equal digests exactly when they
+// hold the same keys at the same versions with the same value bytes.
+func (s *Store) Digest(lo, hi ids.ID) ([sha256.Size]byte, int) {
+	h := sha256.New()
+	var leaf [ids.Bytes + 8 + sha256.Size]byte
+	count := 0
+	s.mu.RLock()
+	s.forArcLocked(lo, hi, func(i int) bool {
+		key := s.keys[i]
+		e := s.index[key]
+		copy(leaf[:ids.Bytes], key[:])
+		binary.BigEndian.PutUint64(leaf[ids.Bytes:], e.ver)
+		copy(leaf[ids.Bytes+8:], e.sum[:])
+		_, _ = h.Write(leaf[:]) // sha256 writes never fail
+		count++
+		return true
+	})
+	s.mu.RUnlock()
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	return d, count
+}
+
+// Metas returns up to max per-key metadata entries for the arc
+// (lo, hi] in clockwise order, plus the arc's true key count (which may
+// exceed len of the returned slice when the arc is larger than max).
+func (s *Store) Metas(lo, hi ids.ID, max int) ([]Meta, int) {
+	var out []Meta
+	total := 0
+	s.mu.RLock()
+	s.forArcLocked(lo, hi, func(i int) bool {
+		total++
+		if len(out) < max {
+			key := s.keys[i]
+			e := s.index[key]
+			out = append(out, Meta{Key: key, Ver: e.ver, Sum: e.sum})
+		}
+		return true
+	})
+	s.mu.RUnlock()
+	return out, total
+}
+
+// ArcCount returns the number of live keys in (lo, hi].
+func (s *Store) ArcCount(lo, hi ids.ID) int {
+	_, n := s.Metas(lo, hi, 0)
+	return n
+}
+
+// ArcRecs reads up to max full records for the arc (lo, hi] in
+// clockwise order — the bulk-transfer path for join gifts, graceful
+// leave, and replica reconciliation. Keys that vanish between the index
+// snapshot and the value read are skipped.
+func (s *Store) ArcRecs(lo, hi ids.ID, max int) ([]Rec, error) {
+	var arc []ids.ID
+	s.mu.RLock()
+	s.forArcLocked(lo, hi, func(i int) bool {
+		if len(arc) >= max {
+			return false
+		}
+		arc = append(arc, s.keys[i])
+		return true
+	})
+	s.mu.RUnlock()
+	recs := make([]Rec, 0, len(arc))
+	for _, key := range arc {
+		value, ver, ok, err := s.Get(key)
+		if err != nil {
+			return recs, err
+		}
+		if !ok {
+			continue
+		}
+		recs = append(recs, Rec{Key: key, Ver: ver, Value: value})
+	}
+	return recs, nil
+}

@@ -1,0 +1,150 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"chordbalance/internal/ids"
+	"chordbalance/internal/xrand"
+)
+
+// fill populates s with n deterministic keys drawn from rng.
+func fill(t *testing.T, s *Store, rng *xrand.Rand, n int) []ids.ID {
+	t.Helper()
+	keys := make([]ids.ID, 0, n)
+	for i := 0; i < n; i++ {
+		key := ids.Random(rng)
+		if _, err := s.Put(key, []byte(fmt.Sprintf("v-%s", key.Short()))); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+	return keys
+}
+
+func TestDigestEqualityAndSensitivity(t *testing.T) {
+	a := open(t, "", Options{})
+	b := open(t, "", Options{})
+	rng := xrand.NewStream(3, 0)
+	keys := fill(t, a, rng, 50)
+	recs, err := a.ArcRecs(ids.Zero, ids.Zero, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ApplyAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	da, na := a.Digest(ids.Zero, ids.Zero)
+	db, nb := b.Digest(ids.Zero, ids.Zero)
+	if da != db || na != nb || na != 50 {
+		t.Fatalf("equal stores digest differently: %x/%d vs %x/%d", da, na, db, nb)
+	}
+	// Any single divergence — changed value, changed version, missing
+	// key — must change the digest.
+	if _, err := b.Put(keys[7], []byte("different")); err != nil {
+		t.Fatal(err)
+	}
+	db2, _ := b.Digest(ids.Zero, ids.Zero)
+	if db2 == da {
+		t.Fatal("digest blind to changed value")
+	}
+	if _, _, err := b.Delete(keys[3]); err != nil {
+		t.Fatal(err)
+	}
+	db3, nb3 := b.Digest(ids.Zero, ids.Zero)
+	if db3 == db2 || nb3 != 49 {
+		t.Fatal("digest blind to deleted key")
+	}
+}
+
+func TestArcIterationWrapsAndSplits(t *testing.T) {
+	s := open(t, "", Options{})
+	rng := xrand.NewStream(4, 0)
+	fill(t, s, rng, 64)
+
+	// Splitting any arc at its midpoint partitions it exactly.
+	cases := []struct{ lo, hi ids.ID }{
+		{ids.Zero, ids.Zero}, // full ring
+		{ids.FromUint64(1), ids.MustHex("8000000000000000000000000000000000000000")},
+		// A wrapped arc crossing zero.
+		{ids.MustHex("f000000000000000000000000000000000000000"), ids.FromUint64(10)},
+	}
+	for i, c := range cases {
+		_, total := s.Digest(c.lo, c.hi)
+		mid := ids.Midpoint(c.lo, c.hi)
+		if mid == c.lo {
+			// Midpoint(a, a) is a (zero distance); the full ring splits
+			// at the antipode.
+			mid = c.lo.Add(ids.PowerOfTwo(ids.Bits - 1))
+		}
+		_, left := s.Digest(c.lo, mid)
+		_, right := s.Digest(mid, c.hi)
+		if left+right != total {
+			t.Errorf("case %d: split %d + %d != %d", i, left, right, total)
+		}
+		metas, n := s.Metas(c.lo, c.hi, 1<<20)
+		if len(metas) != total || n != total {
+			t.Errorf("case %d: metas %d/%d, digest count %d", i, len(metas), n, total)
+		}
+		// Metas arrive in clockwise order from lo and all lie in the
+		// arc: each key sits strictly after its predecessor on the way
+		// to hi.
+		for j, m := range metas {
+			if !ids.BetweenRightIncl(m.Key, c.lo, c.hi) {
+				t.Errorf("case %d: meta %d outside arc", i, j)
+			}
+			if j > 0 && !ids.BetweenRightIncl(m.Key, metas[j-1].Key, c.hi) {
+				t.Errorf("case %d: metas out of order at %d", i, j)
+			}
+		}
+		// A capped Metas call still reports the true total.
+		if total > 2 {
+			capped, n2 := s.Metas(c.lo, c.hi, 2)
+			if len(capped) != 2 || n2 != total {
+				t.Errorf("case %d: capped metas %d/%d", i, len(capped), n2)
+			}
+		}
+	}
+
+	// ArcCount agrees with a brute-force membership scan.
+	lo, hi := ids.FromUint64(999), ids.MustHex("c000000000000000000000000000000000000000")
+	want := 0
+	for _, k := range s.Keys() {
+		if ids.BetweenRightIncl(k, lo, hi) {
+			want++
+		}
+	}
+	if got := s.ArcCount(lo, hi); got != want {
+		t.Fatalf("ArcCount=%d want %d", got, want)
+	}
+
+	// ArcRecs honors its cap and returns only arc members.
+	recs, err := s.ArcRecs(lo, hi, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) > 3 {
+		t.Fatalf("ArcRecs cap ignored: %d", len(recs))
+	}
+	for _, r := range recs {
+		if !ids.BetweenRightIncl(r.Key, lo, hi) {
+			t.Fatalf("ArcRecs returned %s outside arc", r.Key.Short())
+		}
+	}
+}
+
+func TestMetaWins(t *testing.T) {
+	base := Meta{Ver: 5, Sum: [32]byte{1}}
+	if !(Meta{Ver: 6}).Wins(base) {
+		t.Error("higher version must win")
+	}
+	if (Meta{Ver: 4, Sum: [32]byte{9}}).Wins(base) {
+		t.Error("lower version must lose")
+	}
+	if !(Meta{Ver: 5, Sum: [32]byte{2}}).Wins(base) {
+		t.Error("equal version, larger sum must win")
+	}
+	if (Meta{Ver: 5, Sum: [32]byte{1}}).Wins(base) {
+		t.Error("identical meta must not win (idempotence)")
+	}
+}

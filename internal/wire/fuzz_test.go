@@ -54,6 +54,9 @@ func FuzzWireRoundTrip(f *testing.F) {
 		if mask&fKey != 0 {
 			in.Key = ids.FromUint64(a)
 		}
+		if mask&fKey2 != 0 {
+			in.Key2 = ids.FromUint64(a ^ 0x5a5a)
+		}
 		if len(addr) > MaxAddrLen {
 			addr = addr[:MaxAddrLen]
 		}
@@ -66,11 +69,16 @@ func FuzzWireRoundTrip(f *testing.F) {
 		if mask&fList != 0 && flag {
 			in.List = []NodeRef{{ID: ids.FromUint64(a), Addr: addr}}
 		}
-		if mask&fKVs != 0 && len(val) <= MaxValueLen {
-			in.KVs = []KV{{Key: ids.FromUint64(a), Value: normalize(val)}}
+		if mask&fRecs != 0 && len(val) <= MaxValueLen {
+			in.Recs = []Rec{{Key: ids.FromUint64(a), Ver: req, Value: normalize(val)}}
 		}
 		if mask&fTasks != 0 {
 			in.Tasks = []Task{{Key: ids.FromUint64(req), Units: a}}
+		}
+		if mask&fMetas != 0 {
+			meta := Meta{Key: ids.FromUint64(a), Ver: req}
+			copy(meta.Sum[:], val)
+			in.Metas = []Meta{meta}
 		}
 		if mask&fValue != 0 && len(val) <= MaxValueLen {
 			in.Value = normalize(val)

@@ -1,15 +1,16 @@
 // Package wire is the versioned, length-prefixed binary codec for the
 // networked Chord runtime (internal/netchord). It frames the protocol's
 // message set — find_successor routing steps, notify, get/put and task
-// submission, workload queries, the Sybil invite/inject strategy
-// traffic, and consume reports — as self-describing records that can be
-// written to any net.Conn with a single Write call.
+// submission, versioned replica records and Merkle anti-entropy digest
+// exchanges (internal/store), workload queries, the Sybil invite/inject
+// strategy traffic, and consume reports — as self-describing records
+// that can be written to any net.Conn with a single Write call.
 //
 // The format is deliberately tiny and strict:
 //
 //	offset  size  field
 //	0       2     magic "CB"
-//	2       1     version (currently 1)
+//	2       1     version (currently 2)
 //	3       1     message type
 //	4       8     request id (big endian)
 //	12      4     payload length (big endian, <= MaxPayload)
@@ -37,8 +38,10 @@ import (
 )
 
 // Version is the current wire-format version; bump it when the frame
-// header or any payload layout changes incompatibly.
-const Version = 1
+// header or any payload layout changes incompatibly. Version 2 replaced
+// the unversioned KV bulk transfers of version 1 with versioned Rec
+// records and added the anti-entropy digest exchange (TSync*).
+const Version = 2
 
 // Frame geometry and hard bounds. The caps are generous for the runtime's
 // actual traffic but small enough that a hostile peer cannot force large
@@ -52,10 +55,15 @@ const (
 	MaxValueLen = 64 << 10
 	// MaxListLen caps a successor-list or candidate list.
 	MaxListLen = 128
-	// MaxKVs caps one bulk key/value transfer.
-	MaxKVs = 8192
+	// MaxRecs caps one bulk record transfer.
+	MaxRecs = 8192
 	// MaxTasks caps one bulk task transfer.
 	MaxTasks = 8192
+	// MaxMetas caps one anti-entropy key-metadata exchange.
+	MaxMetas = 8192
+	// SumLen is the byte length of a record's value checksum (SHA-256)
+	// as carried in Meta entries.
+	SumLen = 32
 	// MaxAddrLen caps one node address string.
 	MaxAddrLen = 256
 	// MaxTextLen caps an error/text field.
@@ -109,23 +117,29 @@ const (
 	// TJoin asks the callee (the joiner's successor) to admit From.
 	TJoin
 	// TJoinOK answers with the callee's successor List plus the data
-	// (KVs) and work (Tasks) the joiner now owns.
+	// (Recs) and work (Tasks) the joiner now owns.
 	TJoinOK
 	// TGet fetches the value for Key from its owner.
 	TGet
 	// TGetOK answers: Flag reports whether Key was present, Value holds
-	// the bytes.
+	// the bytes, A the record's store version.
 	TGetOK
-	// TPut stores Value under Key at its owner.
+	// TPut stores Value under Key at its owner. The owner replies TAck
+	// only after the record is durable locally and on its replica set
+	// (the acknowledged-write contract, docs/STORAGE.md).
 	TPut
 	// TTask submits A units of work under task key Key. B is the
 	// sender's idempotency token: retries after a lost reply reuse it,
 	// and receivers apply each token at most once so work units are
 	// never double-counted (0 = no dedup).
 	TTask
-	// TReplicate pushes replica KVs to a successor.
+	// TReplicate pushes versioned replica Recs to a successor. The
+	// receiver applies them last-writer-wins, makes them durable, and
+	// replies TAck; when exactly one record is pushed the TAck's A slot
+	// carries the receiver's now-current version for that key, letting a
+	// version-behind owner re-assert a fresh write above it.
 	TReplicate
-	// TTransfer hands off KVs and Tasks (graceful leave, churn). A is
+	// TTransfer hands off Recs and Tasks (graceful leave, churn). A is
 	// the sender's idempotency token, as in TTask: task moves must be
 	// exactly-once even over an at-least-once RPC layer.
 	TTransfer
@@ -153,7 +167,28 @@ const (
 	// TProgressOK answers: A = total consumed, B = total residual,
 	// C = busy ticks of the slowest host, D = summed capacity.
 	TProgressOK
-	// TAck is the generic empty success reply.
+	// TSyncDigest asks for the callee's Merkle digest over the key arc
+	// (Key, Key2] (Key == Key2 means the whole ring).
+	TSyncDigest
+	// TSyncDigestOK answers: Value is the 32-byte arc digest, A the
+	// number of live keys in the arc.
+	TSyncDigestOK
+	// TSyncKeys asks for per-key metadata over the arc (Key, Key2].
+	TSyncKeys
+	// TSyncKeysOK answers with Metas (capped at MaxMetas); A is the
+	// true arc key count, which may exceed len(Metas).
+	TSyncKeysOK
+	// TSyncFetch asks for the current records of the keys named in
+	// Metas (versions/sums in the request are advisory).
+	TSyncFetch
+	// TSyncFetchOK answers with the Recs the callee still holds.
+	TSyncFetchOK
+	// TStoreReport reports host From's storage-layer counters to the
+	// collector: A = acknowledged writes, B = anti-entropy rounds,
+	// C = anti-entropy bytes moved, D = anti-entropy repair nanoseconds.
+	TStoreReport
+	// TAck is the generic success reply; A is an optional per-request
+	// detail slot (0 when unused — see TReplicate).
 	TAck
 	// TError is the generic failure reply: Text explains, A is a
 	// numeric code (see Err* codes in netchord).
@@ -179,7 +214,11 @@ var typeNames = [typeCount]string{
 	TInvite: "invite", TInviteOK: "invite_ok", TInject: "inject",
 	THello: "hello", TConsumeReport: "consume_report",
 	TProgress: "progress", TProgressOK: "progress_ok",
-	TAck: "ack", TError: "error",
+	TSyncDigest: "sync_digest", TSyncDigestOK: "sync_digest_ok",
+	TSyncKeys: "sync_keys", TSyncKeysOK: "sync_keys_ok",
+	TSyncFetch: "sync_fetch", TSyncFetchOK: "sync_fetch_ok",
+	TStoreReport: "store_report",
+	TAck:         "ack", TError: "error",
 }
 
 // String names the type as used in metrics and docs.
@@ -204,10 +243,23 @@ type NodeRef struct {
 // IsZero reports whether the ref is unset.
 func (r NodeRef) IsZero() bool { return r.ID == ids.Zero && r.Addr == "" }
 
-// KV is one stored key/value pair in a bulk transfer.
-type KV struct {
+// Rec is one versioned stored record in a bulk transfer. Ver is the
+// store's per-key last-writer-wins version (internal/store); receivers
+// apply a Rec only when it wins against what they already hold, so
+// replaying or duplicating a transfer is harmless.
+type Rec struct {
 	Key   ids.ID
+	Ver   uint64
 	Value []byte
+}
+
+// Meta is one key's anti-entropy metadata: its version and the SHA-256
+// sum of its value. Two replicas holding equal (Ver, Sum) for a key are
+// byte-identical for it without moving the value.
+type Meta struct {
+	Key ids.ID
+	Ver uint64
+	Sum [SumLen]byte
 }
 
 // Task is one unit-weighted work item in a bulk transfer.
@@ -225,12 +277,16 @@ type Msg struct {
 	// Req matches replies to requests on a pooled connection.
 	Req uint64
 
-	Key   ids.ID
+	Key ids.ID
+	// Key2 is the second arc boundary for the TSync* exchanges: the
+	// pair names the half-open ring arc (Key, Key2].
+	Key2  ids.ID
 	From  NodeRef
 	Node  NodeRef
 	List  []NodeRef
-	KVs   []KV
+	Recs  []Rec
 	Tasks []Task
+	Metas []Meta
 	Value []byte
 	// A–D are per-type numeric slots (hop counts, units, ticks...).
 	A, B, C, D uint64
@@ -241,11 +297,13 @@ type Msg struct {
 // Field presence bits, in encoding order.
 const (
 	fKey uint16 = 1 << iota
+	fKey2
 	fFrom
 	fNode
 	fList
-	fKVs
+	fRecs
 	fTasks
+	fMetas
 	fValue
 	fA
 	fB
@@ -267,13 +325,13 @@ var fieldsOf = [typeCount]uint16{
 	TSuccListOK:      fList,
 	TNotify:          fFrom,
 	TJoin:            fFrom,
-	TJoinOK:          fList | fKVs | fTasks,
+	TJoinOK:          fList | fRecs | fTasks,
 	TGet:             fKey,
-	TGetOK:           fValue | fFlag,
+	TGetOK:           fValue | fFlag | fA,
 	TPut:             fKey | fValue,
 	TTask:            fKey | fA | fB,
-	TReplicate:       fKVs,
-	TTransfer:        fKVs | fTasks | fA,
+	TReplicate:       fRecs,
+	TTransfer:        fRecs | fTasks | fA,
 	TWorkloadQuery:   0,
 	TWorkloadOK:      fA,
 	TInvite:          fFrom | fNode | fA,
@@ -283,7 +341,14 @@ var fieldsOf = [typeCount]uint16{
 	TConsumeReport:   fFrom | fA | fB | fC | fD,
 	TProgress:        0,
 	TProgressOK:      fA | fB | fC | fD,
-	TAck:             0,
+	TSyncDigest:      fKey | fKey2,
+	TSyncDigestOK:    fValue | fA,
+	TSyncKeys:        fKey | fKey2,
+	TSyncKeysOK:      fMetas | fA,
+	TSyncFetch:       fMetas,
+	TSyncFetchOK:     fRecs,
+	TStoreReport:     fFrom | fA | fB | fC | fD,
+	TAck:             fA,
 	TError:           fText | fA,
 }
 
@@ -315,6 +380,9 @@ func Append(dst []byte, m *Msg) ([]byte, error) {
 	if mask&fKey != 0 {
 		dst = append(dst, m.Key[:]...)
 	}
+	if mask&fKey2 != 0 {
+		dst = append(dst, m.Key2[:]...)
+	}
 	if mask&fFrom != 0 {
 		dst = appendRef(dst, m.From)
 	}
@@ -327,12 +395,13 @@ func Append(dst []byte, m *Msg) ([]byte, error) {
 			dst = appendRef(dst, r)
 		}
 	}
-	if mask&fKVs != 0 {
-		dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.KVs)))
-		for _, kv := range m.KVs {
-			dst = append(dst, kv.Key[:]...)
-			dst = binary.BigEndian.AppendUint32(dst, uint32(len(kv.Value)))
-			dst = append(dst, kv.Value...)
+	if mask&fRecs != 0 {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Recs)))
+		for _, rec := range m.Recs {
+			dst = append(dst, rec.Key[:]...)
+			dst = binary.BigEndian.AppendUint64(dst, rec.Ver)
+			dst = binary.BigEndian.AppendUint32(dst, uint32(len(rec.Value)))
+			dst = append(dst, rec.Value...)
 		}
 	}
 	if mask&fTasks != 0 {
@@ -340,6 +409,14 @@ func Append(dst []byte, m *Msg) ([]byte, error) {
 		for _, tk := range m.Tasks {
 			dst = append(dst, tk.Key[:]...)
 			dst = binary.BigEndian.AppendUint64(dst, tk.Units)
+		}
+	}
+	if mask&fMetas != 0 {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Metas)))
+		for _, mt := range m.Metas {
+			dst = append(dst, mt.Key[:]...)
+			dst = binary.BigEndian.AppendUint64(dst, mt.Ver)
+			dst = append(dst, mt.Sum[:]...)
 		}
 	}
 	if mask&fValue != 0 {
@@ -379,8 +456,10 @@ func (m *Msg) check() error {
 	switch {
 	case len(m.List) > MaxListLen:
 		return fmt.Errorf("%w: list %d > %d", ErrTooLarge, len(m.List), MaxListLen)
-	case len(m.KVs) > MaxKVs:
-		return fmt.Errorf("%w: kvs %d > %d", ErrTooLarge, len(m.KVs), MaxKVs)
+	case len(m.Recs) > MaxRecs:
+		return fmt.Errorf("%w: recs %d > %d", ErrTooLarge, len(m.Recs), MaxRecs)
+	case len(m.Metas) > MaxMetas:
+		return fmt.Errorf("%w: metas %d > %d", ErrTooLarge, len(m.Metas), MaxMetas)
 	case len(m.Tasks) > MaxTasks:
 		return fmt.Errorf("%w: tasks %d > %d", ErrTooLarge, len(m.Tasks), MaxTasks)
 	case len(m.Value) > MaxValueLen:
@@ -395,9 +474,9 @@ func (m *Msg) check() error {
 			return fmt.Errorf("%w: addr > %d", ErrTooLarge, MaxAddrLen)
 		}
 	}
-	for _, kv := range m.KVs {
-		if len(kv.Value) > MaxValueLen {
-			return fmt.Errorf("%w: kv value %d > %d", ErrTooLarge, len(kv.Value), MaxValueLen)
+	for _, rec := range m.Recs {
+		if len(rec.Value) > MaxValueLen {
+			return fmt.Errorf("%w: rec value %d > %d", ErrTooLarge, len(rec.Value), MaxValueLen)
 		}
 	}
 	return nil
@@ -559,6 +638,11 @@ func Decode(b []byte) (*Msg, int, error) {
 			return nil, 0, err
 		}
 	}
+	if mask&fKey2 != 0 {
+		if m.Key2, err = r.takeID(); err != nil {
+			return nil, 0, err
+		}
+	}
 	if mask&fFrom != 0 {
 		if m.From, err = r.takeRef(); err != nil {
 			return nil, 0, err
@@ -583,18 +667,21 @@ func Decode(b []byte) (*Msg, int, error) {
 			}
 		}
 	}
-	if mask&fKVs != 0 {
-		n, err := r.count(MaxKVs, ids.Bytes+4)
+	if mask&fRecs != 0 {
+		n, err := r.count(MaxRecs, ids.Bytes+8+4)
 		if err != nil {
 			return nil, 0, err
 		}
 		if n > 0 {
-			m.KVs = make([]KV, n)
-			for i := range m.KVs {
-				if m.KVs[i].Key, err = r.takeID(); err != nil {
+			m.Recs = make([]Rec, n)
+			for i := range m.Recs {
+				if m.Recs[i].Key, err = r.takeID(); err != nil {
 					return nil, 0, err
 				}
-				if m.KVs[i].Value, err = r.takeBytes(MaxValueLen); err != nil {
+				if m.Recs[i].Ver, err = r.takeU64(); err != nil {
+					return nil, 0, err
+				}
+				if m.Recs[i].Value, err = r.takeBytes(MaxValueLen); err != nil {
 					return nil, 0, err
 				}
 			}
@@ -614,6 +701,28 @@ func Decode(b []byte) (*Msg, int, error) {
 				if m.Tasks[i].Units, err = r.takeU64(); err != nil {
 					return nil, 0, err
 				}
+			}
+		}
+	}
+	if mask&fMetas != 0 {
+		n, err := r.count(MaxMetas, ids.Bytes+8+SumLen)
+		if err != nil {
+			return nil, 0, err
+		}
+		if n > 0 {
+			m.Metas = make([]Meta, n)
+			for i := range m.Metas {
+				if m.Metas[i].Key, err = r.takeID(); err != nil {
+					return nil, 0, err
+				}
+				if m.Metas[i].Ver, err = r.takeU64(); err != nil {
+					return nil, 0, err
+				}
+				sum, err := r.take(SumLen)
+				if err != nil {
+					return nil, 0, err
+				}
+				copy(m.Metas[i].Sum[:], sum)
 			}
 		}
 	}

@@ -22,6 +22,9 @@ func sample(t Type) *Msg {
 	if mask&fKey != 0 {
 		m.Key = ids.FromUint64(77)
 	}
+	if mask&fKey2 != 0 {
+		m.Key2 = ids.FromUint64(78)
+	}
 	if mask&fFrom != 0 {
 		m.From = ref(1, "127.0.0.1:9001")
 	}
@@ -31,14 +34,21 @@ func sample(t Type) *Msg {
 	if mask&fList != 0 {
 		m.List = []NodeRef{ref(3, "a:1"), ref(4, ""), ref(5, "b:2")}
 	}
-	if mask&fKVs != 0 {
-		m.KVs = []KV{
-			{Key: ids.FromUint64(1), Value: []byte("hello")},
-			{Key: ids.FromUint64(2), Value: nil},
+	if mask&fRecs != 0 {
+		m.Recs = []Rec{
+			{Key: ids.FromUint64(1), Ver: 5, Value: []byte("hello")},
+			{Key: ids.FromUint64(2), Ver: 1, Value: nil},
 		}
 	}
 	if mask&fTasks != 0 {
 		m.Tasks = []Task{{Key: ids.FromUint64(9), Units: 3}, {Key: ids.FromUint64(10), Units: 1}}
+	}
+	if mask&fMetas != 0 {
+		sum := [SumLen]byte{0: 0xaa, 31: 0xbb}
+		m.Metas = []Meta{
+			{Key: ids.FromUint64(5), Ver: 2, Sum: sum},
+			{Key: ids.FromUint64(6), Ver: 9},
+		}
 	}
 	if mask&fValue != 0 {
 		m.Value = []byte("payload bytes")
@@ -162,7 +172,8 @@ func TestEncodeRejectsOversizedFields(t *testing.T) {
 		{Type: TError, Text: strings.Repeat("x", MaxTextLen+1)},
 		{Type: TNotify, From: NodeRef{Addr: strings.Repeat("a", MaxAddrLen+1)}},
 		{Type: TSuccListOK, List: make([]NodeRef, MaxListLen+1)},
-		{Type: TReplicate, KVs: make([]KV, MaxKVs+1)},
+		{Type: TReplicate, Recs: make([]Rec, MaxRecs+1)},
+		{Type: TSyncKeysOK, Metas: make([]Meta, MaxMetas+1)},
 		{Type: TTransfer, Tasks: make([]Task, MaxTasks+1)},
 	}
 	for _, m := range cases {
