@@ -3,10 +3,10 @@
 
 GO ?= go
 
-.PHONY: all build lint doccheck mdcheck trace-check test test-race cover bench bench-micro bench-gate sweep figures fuzz chaos soak clean
+.PHONY: all build lint doccheck mdcheck trace-check test test-race cover bench bench-micro bench-gate bench-curve shard-check sweep figures fuzz chaos soak clean
 
 # The BENCH_<pr> suffix for perf reports; bump per perf-focused PR.
-BENCH_PR ?= 3
+BENCH_PR ?= 8
 
 all: build lint test
 
@@ -68,6 +68,21 @@ bench:
 # regression (and on any tick-count drift, which is a determinism break).
 bench-gate:
 	$(GO) run ./cmd/dhtbench -gate BENCH_$(BENCH_PR).json -tolerance 0.15
+
+# Record the shard scaling curve (docs/PERFORMANCE.md): the scale-*
+# workloads at 1/2/4/8 intra-trial workers, identical seeds, with a
+# tick-equality determinism check built in. Writes CURVE_$(BENCH_PR).json
+# plus a Markdown rendering alongside it.
+bench-curve:
+	$(GO) run ./cmd/dhtbench -curve -curve-cores 1,2,4,8 \
+	  -workloads scale-100k,scale-1m -label pr$(BENCH_PR) \
+	  -out CURVE_$(BENCH_PR).json
+
+# Shard-identity referee: the golden matrix at 1/2/4/8 shards, shard-count
+# invariance, and the sharded experiment driver, all under the race
+# detector (docs/PERFORMANCE.md).
+shard-check:
+	$(GO) test -race -run 'Shard|DeterminismGolden' ./internal/sim/
 
 # Go micro/paper benchmarks: table/figure reproductions at the repo root
 # plus the ring and sim hot-path benchmarks (reduced trials).

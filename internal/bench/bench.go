@@ -41,6 +41,11 @@ type Workload struct {
 	// Config builds the simulation config for one trial. It must return
 	// a fresh strategy instance per call (strategies carry per-run state).
 	Config func(seed uint64) sim.Config
+	// Trials, when non-zero, overrides the caller's trial count for this
+	// workload. The scale-* workloads use it so a whole-suite recording
+	// pays one trial each for the big worlds while the PR 3 workloads
+	// keep their historical three.
+	Trials int
 }
 
 // mustStrategy resolves a strategy name, panicking on typos — workload
@@ -115,6 +120,25 @@ func Workloads() []Workload {
 						BurstEvery: 25, BurstSize: 2}}
 			},
 		},
+		{
+			Name: "scale-100k",
+			Desc: "sharded tick engine at 100k hosts: 2M tasks, churn 0.001, random strategy, 8 shards",
+			Config: func(seed uint64) sim.Config {
+				return sim.Config{Nodes: 100000, Tasks: 2000000, ChurnRate: 0.001,
+					Strategy: mustStrategy("random"), Seed: seed,
+					Shards: 8, ShardWorkers: 0}
+			},
+			Trials: 1,
+		},
+		{
+			Name: "scale-1m",
+			Desc: "sharded tick engine at 1M hosts: 4M tasks, churn 0.0001, 8 shards",
+			Config: func(seed uint64) sim.Config {
+				return sim.Config{Nodes: 1000000, Tasks: 4000000, ChurnRate: 0.0001,
+					Seed: seed, Shards: 8, ShardWorkers: 0}
+			},
+			Trials: 1,
+		},
 	}
 }
 
@@ -176,8 +200,12 @@ type Measurement struct {
 }
 
 // Measure runs one workload trials times, serially, and aggregates the
-// wall time and allocation deltas around the whole loop.
+// wall time and allocation deltas around the whole loop. A workload with
+// its own Trials override wins over the caller's count.
 func Measure(w Workload, trials int, seed uint64, clock Clock) (Measurement, error) {
+	if w.Trials > 0 {
+		trials = w.Trials
+	}
 	m := Measurement{Workload: w.Name, Trials: trials, Seed: seed, Completed: true}
 	runtime.GC()
 	var before, after runtime.MemStats

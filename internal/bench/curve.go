@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"chordbalance/internal/sim"
+	"chordbalance/internal/xrand"
+)
+
+// Scaling-curve mode: run the same workload at the same seeds while
+// varying only ShardWorkers (the intra-trial goroutine cap), and report
+// ns/tick per core count plus the speedup relative to the single-worker
+// point. Because Config.ShardWorkers cannot affect any result byte, the
+// tick totals must agree exactly across the whole curve — MeasureCurve
+// enforces that, so every curve doubles as a shard-determinism check on
+// the machine that ran it.
+
+// CurvePoint is one (workload, cores) cell of a scaling curve.
+type CurvePoint struct {
+	Workload  string  `json:"workload"`
+	Cores     int     `json:"cores"` // ShardWorkers for this point
+	Trials    int     `json:"trials"`
+	Seed      uint64  `json:"seed"`
+	Ticks     int64   `json:"ticks"`
+	WallNs    int64   `json:"wall_ns"`
+	NsPerTick float64 `json:"ns_per_tick"`
+	// Speedup is the 1-worker point's ns/tick divided by this point's;
+	// values > 1 mean the extra cores helped.
+	Speedup float64 `json:"speedup"`
+}
+
+// CurveReport is the on-disk shape of a scaling-curve JSON file.
+type CurveReport struct {
+	Schema int    `json:"schema"`
+	Label  string `json:"label,omitempty"`
+	// NumCPU records the host's core count: a curve measured on fewer
+	// cores than a point requests says nothing about scaling there.
+	NumCPU int          `json:"num_cpu"`
+	Points []CurvePoint `json:"points"`
+}
+
+// MeasureCurve measures every workload at every core count in order,
+// holding the trial seeds fixed so only the goroutine fan-out varies.
+// Curve trials derive their seeds via xrand.SplitSeed — a distinct
+// stream family from the measurement path's TrialSeed, so curve runs
+// and recorded measurements never share trial streams. It errors if any
+// workload's tick total varies across core counts (a shard-determinism
+// regression) and if a workload does not complete. progress may be nil.
+func MeasureCurve(ws []Workload, cores []int, trials int, seed uint64,
+	clock Clock, progress func(CurvePoint)) (CurveReport, error) {
+	rep := CurveReport{Schema: Schema, NumCPU: runtime.NumCPU()}
+	if len(cores) == 0 {
+		return rep, fmt.Errorf("bench: curve needs at least one core count")
+	}
+	for _, w := range ws {
+		n := trials
+		if w.Trials > 0 {
+			n = w.Trials
+		}
+		var base CurvePoint
+		for ci, c := range cores {
+			if c <= 0 {
+				return rep, fmt.Errorf("bench: curve core count %d must be positive", c)
+			}
+			p := CurvePoint{Workload: w.Name, Cores: c, Trials: n, Seed: seed}
+			start := clock()
+			for t := 0; t < n; t++ {
+				cfg := w.Config(xrand.SplitSeed(seed, uint64(t)))
+				if cfg.Shards <= 1 {
+					// A serial workload has no shard phases to spread; give
+					// it one shard per requested core so the curve measures
+					// something.
+					cfg.Shards = maxInt(cores)
+				}
+				cfg.ShardWorkers = c
+				res, err := sim.Run(cfg)
+				if err != nil {
+					return rep, fmt.Errorf("bench: curve %s @%d cores trial %d: %w", w.Name, c, t, err)
+				}
+				if !res.Completed {
+					return rep, fmt.Errorf("bench: curve %s @%d cores trial %d did not complete in %d ticks",
+						w.Name, c, t, res.Ticks)
+				}
+				p.Ticks += int64(res.Ticks)
+			}
+			p.WallNs = clock() - start
+			if p.Ticks > 0 {
+				p.NsPerTick = float64(p.WallNs) / float64(p.Ticks)
+			}
+			if ci == 0 {
+				base = p
+			}
+			if p.Ticks != base.Ticks {
+				return rep, fmt.Errorf(
+					"bench: curve %s: tick total drifted across core counts (%d @%d cores, %d @%d cores) — shard-determinism regression",
+					w.Name, base.Ticks, base.Cores, p.Ticks, c)
+			}
+			if p.NsPerTick > 0 {
+				p.Speedup = base.NsPerTick / p.NsPerTick
+			}
+			if progress != nil {
+				progress(p)
+			}
+			rep.Points = append(rep.Points, p)
+		}
+	}
+	return rep, nil
+}
+
+// Speedup returns the measured speedup for one (workload, cores) point,
+// and false when the curve has no such point.
+func (r CurveReport) Speedup(workload string, cores int) (float64, bool) {
+	for _, p := range r.Points {
+		if p.Workload == workload && p.Cores == cores {
+			return p.Speedup, true
+		}
+	}
+	return 0, false
+}
+
+// WriteCurveMarkdown renders the curve as a Markdown table per workload,
+// suitable for committing next to the JSON report.
+func WriteCurveMarkdown(w io.Writer, rep CurveReport) error {
+	if _, err := fmt.Fprintf(w, "# Shard scaling curve\n\nLabel: %s · host cores: %d\n",
+		orDash(rep.Label), rep.NumCPU); err != nil {
+		return err
+	}
+	var last string
+	for _, p := range rep.Points {
+		if p.Workload != last {
+			last = p.Workload
+			if _, err := fmt.Fprintf(w,
+				"\n## %s\n\n| cores | ns/tick | speedup | ticks | wall |\n|---:|---:|---:|---:|---:|\n",
+				p.Workload); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "| %d | %.0f | %.2fx | %d | %.2fs |\n",
+			p.Cores, p.NsPerTick, p.Speedup, p.Ticks, float64(p.WallNs)/1e9); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}
+
+// maxInt returns the largest element of s; 0 for an empty slice.
+func maxInt(s []int) int {
+	m := 0
+	for _, v := range s {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

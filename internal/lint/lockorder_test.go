@@ -96,6 +96,64 @@ func reenter() {
 	wantFindings(t, got, "lockorder", 9, 21)
 }
 
+// TestLockOrderShardMergePhase models the sharded tick engine's
+// phase/merge shape. The clean half mirrors the real engine: shard
+// workers write disjoint per-shard scratch with no locks at all, and
+// the merge runs strictly after the fan-out returns — nothing to flag.
+// The dirty half is the design the engine deliberately avoids: shard
+// workers taking a shared stats lock while the coordinator holds the
+// engine lock, with the merge path acquiring the same pair inverted.
+func TestLockOrderShardMergePhase(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+var engineMu sync.Mutex
+var statsMu sync.Mutex
+
+type shard struct{ consumed int }
+
+// Clean: per-shard scratch, barrier, lock-free shard-order merge.
+func tickSharded(shards []shard) int {
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			sh.consumed++
+		}(&shards[i])
+	}
+	wg.Wait()
+	total := 0
+	for i := range shards {
+		total += shards[i].consumed
+	}
+	return total
+}
+
+// Dirty: coordinator holds engineMu while shard work takes statsMu...
+func tickLocked() {
+	engineMu.Lock()
+	statsMu.Lock()
+	statsMu.Unlock()
+	engineMu.Unlock()
+}
+
+// ...and the merge path acquires the same pair in the opposite order.
+func mergeLocked() {
+	statsMu.Lock()
+	engineMu.Lock()
+	engineMu.Unlock()
+	statsMu.Unlock()
+}
+`
+	got := checkFixture(t, LockOrder(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "lockorder", 31)
+	if !strings.Contains(got[0].Message, "tickLocked") || !strings.Contains(got[0].Message, "mergeLocked") {
+		t.Errorf("inversion message must carry both witness paths, got: %s", got[0].Message)
+	}
+}
+
 func TestLockOrderConsistentOrderClean(t *testing.T) {
 	src := `package fixture
 

@@ -10,11 +10,13 @@ import (
 // fields, trial indices. Seeds laundered through pointer values
 // (uintptr/unsafe conversions), map lengths, or the wall clock are
 // allocation- or schedule-dependent and quietly destroy reproducibility
-// while still "looking random".
+// while still "looking random". Split/SplitSeed stream derivations are
+// held to the same standard on both arguments: a hazardous stream ID
+// corrupts the derived stream exactly as a hazardous seed does.
 func SeedFlow() *Rule {
 	return &Rule{
 		Name: "seedflow",
-		Doc:  "flag xrand.New/NewStream seeds derived from pointer values, map lengths, or the wall clock",
+		Doc:  "flag xrand.New/NewStream/Split/SplitSeed inputs derived from pointer values, map lengths, or the wall clock",
 		Check: func(pkg *Package, file *ast.File, report ReportFunc) {
 			ast.Inspect(file, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
@@ -25,24 +27,27 @@ func SeedFlow() *Rule {
 				if name == "" || len(call.Args) == 0 {
 					return true
 				}
-				seedHazards(pkg, call.Args[0], func(node ast.Node, what string) {
-					report(node, "xrand.%s seeded from %s; derive seeds from constants, config, or trial indices only", name, what)
-				})
+				for _, arg := range call.Args {
+					seedHazards(pkg, arg, func(node ast.Node, what string) {
+						report(node, "xrand.%s seeded from %s; derive seeds from constants, config, or trial indices only", name, what)
+					})
+				}
 				return true
 			})
 		},
 	}
 }
 
-// xrandConstructor returns "New" or "NewStream" when call constructs an
-// xrand generator (qualified or, inside the xrand package itself,
-// unqualified), else "".
+// xrandConstructor returns the function name when call constructs or
+// seeds an xrand generator — New, NewStream, Split, or SplitSeed —
+// (qualified or, inside the xrand package itself, unqualified), else "".
 func xrandConstructor(pkg *Package, call *ast.CallExpr) string {
 	fn := calleeFunc(pkg, call.Fun)
 	if fn == nil || !pkgPathSuffix(fn.Pkg(), "xrand") {
 		return ""
 	}
-	if fn.Name() == "New" || fn.Name() == "NewStream" {
+	switch fn.Name() {
+	case "New", "NewStream", "Split", "SplitSeed":
 		return fn.Name()
 	}
 	return ""

@@ -69,6 +69,39 @@ func f(m map[int]int, i int) *xrand.Rand {
 	wantFindings(t, got, "seedflow", 6)
 }
 
+func TestSeedFlowSplitHazardousSeed(t *testing.T) {
+	src := `package fixture
+
+import "chordbalance/internal/xrand"
+
+func f(m map[int]bool, shard uint64) *xrand.Rand {
+	return xrand.Split(uint64(len(m)), shard)
+}
+`
+	got := checkFixture(t, SeedFlow(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "seedflow", 6)
+}
+
+func TestSeedFlowSplitHazardousStreamID(t *testing.T) {
+	// The stream ID is the second half of the derivation: a
+	// schedule-dependent ID corrupts the derived stream just as surely as
+	// a bad seed, so both arguments are checked.
+	src := `package fixture
+
+import (
+	"time"
+
+	"chordbalance/internal/xrand"
+)
+
+func f(seed uint64) uint64 {
+	return xrand.SplitSeed(seed, uint64(time.Now().UnixNano()))
+}
+`
+	got := checkFixture(t, SeedFlow(), map[string]string{"internal/fix/a.go": src})
+	wantFindings(t, got, "seedflow", 10)
+}
+
 func TestSeedFlowCleanSeeds(t *testing.T) {
 	src := `package fixture
 
@@ -78,10 +111,12 @@ const base = 0x9e3779b97f4a7c15
 
 type cfg struct{ Seed uint64 }
 
-func f(c cfg, trial int, ks []int) *xrand.Rand {
+func f(c cfg, trial int, shard uint64, ks []int) *xrand.Rand {
 	_ = xrand.New(1)
 	_ = xrand.New(c.Seed ^ base)
 	_ = xrand.NewStream(c.Seed, trial)
+	_ = xrand.Split(c.Seed, shard)
+	_ = xrand.SplitSeed(c.Seed, uint64(trial))
 	// len of a slice is deterministic and allowed.
 	return xrand.New(uint64(len(ks)))
 }

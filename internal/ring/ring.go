@@ -16,18 +16,26 @@
 // list onto its successor's.
 //
 // Hot-path performance (docs/PERFORMANCE.md): every node carries a
-// self-repairing index hint, so Succ/Pred/PredID are O(1) between
-// topology changes and never worse than one binary search after one;
-// searches are inlined (no sort.Search closures, zero allocations); Seed
-// sorts each incoming batch by identifier once (radix-assisted for large
-// batches), hands every owner its contiguous segment — one binary search
-// per distinct owner, not per key — and merges it with the node's
-// residual keys in a single two-run pass; Remove reuses the successor's
-// consumed front (or hands the whole window over) instead of allocating
-// a merged slice whenever it can; and the ring order itself is an array
-// of 4-byte slot indices into a stable node arena, so the splice a join
-// or leave performs is a barrier-free memmove of half the bytes a
-// pointer slice would move.
+// self-repairing position hint, so Succ/Pred/PredID are O(1) between
+// topology changes and never worse than one segment-local binary search
+// after one; searches are inlined (no sort.Search closures, zero
+// allocations); Seed sorts each incoming batch by identifier once
+// (radix-assisted for large batches), hands every owner its contiguous
+// segment — one binary search per distinct owner, not per key — and
+// merges it with the node's residual keys in a single two-run pass;
+// Remove reuses the successor's consumed front (or hands the whole
+// window over) instead of allocating a merged slice whenever it can.
+//
+// The ring order itself is stored as *segments* of 4-byte slot indices
+// into a stable node arena. Build picks a power-of-two segment count
+// sized to the population (~512 nodes per segment, a single segment for
+// small rings) and routes each identifier to the segment addressed by
+// its top 16 bits, so segment order concatenated is exactly ascending ID
+// order. A join or leave then splices one segment — an O(n/S) barrier-
+// free memmove instead of the O(n) splice a flat order array pays, which
+// is the difference between quadratic and near-linear total churn cost
+// on 100k–1M-node rings. Segments double as the shard-aware iteration
+// surface (Arcs) the parallel tick engine in internal/sim scans.
 package ring
 
 import (
@@ -68,20 +76,34 @@ const (
 	ConsumeAlternate
 )
 
+// Segment geometry: Build aims for about segTarget nodes per segment and
+// never exceeds 1<<segMaxBits segments (the segment address is the ID's
+// top 16 bits right-shifted, so 12 bits leaves at least a 4-bit shift).
+const (
+	segTarget  = 512
+	segMaxBits = 12
+)
+
 // Ring is a set of virtual nodes ordered by identifier, each owning a
 // contiguous arc of the key space. T is caller data attached to each node
 // (the simulator stores its host bookkeeping there).
 type Ring[T any] struct {
-	// The ring order lives in order: order[i] is the slot (index into the
-	// stable slots arena) of the i-th node ascending by ID. Keeping the
-	// spliced array as 4-byte integers instead of pointers makes every
-	// join/leave splice a plain memmove of half the bytes with no GC
-	// write barriers — under heavy churn on large rings that splice is
-	// the single largest per-event cost. slots never moves an entry;
-	// freed slots are recycled LIFO through free.
-	slots     []*Node[T]
-	free      []int32
-	order     []int32
+	// The ring order lives in segs: segment s holds, ascending by ID, the
+	// slots (indices into the stable slots arena) of every node whose
+	// identifier's top 16 bits shifted right by segShift equal s. That
+	// address is monotone in the ID, so iterating segments in index order
+	// visits nodes in exactly ascending ID order. Keeping spliced arrays
+	// as 4-byte integers instead of pointers makes every join/leave
+	// splice a plain memmove with no GC write barriers, and segmenting
+	// bounds each splice at one segment instead of the whole ring.
+	// slots never moves an entry; freed slots are recycled LIFO through
+	// free.
+	slots    []*Node[T]
+	free     []int32
+	segs     [][]int32
+	segShift uint
+	count    int
+
 	totalKeys int
 	mode      ConsumeMode
 
@@ -199,55 +221,57 @@ type Node[T any] struct {
 	// bias every later split.
 	fromBack bool
 
-	// idx is a self-repairing position hint: when r.order[idx] == slot it
-	// is exact and indexOf is O(1). Insert/Remove shift positions without
-	// eagerly rewriting every hint to their right (that would make each
-	// splice strictly more expensive than its memmove); a stale hint is
-	// detected by the identity check and repaired with one binary search
-	// on first use. See docs/PERFORMANCE.md for the invariant. slot is
-	// the node's fixed position in the ring's arena, assigned at insert
-	// and never moved while the node is on the ring.
-	idx  int
+	// seg is the node's segment, fixed for its lifetime (it is a pure
+	// function of the immutable ID and the ring's segment shift). off is
+	// a self-repairing offset hint within that segment: when
+	// segs[seg][off] == slot it is exact and posOf is O(1).
+	// Insert/Remove shift offsets without eagerly rewriting every hint to
+	// their right (that would make each splice strictly more expensive
+	// than its memmove); a stale hint is detected by the identity check
+	// and repaired with one segment-local binary search on first use. See
+	// docs/PERFORMANCE.md for the invariant. slot is the node's fixed
+	// position in the ring's arena, assigned at insert and never moved
+	// while the node is on the ring.
+	seg  int32
+	off  int32
 	slot int32
 
 	r *Ring[T]
 }
 
 // New returns an empty ring.
-func New[T any]() *Ring[T] { return &Ring[T]{} }
+func New[T any]() *Ring[T] {
+	return &Ring[T]{segs: make([][]int32, 1), segShift: 16}
+}
 
 // Len returns the number of nodes on the ring.
-func (r *Ring[T]) Len() int { return len(r.order) }
+func (r *Ring[T]) Len() int { return r.count }
 
 // TotalKeys returns the number of unconsumed keys across all nodes.
 func (r *Ring[T]) TotalKeys() int { return r.totalKeys }
 
-// at returns the i-th node in ascending ID order without bounds niceties;
-// it is the internal hot accessor behind At/Succ/Seed and inlines to two
-// loads.
-func (r *Ring[T]) at(i int) *Node[T] { return r.slots[r.order[i]] }
+// Segments returns the number of order segments the ring order is split
+// across (a power of two; 1 for incrementally built rings).
+func (r *Ring[T]) Segments() int { return len(r.segs) }
 
-// At returns the i-th node in ascending ID order. It panics if i is out of
-// range, mirroring slice indexing.
-func (r *Ring[T]) At(i int) *Node[T] { return r.at(i) }
-
-// Get returns the node with exactly the given ID, if present.
-func (r *Ring[T]) Get(id ids.ID) (*Node[T], bool) {
-	i := r.searchID(id)
-	if i < len(r.order) && r.at(i).id == id {
-		return r.at(i), true
-	}
-	return nil, false
+// segOf returns the segment addressed by id's top 16 bits.
+func (r *Ring[T]) segOf(id ids.ID) int {
+	return (int(id[0])<<8 | int(id[1])) >> r.segShift
 }
 
-// searchID returns the insertion index for id: the first position whose
-// node ID is >= id. The binary search is inlined (rather than using
-// sort.Search) so the hot lookup paths stay allocation- and closure-free.
-func (r *Ring[T]) searchID(id ids.ID) int {
-	lo, hi := 0, len(r.order)
+// node returns the node stored at segment position (s, off).
+func (r *Ring[T]) node(s, off int) *Node[T] { return r.slots[r.segs[s][off]] }
+
+// searchIn returns the insertion offset for id within segment s: the
+// first offset whose node ID is >= id. The binary search is inlined
+// (rather than using sort.Search) so the hot lookup paths stay
+// allocation- and closure-free.
+func (r *Ring[T]) searchIn(s int, id ids.ID) int {
+	seg := r.segs[s]
+	lo, hi := 0, len(seg)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if r.at(mid).id.Less(id) {
+		if r.slots[seg[mid]].id.Less(id) {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -256,44 +280,127 @@ func (r *Ring[T]) searchID(id ids.ID) int {
 	return lo
 }
 
+// occupiedFrom resolves the possibly-virtual position (s, off) — off may
+// equal len(segs[s]) — to the first occupied position at or after it,
+// wrapping past the highest segment to the lowest. The ring must be
+// non-empty.
+func (r *Ring[T]) occupiedFrom(s, off int) (int, int) {
+	for off >= len(r.segs[s]) {
+		s++
+		if s == len(r.segs) {
+			s = 0
+		}
+		off = 0
+	}
+	return s, off
+}
+
+// occupiedBefore returns the last occupied position strictly before the
+// possibly-virtual position (s, off), wrapping below the lowest segment
+// to the highest. The ring must be non-empty.
+func (r *Ring[T]) occupiedBefore(s, off int) (int, int) {
+	for off == 0 {
+		s--
+		if s < 0 {
+			s = len(r.segs) - 1
+		}
+		off = len(r.segs[s])
+	}
+	return s, off - 1
+}
+
+// stepNext advances one node clockwise from the occupied position (s, off).
+func (r *Ring[T]) stepNext(s, off int) (int, int) {
+	return r.occupiedFrom(s, off+1)
+}
+
+// firstPos returns the position of the lowest-ID node. The ring must be
+// non-empty.
+func (r *Ring[T]) firstPos() (int, int) { return r.occupiedFrom(0, 0) }
+
+// lastPos returns the position of the highest-ID node. The ring must be
+// non-empty.
+func (r *Ring[T]) lastPos() (int, int) {
+	s := len(r.segs) - 1
+	return r.occupiedBefore(s, len(r.segs[s]))
+}
+
+// At returns the i-th node in ascending ID order. It panics if i is out
+// of range, mirroring slice indexing. It walks the segment lengths
+// (O(segments)); hot paths address nodes by *Node, not by rank.
+func (r *Ring[T]) At(i int) *Node[T] {
+	if i >= 0 {
+		for _, seg := range r.segs {
+			if i < len(seg) {
+				return r.slots[seg[i]]
+			}
+			i -= len(seg)
+		}
+	}
+	panic("ring: At index out of range")
+}
+
+// Get returns the node with exactly the given ID, if present.
+func (r *Ring[T]) Get(id ids.ID) (*Node[T], bool) {
+	s := r.segOf(id)
+	off := r.searchIn(s, id)
+	if off < len(r.segs[s]) {
+		if n := r.node(s, off); n.id == id {
+			return n, true
+		}
+	}
+	return nil, false
+}
+
 // Owner returns the node responsible for key: the first node clockwise at
 // or after the key. It returns nil on an empty ring.
 func (r *Ring[T]) Owner(key ids.ID) *Node[T] {
-	if len(r.order) == 0 {
+	if r.count == 0 {
 		return nil
 	}
-	i := r.searchID(key)
-	if i == len(r.order) {
-		i = 0 // wraps past the highest ID to the lowest
-	}
-	return r.at(i)
+	s := r.segOf(key)
+	s, off := r.occupiedFrom(s, r.searchIn(s, key)) // wraps past the highest ID to the lowest
+	return r.node(s, off)
 }
 
-// indexOf locates n on the ring: O(1) when n's hint is exact, one binary
-// search (which also repairs the hint) when a splice has shifted it. It
-// panics if n was removed; the caller holding a stale node is a logic
-// error worth failing loudly on.
-func (r *Ring[T]) indexOf(n *Node[T]) int {
+// posOf locates n on the ring: O(1) when n's offset hint is exact, one
+// segment-local binary search (which also repairs the hint) when a
+// splice has shifted it. It panics if n was removed; the caller holding
+// a stale node is a logic error worth failing loudly on.
+func (r *Ring[T]) posOf(n *Node[T]) (int, int) {
 	if n.r != r {
 		panic(ErrRemoved)
 	}
-	if i := n.idx; i < len(r.order) && r.order[i] == n.slot {
-		return i
+	s := int(n.seg)
+	if off := int(n.off); off < len(r.segs[s]) && r.segs[s][off] == n.slot {
+		return s, off
 	}
-	i := r.searchID(n.id)
-	if i >= len(r.order) || r.order[i] != n.slot {
-		panic(fmt.Sprintf("ring: node %s not found at its index", n.id.Short()))
+	off := r.searchIn(s, n.id)
+	if off >= len(r.segs[s]) || r.segs[s][off] != n.slot {
+		panic(fmt.Sprintf("ring: node %s not found at its position", n.id.Short()))
 	}
-	n.idx = i
-	return i
+	n.off = int32(off)
+	return s, off
 }
 
 // Succ returns the k-th successor of n clockwise (k >= 1 typical; k == 0
-// returns n itself). Wraps around the ring.
+// returns n itself). Wraps around the ring. Negative k walks
+// counterclockwise; steps are taken along the shorter direction after
+// reducing k modulo the ring size.
 func (r *Ring[T]) Succ(n *Node[T], k int) *Node[T] {
-	i := r.indexOf(n)
-	m := len(r.order)
-	return r.at(((i + k) % m + m) % m)
+	s, off := r.posOf(n)
+	m := r.count
+	k = ((k % m) + m) % m
+	if 2*k > m {
+		k -= m // walk the short way round
+	}
+	for ; k > 0; k-- {
+		s, off = r.stepNext(s, off)
+	}
+	for ; k < 0; k++ {
+		s, off = r.occupiedBefore(s, off)
+	}
+	return r.node(s, off)
 }
 
 // Pred returns the k-th predecessor of n counterclockwise.
@@ -305,25 +412,25 @@ func (r *Ring[T]) Pred(n *Node[T], k int) *Node[T] {
 // the current owner of id. It returns ErrOccupied if a node already has
 // that ID.
 func (r *Ring[T]) Insert(id ids.ID, data T) (*Node[T], error) {
-	i := r.searchID(id)
-	if i < len(r.order) && r.at(i).id == id {
+	s := r.segOf(id)
+	off := r.searchIn(s, id)
+	if off < len(r.segs[s]) && r.node(s, off).id == id {
 		return nil, ErrOccupied
 	}
 	n := &Node[T]{id: id, Data: data, r: r}
 	n.slot = r.alloc(n)
-	if len(r.order) == 0 {
-		r.order = append(r.order, n.slot)
-		n.idx = 0
+	n.seg, n.off = int32(s), int32(off)
+	if r.count == 0 {
+		r.segs[s] = append(r.segs[s], n.slot)
+		r.count = 1
 		return n, nil
 	}
-	// The node that currently owns id (n's successor-to-be).
-	si := i
-	if si == len(r.order) {
-		si = 0
-	}
-	succ := r.at(si)
-	// n's predecessor is the node before the insertion point.
-	pred := r.at(((i - 1) % len(r.order) + len(r.order)) % len(r.order))
+	// The node that currently owns id (n's successor-to-be) and n's
+	// predecessor, the node before the insertion point.
+	ss, soff := r.occupiedFrom(s, off)
+	succ := r.node(ss, soff)
+	ps, poff := r.occupiedBefore(s, off)
+	pred := r.node(ps, poff)
 
 	// Split succ's keys: n takes those in (pred, id], i.e. the active
 	// prefix whose ring distance from pred.id is <= dist(pred, id).
@@ -343,13 +450,15 @@ func (r *Ring[T]) Insert(id ids.ID, data T) (*Node[T], error) {
 	succ.keys = active[cut:]
 	succ.head = 0
 
-	// Splice into the order array. Hints of the shifted nodes go stale
-	// and self-repair on their next indexOf; the copy moves plain int32s,
-	// so there is no write-barrier traffic.
-	r.order = append(r.order, 0)
-	copy(r.order[i+1:], r.order[i:])
-	r.order[i] = n.slot
-	n.idx = i
+	// Splice into the segment. Offset hints of the shifted nodes go
+	// stale and self-repair on their next posOf; the copy moves plain
+	// int32s within one segment, so there is no write-barrier traffic
+	// and the move is bounded by the segment length, not the ring size.
+	seg := append(r.segs[s], 0)
+	copy(seg[off+1:], seg[off:])
+	seg[off] = n.slot
+	r.segs[s] = seg
+	r.count++
 	return n, nil
 }
 
@@ -371,8 +480,13 @@ func (r *Ring[T]) alloc(n *Node[T]) int32 {
 // attached to the node at nodeIDs[i], and the returned slice is in input
 // order (not ring order). The ring must be empty and the IDs unique; no
 // keys move because there are none yet — callers seed keys afterwards.
+//
+// Build also fixes the ring's segment geometry for the population:
+// roughly segTarget nodes per segment, so later Insert/Remove splices
+// touch one segment. Rings grown node-by-node from New keep a single
+// segment, which is exactly the flat order array smaller rings want.
 func (r *Ring[T]) Build(nodeIDs []ids.ID, data []T) ([]*Node[T], error) {
-	if len(r.order) != 0 {
+	if r.count != 0 {
 		return nil, errors.New("ring: Build requires an empty ring")
 	}
 	if len(nodeIDs) != len(data) {
@@ -394,14 +508,22 @@ func (r *Ring[T]) Build(nodeIDs []ids.ID, data []T) ([]*Node[T], error) {
 			return nil, ErrOccupied
 		}
 	}
+	bits := 0
+	for len(sorted)>>bits > segTarget && bits < segMaxBits {
+		bits++
+	}
+	r.segShift = uint(16 - bits)
+	r.segs = make([][]int32, 1<<bits)
 	r.slots = sorted
 	r.free = r.free[:0]
-	r.order = make([]int32, len(sorted))
 	for i, n := range sorted {
-		r.order[i] = int32(i)
 		n.slot = int32(i)
-		n.idx = i
+		s := r.segOf(n.id)
+		n.seg = int32(s)
+		n.off = int32(len(r.segs[s]))
+		r.segs[s] = append(r.segs[s], n.slot)
 	}
+	r.count = len(sorted)
 	return out, nil
 }
 
@@ -414,21 +536,27 @@ func (s nodesByID[T]) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
 
 // Remove takes n off the ring, handing its unconsumed keys to its
 // successor (Chord's failure/departure behavior under active backup).
-// Removing the final node is only allowed once no keys remain.
+// The hand-off crosses segment boundaries transparently: the successor
+// is found by the wrapping position walk, so a departure at the edge of
+// one segment hands its keys to the first node of the next non-empty
+// segment exactly as a flat order array would. Removing the final node
+// is only allowed once no keys remain.
 func (r *Ring[T]) Remove(n *Node[T]) error {
 	if n.r != r {
 		return ErrRemoved
 	}
-	i := r.indexOf(n)
-	if len(r.order) == 1 {
+	s, off := r.posOf(n)
+	if r.count == 1 {
 		if n.Workload() > 0 {
 			return ErrLastNode
 		}
-		r.order = r.order[:0]
+		r.segs[s] = r.segs[s][:0]
+		r.count = 0
 		r.release(n)
 		return nil
 	}
-	succ := r.at((i + 1) % len(r.order))
+	ss, soff := r.stepNext(s, off)
+	succ := r.node(ss, soff)
 	if w := n.Workload(); w > 0 {
 		// n's keys precede succ's in ring order from n's predecessor.
 		switch sw := succ.Workload(); {
@@ -452,8 +580,10 @@ func (r *Ring[T]) Remove(n *Node[T]) error {
 			succ.head = 0
 		}
 	}
-	copy(r.order[i:], r.order[i+1:])
-	r.order = r.order[:len(r.order)-1]
+	seg := r.segs[s]
+	copy(seg[off:], seg[off+1:])
+	r.segs[s] = seg[:len(seg)-1]
+	r.count--
 	r.release(n)
 	n.keys = nil
 	return nil
@@ -489,14 +619,15 @@ func (s idKeys) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
 // ring-distance order from its predecessor. With a single node the two
 // segments compose to the whole circle, so no special case is needed.
 func (r *Ring[T]) Seed(taskKeys []ids.ID) error {
-	if len(r.order) == 0 {
+	if r.count == 0 {
 		return ErrEmpty
 	}
 	sorted := r.seedScratch[:0]
 	sorted = append(sorted, taskKeys...)
 	sorted = r.sortIDs(sorted)
-	m := len(r.order)
-	first, last := r.at(0), r.at(m-1)
+	fs, foff := r.firstPos()
+	ls, loff := r.lastPos()
+	first, last := r.node(fs, foff), r.node(ls, loff)
 	// headEnd: first sorted key strictly above the first node's ID.
 	lo, hi := 0, len(sorted)
 	for lo < hi {
@@ -519,15 +650,20 @@ func (r *Ring[T]) Seed(taskKeys []ids.ID) error {
 		}
 	}
 	tailStart := lo
-	// Middle segments: each run of keys in (nodes[i-1], nodes[i]].
+	// Middle segments: each run of keys in (pred, owner].
 	for lo := headEnd; lo < tailStart; {
-		i := r.searchID(sorted[lo]) // in [1, m-1]: key > first.id, <= last.id
-		n := r.at(i)
+		os := r.segOf(sorted[lo])
+		// The owner exists without wrapping: sorted[lo] > first.id and
+		// <= last.id.
+		os, ooff := r.occupiedFrom(os, r.searchIn(os, sorted[lo]))
+		n := r.node(os, ooff)
+		ps, poff := r.occupiedBefore(os, ooff)
+		predID := r.node(ps, poff).id
 		hi := lo + 1
 		for hi < tailStart && !n.id.Less(sorted[hi]) {
 			hi++
 		}
-		n.mergeSeed(r.at(i-1).id, sorted[lo:hi])
+		n.mergeSeed(predID, sorted[lo:hi])
 		lo = hi
 	}
 	// The wrapping node: tail segment (keys > last) precedes the head
@@ -583,11 +719,60 @@ func (n *Node[T]) mergeSeed(predID ids.ID, run []ids.ID) {
 
 // Workloads returns every node's residual key count in ring order.
 func (r *Ring[T]) Workloads() []int {
-	out := make([]int, len(r.order))
-	for i := range out {
-		out[i] = r.at(i).Workload()
+	out := make([]int, 0, r.count)
+	for _, seg := range r.segs {
+		for _, slot := range seg {
+			out = append(out, r.slots[slot].Workload())
+		}
 	}
 	return out
+}
+
+// ArcView is a read-only view of one contiguous run of order segments —
+// the shard-aware iteration surface for parallel scans. Arc views from
+// one Arcs call cover disjoint node sets whose concatenation in arc
+// order is exactly ring order, so a per-arc scan merged arc-by-arc is
+// indistinguishable from one serial pass. Callers may run Each on
+// different arcs concurrently provided fn neither mutates ring topology
+// nor touches nodes outside its arc.
+type ArcView[T any] struct {
+	r      *Ring[T]
+	lo, hi int // segment range [lo, hi)
+}
+
+// Arcs partitions the ring order into at most k contiguous arcs of whole
+// segments. Fewer than k arcs are returned when the ring has fewer
+// segments than k.
+func (r *Ring[T]) Arcs(k int) []ArcView[T] {
+	if k < 1 {
+		k = 1
+	}
+	if k > len(r.segs) {
+		k = len(r.segs)
+	}
+	out := make([]ArcView[T], k)
+	for i := range out {
+		out[i] = ArcView[T]{r: r, lo: i * len(r.segs) / k, hi: (i + 1) * len(r.segs) / k}
+	}
+	return out
+}
+
+// Each visits the arc's nodes in ascending ID order.
+func (a ArcView[T]) Each(fn func(*Node[T])) {
+	for s := a.lo; s < a.hi; s++ {
+		for _, slot := range a.r.segs[s] {
+			fn(a.r.slots[slot])
+		}
+	}
+}
+
+// Len returns the number of nodes currently inside the arc.
+func (a ArcView[T]) Len() int {
+	n := 0
+	for s := a.lo; s < a.hi; s++ {
+		n += len(a.r.segs[s])
+	}
+	return n
 }
 
 // CheckInvariants verifies structural invariants; tests and the simulator's
@@ -595,36 +780,51 @@ func (r *Ring[T]) Workloads() []int {
 // violation found.
 func (r *Ring[T]) CheckInvariants() error {
 	total := 0
-	for i := range r.order {
-		n := r.at(i)
-		if n == nil {
-			return fmt.Errorf("ring: order entry %d points at a freed slot", i)
-		}
-		if int(n.slot) != int(r.order[i]) {
-			return fmt.Errorf("ring: node %s slot field disagrees with order", n.id.Short())
-		}
-		if i > 0 && !r.at(i-1).id.Less(n.id) {
-			return fmt.Errorf("ring: nodes out of order at %d", i)
-		}
-		if n.r != r {
-			return fmt.Errorf("ring: node %s has stale ring pointer", n.id.Short())
-		}
-		if r.indexOf(n) != i {
-			return fmt.Errorf("ring: node %s index hint does not repair to %d", n.id.Short(), i)
-		}
-		pred := r.at(((i - 1) % len(r.order) + len(r.order)) % len(r.order))
-		var prev ids.ID
-		for j, k := range n.keys[n.head:] {
-			if len(r.order) > 1 && !ids.BetweenRightIncl(k, pred.id, n.id) {
-				return fmt.Errorf("ring: node %s holds foreign key %s", n.id.Short(), k.Short())
+	seen := 0
+	var prev *Node[T]
+	if r.count > 0 {
+		ls, loff := r.lastPos()
+		prev = r.node(ls, loff) // the first node's predecessor wraps
+	}
+	for s, seg := range r.segs {
+		for off, slot := range seg {
+			n := r.slots[slot]
+			if n == nil {
+				return fmt.Errorf("ring: segment %d offset %d points at a freed slot", s, off)
 			}
-			d := pred.id.Distance(k)
-			if j > 0 && d.Compare(prev) < 0 {
-				return fmt.Errorf("ring: node %s keys out of ring order", n.id.Short())
+			if n.slot != slot {
+				return fmt.Errorf("ring: node %s slot field disagrees with order", n.id.Short())
 			}
-			prev = d
+			if r.segOf(n.id) != s {
+				return fmt.Errorf("ring: node %s stored in segment %d, addressed to %d", n.id.Short(), s, r.segOf(n.id))
+			}
+			if seen > 0 && !prev.id.Less(n.id) {
+				return fmt.Errorf("ring: nodes out of order at segment %d offset %d", s, off)
+			}
+			if n.r != r {
+				return fmt.Errorf("ring: node %s has stale ring pointer", n.id.Short())
+			}
+			if ps, poff := r.posOf(n); ps != s || poff != off {
+				return fmt.Errorf("ring: node %s position hint does not repair to (%d,%d)", n.id.Short(), s, off)
+			}
+			var prevDist ids.ID
+			for j, k := range n.keys[n.head:] {
+				if r.count > 1 && !ids.BetweenRightIncl(k, prev.id, n.id) {
+					return fmt.Errorf("ring: node %s holds foreign key %s", n.id.Short(), k.Short())
+				}
+				d := prev.id.Distance(k)
+				if j > 0 && d.Compare(prevDist) < 0 {
+					return fmt.Errorf("ring: node %s keys out of ring order", n.id.Short())
+				}
+				prevDist = d
+			}
+			total += n.Workload()
+			prev = n
+			seen++
 		}
-		total += n.Workload()
+	}
+	if seen != r.count {
+		return fmt.Errorf("ring: segments hold %d nodes but count says %d", seen, r.count)
 	}
 	if total != r.totalKeys {
 		return fmt.Errorf("ring: key count drift: counted %d, tracked %d", total, r.totalKeys)
@@ -634,8 +834,8 @@ func (r *Ring[T]) CheckInvariants() error {
 			return fmt.Errorf("ring: free slot %d still holds a node", s)
 		}
 	}
-	if live := len(r.slots) - len(r.free); live != len(r.order) {
-		return fmt.Errorf("ring: arena holds %d live nodes but order lists %d", live, len(r.order))
+	if live := len(r.slots) - len(r.free); live != r.count {
+		return fmt.Errorf("ring: arena holds %d live nodes but order lists %d", live, r.count)
 	}
 	return nil
 }
@@ -652,9 +852,9 @@ func (n *Node[T]) Workload() int { return len(n.keys) - n.head }
 // PredID returns the node's current predecessor ID (its own ID when it is
 // alone on the ring). The arc (PredID, ID] is the node's responsibility.
 func (n *Node[T]) PredID() ids.ID {
-	i := n.r.indexOf(n)
-	m := len(n.r.order)
-	return n.r.at(((i - 1) % m + m) % m).id
+	s, off := n.r.posOf(n)
+	ps, poff := n.r.occupiedBefore(s, off)
+	return n.r.node(ps, poff).id
 }
 
 // Keys returns a copy of the node's unconsumed keys in ring order.
@@ -708,6 +908,18 @@ func (n *Node[T]) SplitKey() (id ids.ID, ok bool) {
 // parity, total-key count) the equivalent sequence of Consume calls
 // would leave.
 func (n *Node[T]) ConsumeN(max int) int {
+	c := n.ConsumeNDeferred(max)
+	n.r.totalKeys -= c
+	return c
+}
+
+// ConsumeNDeferred is ConsumeN without the ring-level total-key update:
+// the node's window moves exactly as ConsumeN moves it, but the caller
+// owns reporting the count back through CommitConsumed. This is the
+// shard-phase form — parallel workers consuming disjoint node sets
+// would otherwise race on the shared total, so each shard sums its
+// consumption locally and the merge phase commits once.
+func (n *Node[T]) ConsumeNDeferred(max int) int {
 	if w := n.Workload(); max > w {
 		max = w
 	}
@@ -736,6 +948,10 @@ func (n *Node[T]) ConsumeN(max int) int {
 	default: // ConsumeFront
 		n.head += max
 	}
-	n.r.totalKeys -= max
 	return max
 }
+
+// CommitConsumed subtracts a batch of deferred consumption (the sum of
+// ConsumeNDeferred returns) from the ring's total-key count. Call it
+// once per parallel phase, after every worker has finished.
+func (r *Ring[T]) CommitConsumed(consumed int) { r.totalKeys -= consumed }

@@ -212,18 +212,7 @@ func TestDeterminismGolden(t *testing.T) {
 		t.Logf("rewrote %s (%d cases)", path, len(order))
 		return
 	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatalf("missing golden file (run with -update to record): %v", err)
-	}
-	want := make(map[string]string)
-	for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
-		name, sum, ok := strings.Cut(line, ": ")
-		if !ok {
-			t.Fatalf("malformed golden line %q", line)
-		}
-		want[name] = sum
-	}
+	want := loadGolden(t, path)
 	for _, name := range order {
 		if want[name] == "" {
 			t.Errorf("%s: no golden entry (run with -update)", name)
@@ -239,6 +228,25 @@ func TestDeterminismGolden(t *testing.T) {
 			t.Errorf("golden entry %s no longer generated", name)
 		}
 	}
+}
+
+// loadGolden parses a name-to-summary golden file recorded by
+// TestDeterminismGolden's -update mode.
+func loadGolden(t *testing.T, path string) map[string]string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to record): %v", err)
+	}
+	want := make(map[string]string)
+	for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		name, sum, ok := strings.Cut(line, ": ")
+		if !ok {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		want[name] = sum
+	}
+	return want
 }
 
 // TestSerialParallelIdentical runs the experiment driver once with a

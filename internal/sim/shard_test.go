@@ -1,0 +1,130 @@
+package sim_test
+
+// Sharded-engine identity tests: Config.Shards is a pure performance
+// knob, so every run must be byte-identical at every shard count — and,
+// stronger, identical to the pre-sharding golden file recorded before
+// the parallel tick engine existed. These tests are the referee for the
+// "deterministic intra-trial parallelism" contract: the golden matrix
+// covers all three consumption modes, every strategy family, churn, and
+// the crash/partition fault plan, i.e. every merge path the sharded
+// phases have.
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"chordbalance/internal/experiments"
+	"chordbalance/internal/sim"
+)
+
+// shardCounts are the fan-outs every identity test exercises. 1 is the
+// literal serial engine; the rest run the parallel phases with real
+// goroutines (ShardWorkers below), so `go test -race` patrols the
+// shard code on every run.
+var shardCounts = []int{1, 2, 4, 8}
+
+// TestShardGoldenIdentity runs the full golden matrix at each shard
+// count against the untouched pre-sharding testdata. Passing proves the
+// sharded consume/churn/snapshot phases and their fixed-order merges
+// changed no emitted byte relative to the single-threaded engine the
+// goldens were recorded from.
+func TestShardGoldenIdentity(t *testing.T) {
+	want := loadGolden(t, filepath.Join("testdata", "determinism_golden.txt"))
+	for _, shards := range shardCounts {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			for _, c := range goldenCases() {
+				cfg := c.cfg
+				cfg.Shards = shards
+				cfg.ShardWorkers = 4
+				res, err := sim.Run(cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", c.name, err)
+				}
+				if want[c.name] == "" {
+					t.Fatalf("%s: no golden entry", c.name)
+				}
+				if got := fullSummary(res); got != want[c.name] {
+					t.Errorf("%s: sharded run drifted from pre-sharding golden:\n got:  %s\n want: %s",
+						c.name, got, want[c.name])
+				}
+			}
+		})
+	}
+}
+
+// TestShardCountInvariant pins shard-count invariance directly: the
+// same config at 0/1/2/4/8 shards — and at different worker caps —
+// must agree byte for byte, including on runs with streaming arrivals
+// and static virtual nodes, which the golden matrix does not cover.
+func TestShardCountInvariant(t *testing.T) {
+	cfgs := map[string]func(shards, workers int) sim.Config{
+		"churn-hetero": func(shards, workers int) sim.Config {
+			cfg := determinismConfig(t, "random", 4711)
+			cfg.Shards = shards
+			cfg.ShardWorkers = workers
+			return cfg
+		},
+		"stream-static-vnodes": func(shards, workers int) sim.Config {
+			cfg := determinismConfig(t, "neighbor", 815)
+			cfg.StreamTasks = 2000
+			cfg.StreamRate = 40
+			cfg.StaticVNodes = 2
+			cfg.Shards = shards
+			cfg.ShardWorkers = workers
+			return cfg
+		},
+	}
+	for name, mk := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			var base string
+			for i, variant := range []struct{ shards, workers int }{
+				{0, 0}, {1, 1}, {2, 4}, {4, 2}, {8, 0},
+			} {
+				res, err := sim.Run(mk(variant.shards, variant.workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := fullSummary(res)
+				if i == 0 {
+					base = got
+					continue
+				}
+				if got != base {
+					t.Errorf("shards=%d workers=%d diverged:\n got:  %s\n want: %s",
+						variant.shards, variant.workers, got, base)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedExperimentsIdentical mirrors TestSerialParallelIdentical
+// one level up: the experiment driver with intra-trial sharding enabled
+// (trials in parallel, each trial itself parallel) must aggregate the
+// exact statistics the fully serial driver produces.
+func TestShardedExperimentsIdentical(t *testing.T) {
+	for _, name := range determinismStrategies {
+		t.Run(name, func(t *testing.T) {
+			fn := func(seed uint64) sim.Config {
+				return determinismConfig(t, name, seed)
+			}
+			var got [3]string
+			for i, opt := range []experiments.Options{
+				{Trials: 4, Seed: 7, Workers: 1},
+				{Trials: 4, Seed: 7, Workers: 1, Shards: 4, ShardWorkers: 2},
+				{Trials: 4, Seed: 7, Workers: 2, Shards: 2, ShardWorkers: 2},
+			} {
+				stat, err := experiments.FactorStat(fn, 0, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got[i] = fmt.Sprintf("%v min=%.9f max=%.9f", stat, stat.Min, stat.Max)
+			}
+			if got[0] != got[1] || got[0] != got[2] {
+				t.Errorf("sharded drivers disagree:\n serial:        %s\n sharded:       %s\n fully parallel: %s",
+					got[0], got[1], got[2])
+			}
+		})
+	}
+}

@@ -48,13 +48,32 @@ func New(seed uint64) *Rand {
 
 // NewStream derives an independent generator for substream i of the given
 // base seed. Use it to give each parallel trial its own deterministic RNG.
+// It is Split restricted to int stream indices and produces the identical
+// stream: NewStream(seed, i) == Split(seed, uint64(i)).
 func NewStream(seed uint64, i int) *Rand {
-	// Mix the stream index through SplitMix64 so that adjacent indices do
-	// not produce correlated xoshiro states.
+	return Split(seed, uint64(i))
+}
+
+// Split derives an independent generator for the given 64-bit stream ID
+// of the base seed. Distinct (seed, streamID) pairs give statistically
+// independent streams, and the derivation is a pure function of its
+// arguments — the sharded tick engine hands shard s the stream
+// Split(trialSeed, s) so per-shard randomness is reproducible regardless
+// of how many shards run or on how many cores.
+func Split(seed, streamID uint64) *Rand {
+	return New(SplitSeed(seed, streamID))
+}
+
+// SplitSeed returns the derived 64-bit seed Split expands into a
+// generator. Use it directly when a substream needs a plain seed (for
+// example to parameterize a config) rather than a *Rand.
+func SplitSeed(seed, streamID uint64) uint64 {
+	// Mix the stream ID through SplitMix64 so that adjacent IDs do not
+	// produce correlated xoshiro states.
 	sm := seed
 	_ = splitMix64(&sm)
-	sm ^= 0x6a09e667f3bcc909 * (uint64(i) + 1)
-	return New(splitMix64(&sm))
+	sm ^= 0x6a09e667f3bcc909 * (streamID + 1)
+	return splitMix64(&sm)
 }
 
 // Uint64 returns the next 64 uniformly distributed bits. The rotates go
