@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint doccheck mdcheck trace-check test test-race cover bench bench-micro bench-gate bench-curve shard-check sweep figures fuzz chaos soak clean
+.PHONY: all build lint doccheck mdcheck trace-check test test-race cover bench bench-micro bench-gate bench-curve shard-check sweep figures fuzz chaos soak stream-soak clean
 
 # The BENCH_<pr> suffix for perf reports; bump per perf-focused PR.
 BENCH_PR ?= 8
@@ -118,7 +118,14 @@ fuzz:
 # with Replicas >= 2. Gated behind a build tag so `go test ./...` stays
 # fast.
 soak:
-	$(GO) test -tags soak -run TestSoak -v -timeout 10m ./internal/netchord/
+	$(GO) test -tags soak -run 'TestSoakCluster|TestSoakDurableStore' -v -timeout 10m ./internal/netchord/
+
+# 30-second streaming soak (docs/STREAMING.md): 32 viewers stream a
+# chunked catalog off a 12-host TCP cluster through cached routes while
+# frames drop and a mid-run partition heals. Gates on a sane rebuffer
+# rate, byte-exact delivery, and zero acked-chunk loss after the heal.
+stream-soak:
+	$(GO) test -tags soak -run TestSoakStream -v -timeout 10m ./internal/netchord/
 
 # Fault-matrix smoke (docs/FAULTS.md): 3 seeds x {crash bursts, 10%
 # message loss, partition+heal} on both the engine and the protocol,

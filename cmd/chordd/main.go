@@ -73,6 +73,7 @@ func run(args []string, out io.Writer) error {
 		churnProb = fs.Float64("churn-prob", 0.05, "per-decision leave+rejoin probability (churn strategy)")
 		dataDir   = fs.String("data", "", "base directory for durable segment logs (empty = memory-backed); restart with the same -seed and -data to recover from the logs")
 		noSync    = fs.Bool("nosync", false, "skip fsync-on-acknowledge (benchmarks only: crashes may lose acked writes)")
+		readWork  = fs.Uint64("read-work", 0, "task units a served read charges its owner, so read pressure drives the strategies (0 = reads are free; see docs/STREAMING.md)")
 
 		// Deterministic fault plan, mapped onto the live sockets
 		// (docs/NETWORK.md; decision streams per docs/FAULTS.md).
@@ -107,6 +108,7 @@ func run(args []string, out io.Writer) error {
 		ChurnProb:          *churnProb,
 		DataDir:            *dataDir,
 		NoSync:             *noSync,
+		ReadWorkUnits:      *readWork,
 	}.WithDefaults()
 
 	var nf *netchord.NetFaults

@@ -17,6 +17,17 @@
 // achieved rates, latency percentiles from the histogram, the
 // collector's progress view with the runtime factor, and the lookup
 // success rate.
+//
+// With -stream the tool instead runs the chunked streaming workload
+// (docs/STREAMING.md): it ingests a deterministic catalog of chunked
+// objects, then plays N concurrent viewers with Zipf object popularity,
+// bounded prefetch, and pipelined fetches, reporting rebuffer rate,
+// deadline misses, and per-chunk latency percentiles. -stream-virtual
+// runs the same workload against a seeded latency model with no cluster
+// at all; its JSON summary is byte-identical across same-seed runs.
+//
+//	dhtload -stream -addr 127.0.0.1:9000 -collector 127.0.0.1:9001 \
+//	        -viewers 32 -hot-bits 4 -stream-chunks 100000 -json
 package main
 
 import (
@@ -70,6 +81,45 @@ type summary struct {
 	VerifyAcked int `json:"verify_acked,omitempty"`
 	VerifyLost  int `json:"verify_lost,omitempty"`
 	VerifyStale int `json:"verify_stale,omitempty"`
+
+	// Net is the collector's cumulative counter view (store acks,
+	// anti-entropy work, streaming deliveries), present when a collector
+	// address was given. It appears in both the put/task summary and the
+	// -stream summary so the two run kinds are directly diffable.
+	Net *netCounters `json:"net,omitempty"`
+}
+
+// netCounters is the slice of the collector's Progress that both
+// workload modes report.
+type netCounters struct {
+	Hosts              int    `json:"hosts"`
+	Consumed           uint64 `json:"consumed"`
+	Residual           uint64 `json:"residual"`
+	StoreAcked         int64  `json:"store_acked"`
+	AntiEntropyRounds  int64  `json:"anti_entropy_rounds"`
+	AntiEntropyRepairs int64  `json:"anti_entropy_repairs"`
+	AntiEntropyBytes   int64  `json:"anti_entropy_bytes"`
+	StreamChunks       uint64 `json:"stream_chunks"`
+	StreamDeadlineMiss uint64 `json:"stream_deadline_miss"`
+	StreamRebuffers    uint64 `json:"stream_rebuffers"`
+	StreamBytes        uint64 `json:"stream_bytes"`
+}
+
+// netCountersFrom projects a collector Progress into the summary shape.
+func netCountersFrom(p netchord.Progress) netCounters {
+	return netCounters{
+		Hosts:              p.Hosts,
+		Consumed:           p.Consumed,
+		Residual:           p.Residual,
+		StoreAcked:         p.Acked,
+		AntiEntropyRounds:  p.AntiEntropyRounds,
+		AntiEntropyRepairs: p.AntiEntropyRepairs,
+		AntiEntropyBytes:   p.AntiEntropyBytes,
+		StreamChunks:       p.StreamChunks,
+		StreamDeadlineMiss: p.StreamDeadlineMiss,
+		StreamRebuffers:    p.StreamRebuffers,
+		StreamBytes:        p.StreamBytes,
+	}
 }
 
 func run(args []string, out io.Writer) error {
@@ -90,15 +140,66 @@ func run(args []string, out io.Writer) error {
 		tick      = fs.Duration("tick", 5*time.Millisecond, "logical tick length (must match the cluster's)")
 		jsonOut   = fs.Bool("json", false, "emit the summary as JSON (for scripting)")
 		tracePath = fs.String("trace", "", "write the latency histogram as a JSONL trace to this file")
+
+		stream        = fs.Bool("stream", false, "run the chunked streaming workload instead of the put/task phases")
+		streamVirtual = fs.Bool("stream-virtual", false, "stream against a seeded virtual network model: no cluster, byte-identical JSON per seed")
+		viewers       = fs.Int("viewers", 16, "concurrent playback sessions (-stream)")
+		objects       = fs.Int("objects", 64, "objects in the streaming catalog (-stream)")
+		objectChunks  = fs.Int("object-chunks", 128, "chunks per object (-stream)")
+		chunkBytes    = fs.Int("chunk-bytes", 2048, "payload bytes per chunk (-stream)")
+		tailBytes     = fs.Int("tail-bytes", 0, "bytes in each object's final chunk, 0 = full size (-stream)")
+		chunkDur      = fs.Duration("chunk-dur", 2*time.Millisecond, "playback duration of one chunk, i.e. chunk bytes over the bitrate (-stream)")
+		zipfS         = fs.Float64("zipf", 1.0, "object popularity exponent, 0 = uniform (-stream)")
+		startupChunks = fs.Int("startup-chunks", 2, "chunks buffered before playback starts (-stream)")
+		streamWindow  = fs.Int("stream-window", 16, "prefetch window in chunks ahead of the playhead, 0 = unbounded (-stream)")
+		streamInFl    = fs.Int("stream-inflight", 4, "pipelined fetches per viewer (-stream)")
+		midJoin       = fs.Float64("midjoin-prob", 0.1, "probability a session joins mid-object (-stream)")
+		streamChunks  = fs.Uint64("stream-chunks", 0, "stop after this many delivered chunks, 0 = one session per viewer (-stream)")
+		streamSLO     = fs.Duration("stream-slo", 0, "per-chunk fetch latency objective, 0 = off (-stream)")
+		streamMax     = fs.Duration("stream-max", 0, "hard wall-clock cap on the streaming run, 0 = none (-stream)")
+		ingestWorkers = fs.Int("ingest-workers", 8, "parallel put workers during catalog ingest (-stream)")
+		vLatency      = fs.Duration("virtual-latency", time.Millisecond, "base fetch latency of the virtual network (-stream-virtual)")
+		vJitter       = fs.Duration("virtual-jitter", 2*time.Millisecond, "mean exponential latency jitter of the virtual network (-stream-virtual)")
+		vLoss         = fs.Float64("virtual-loss", 0, "fetch loss probability of the virtual network (-stream-virtual)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *addr == "" {
-		return fmt.Errorf("-addr is required")
-	}
 	if *hotBits < 0 || *hotBits >= ids.Bits {
 		return fmt.Errorf("-hot-bits must be in [0, %d)", ids.Bits)
+	}
+	if *stream || *streamVirtual {
+		return runStream(streamOpts{
+			virtual:       *streamVirtual,
+			addr:          *addr,
+			collector:     *collector,
+			seed:          *seed,
+			hotBits:       *hotBits,
+			tick:          *tick,
+			jsonOut:       *jsonOut,
+			tracePath:     *tracePath,
+			viewers:       *viewers,
+			objects:       *objects,
+			objectChunks:  *objectChunks,
+			chunkBytes:    *chunkBytes,
+			tailBytes:     *tailBytes,
+			chunkDur:      *chunkDur,
+			zipfS:         *zipfS,
+			startupChunks: *startupChunks,
+			window:        *streamWindow,
+			inflight:      *streamInFl,
+			midJoin:       *midJoin,
+			target:        *streamChunks,
+			slo:           *streamSLO,
+			maxRun:        *streamMax,
+			ingestWorkers: *ingestWorkers,
+			vLatency:      *vLatency,
+			vJitter:       *vJitter,
+			vLoss:         *vLoss,
+		}, out)
+	}
+	if *addr == "" {
+		return fmt.Errorf("-addr is required")
 	}
 	if *batch == 0 {
 		*batch = 1
@@ -276,9 +377,11 @@ func run(args []string, out io.Writer) error {
 	if elapsed := time.Since(started).Seconds(); elapsed > 0 {
 		s.AchievedRPS = float64(len(latencies)) / elapsed
 	}
-	s.LatencyP50us = stats.Percentile(latencies, 0.50)
-	s.LatencyP90us = stats.Percentile(latencies, 0.90)
-	s.LatencyP99us = stats.Percentile(latencies, 0.99)
+	if len(latencies) > 0 {
+		s.LatencyP50us = stats.Percentile(latencies, 50)
+		s.LatencyP90us = stats.Percentile(latencies, 90)
+		s.LatencyP99us = stats.Percentile(latencies, 99)
+	}
 
 	// Phase 3: poll the collector until every submitted unit is
 	// consumed and nothing is residual.
@@ -298,6 +401,15 @@ func run(args []string, out io.Writer) error {
 				break
 			}
 			time.Sleep(cfg.Ticks(cfg.ReportEveryTicks * 4))
+		}
+	}
+
+	// The collector's cumulative counter view, for diffing against
+	// streaming runs (see netCounters).
+	if *collector != "" {
+		if p, err := netchord.FetchStats(tr, cfg, *collector); err == nil {
+			nc := netCountersFrom(p)
+			s.Net = &nc
 		}
 	}
 
@@ -346,6 +458,10 @@ func run(args []string, out io.Writer) error {
 	}
 	if *verify > 0 {
 		fmt.Fprintf(out, "verify acked=%d lost=%d stale=%d\n", s.VerifyAcked, s.VerifyLost, s.VerifyStale)
+	}
+	if s.Net != nil {
+		fmt.Fprintf(out, "store acked=%d anti-entropy rounds=%d repairs=%d bytes=%d\n",
+			s.Net.StoreAcked, s.Net.AntiEntropyRounds, s.Net.AntiEntropyRepairs, s.Net.AntiEntropyBytes)
 	}
 	fmt.Fprintf(out, "lookup-success=%.3f (%d/%d)\n", s.LookupSuccess, s.LookupsOK, s.Lookups)
 	return nil

@@ -24,19 +24,23 @@ var wallClockFuncs = map[string]bool{
 // tick counter is the only clock, so results can never depend on host
 // speed or scheduling. Exemptions: cmd/ (wall-clock progress reporting
 // is fine there, see cmd/dhtsweep), examples/, test files (which may
-// sleep to exercise real concurrency), and internal/netchord — the
+// sleep to exercise real concurrency), internal/netchord — the
 // networked runtime is deliberately real-time (deadlines, tickers,
 // backoff sleeps are its whole point; see docs/NETWORK.md), and it is
 // import-isolated from the simulator so the tick-only guarantee there
-// is untouched. Other deliberate real-time components (internal/chord's
-// Driver) must carry a //lint:ignore with a reason.
+// is untouched — and internal/streamload, whose real-time Engine plays
+// sessions against a wall clock by design (docs/STREAMING.md; its
+// deterministic sibling RunVirtual takes no wall-clock reads either
+// way). Other deliberate real-time components (internal/chord's Driver)
+// must carry a //lint:ignore with a reason.
 func NoWallClock() *Rule {
 	return &Rule{
 		Name: "nowallclock",
 		Doc:  "forbid time.Now/Since/Sleep and timers under internal/; ticks are the only clock",
 		Skip: func(relFile string, isTest bool) bool {
 			return isTest || !strings.HasPrefix(relFile, "internal/") ||
-				strings.HasPrefix(relFile, "internal/netchord/")
+				strings.HasPrefix(relFile, "internal/netchord/") ||
+				strings.HasPrefix(relFile, "internal/streamload/")
 		},
 		Check: func(pkg *Package, file *ast.File, report ReportFunc) {
 			ast.Inspect(file, func(n ast.Node) bool {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"chordbalance/internal/ids"
+	"chordbalance/internal/keys"
 	"chordbalance/internal/wire"
 	"chordbalance/internal/xrand"
 )
@@ -22,22 +23,30 @@ type Client struct {
 	cfg  Config
 	pool *peerPool
 	seed wire.NodeRef
+	id   ids.ID
 	salt uint64
 	seq  atomic.Uint64
 }
 
 // NewClient returns a client that routes through seedAddr. seed feeds
 // the client's idempotency-token salt, so two load generators with
-// different seeds can never collide in a receiver's dedup window.
+// different seeds can never collide in a receiver's dedup window; it
+// also derives the synthetic identity the client reports to collectors
+// (the client itself never occupies a ring position).
 func NewClient(cfg Config, tr Transport, seedAddr string, seed uint64) *Client {
 	cfg = cfg.WithDefaults()
 	return &Client{
 		cfg:  cfg,
 		pool: newPeerPool(tr, cfg, nil, func() ids.ID { return ids.Zero }),
 		seed: wire.NodeRef{Addr: seedAddr},
+		id:   keys.HashUint64(seed ^ 0xc11e47), // "client" salt: a separate stream from the hosts' ID draws
 		salt: xrand.New(seed).Uint64(),
 	}
 }
+
+// ID returns the client's synthetic identity — the key its collector
+// reports are aggregated under.
+func (c *Client) ID() ids.ID { return c.id }
 
 // Close tears down the client's pooled connections.
 func (c *Client) Close() { c.pool.close() }
@@ -137,6 +146,17 @@ func (c *Client) GetVer(key ids.ID) ([]byte, uint64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	return c.GetFrom(owner, key)
+}
+
+// GetFrom fetches key directly from a node the caller already believes
+// owns it, skipping the lookup — the cached-route read path behind
+// streaming fetch pipelines (internal/streamload), where sequential
+// chunks of one object resolve to the same owner for long stretches.
+// Any error (including a not-found at a node that stopped owning the
+// key after churn) tells the caller to drop its cache entry and
+// re-resolve with GetVer.
+func (c *Client) GetFrom(owner wire.NodeRef, key ids.ID) ([]byte, uint64, error) {
 	reply, err := c.pool.call(owner, &wire.Msg{Type: wire.TGet, Key: key})
 	if err != nil {
 		return nil, 0, err
@@ -145,6 +165,30 @@ func (c *Client) GetVer(key ids.ID) ([]byte, uint64, error) {
 		return nil, 0, ErrNotFound
 	}
 	return reply.Value, reply.A, nil
+}
+
+// Owner resolves key's owner — GetVer's lookup half, exposed so a
+// caching fetcher can refresh its route map without refetching bytes.
+func (c *Client) Owner(key ids.ID) (wire.NodeRef, error) {
+	owner, _, err := c.Lookup(key)
+	return owner, err
+}
+
+// ReportStream pushes the client's cumulative streaming counters to
+// the collector at addr: chunks delivered, chunk deadline misses,
+// rebuffer events, and value bytes delivered. Reports are keyed by the
+// client's synthetic identity, so repeated pushes overwrite (never
+// double count) and several clients aggregate.
+func (c *Client) ReportStream(addr string, chunks, misses, rebuffers, bytes uint64) error {
+	_, err := c.pool.call(wire.NodeRef{Addr: addr}, &wire.Msg{
+		Type: wire.TStreamReport,
+		From: wire.NodeRef{ID: c.id},
+		A:    chunks,
+		B:    misses,
+		C:    rebuffers,
+		D:    bytes,
+	})
+	return err
 }
 
 // SubmitTask routes units of work under key to its owner, reusing one

@@ -139,25 +139,9 @@ func (c *Cluster) TotalKeys() int {
 // cmd/dhtload does to poll for workload completion from outside the
 // cluster process.
 func FetchProgress(tr Transport, cfg Config, addr string) (Progress, error) {
-	cfg = cfg.WithDefaults()
-	conn, err := tr.Dial(addr, cfg.rpcTimeout())
+	reply, err := collectorCall(tr, cfg, addr, wire.TProgress, wire.TProgressOK)
 	if err != nil {
 		return Progress{}, err
-	}
-	defer func() { _ = conn.Close() }()
-	deadline := time.Now().Add(cfg.rpcTimeout())
-	if err := conn.SetDeadline(deadline); err != nil {
-		return Progress{}, err
-	}
-	if err := wire.WriteMsg(conn, &wire.Msg{Type: wire.TProgress, Req: 1}); err != nil {
-		return Progress{}, err
-	}
-	reply, err := wire.ReadMsg(conn)
-	if err != nil {
-		return Progress{}, err
-	}
-	if reply.Type != wire.TProgressOK {
-		return Progress{}, fmt.Errorf("%w: %s", ErrRemote, reply.Text)
 	}
 	return Progress{
 		Consumed:  reply.A,
@@ -165,4 +149,45 @@ func FetchProgress(tr Transport, cfg Config, addr string) (Progress, error) {
 		BusyTicks: int(reply.C),
 		Capacity:  reply.D,
 	}, nil
+}
+
+// FetchStats queries a collector for the full statistics blob: the
+// Progress counters plus the storage (net.store.*) and streaming
+// (net.stream.*) aggregates that TProgressOK's four slots cannot carry.
+func FetchStats(tr Transport, cfg Config, addr string) (Progress, error) {
+	reply, err := collectorCall(tr, cfg, addr, wire.TStats, wire.TStatsOK)
+	if err != nil {
+		return Progress{}, err
+	}
+	s, err := wire.DecodeStats(reply.Value)
+	if err != nil {
+		return Progress{}, err
+	}
+	return progressFromStats(s), nil
+}
+
+// collectorCall performs one request/reply exchange with a collector
+// over a fresh connection.
+func collectorCall(tr Transport, cfg Config, addr string, req, want wire.Type) (*wire.Msg, error) {
+	cfg = cfg.WithDefaults()
+	conn, err := tr.Dial(addr, cfg.rpcTimeout())
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = conn.Close() }()
+	deadline := time.Now().Add(cfg.rpcTimeout())
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if err := wire.WriteMsg(conn, &wire.Msg{Type: req, Req: 1}); err != nil {
+		return nil, err
+	}
+	reply, err := wire.ReadMsg(conn)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Type != want {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, reply.Text)
+	}
+	return reply, nil
 }

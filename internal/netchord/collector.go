@@ -44,6 +44,61 @@ type Progress struct {
 	AntiEntropyRepairs int64
 	// AntiEntropyBytes is the summed value bytes anti-entropy moved.
 	AntiEntropyBytes int64
+	// StreamChunks is the summed chunks delivered to streaming viewers
+	// (TStreamReport), and the Stream* fields below its companions. A
+	// streaming client is not a host: these aggregate over registered
+	// clients, keyed by their synthetic identities.
+	StreamChunks uint64
+	// StreamDeadlineMiss is the summed chunk deadline misses.
+	StreamDeadlineMiss uint64
+	// StreamRebuffers is the summed viewer rebuffer events.
+	StreamRebuffers uint64
+	// StreamBytes is the summed value bytes delivered to viewers.
+	StreamBytes uint64
+}
+
+// Stats packs the progress view into the wire blob TStatsOK carries.
+func (p Progress) Stats() wire.Stats {
+	return wire.Stats{
+		Hosts:              uint64(p.Hosts),
+		Consumed:           p.Consumed,
+		Residual:           p.Residual,
+		BusyTicks:          uint64(p.BusyTicks),
+		Capacity:           p.Capacity,
+		Injections:         uint64(p.Injections),
+		InjectedUnits:      p.InjectedUnits,
+		Reports:            uint64(p.Reports),
+		StoreAcked:         uint64(p.Acked),
+		AntiEntropyRounds:  uint64(p.AntiEntropyRounds),
+		AntiEntropyRepairs: uint64(p.AntiEntropyRepairs),
+		AntiEntropyBytes:   uint64(p.AntiEntropyBytes),
+		StreamChunks:       p.StreamChunks,
+		StreamDeadlineMiss: p.StreamDeadlineMiss,
+		StreamRebuffers:    p.StreamRebuffers,
+		StreamBytes:        p.StreamBytes,
+	}
+}
+
+// progressFromStats is the inverse of Progress.Stats, for FetchStats.
+func progressFromStats(s wire.Stats) Progress {
+	return Progress{
+		Hosts:              int(s.Hosts),
+		Consumed:           s.Consumed,
+		Residual:           s.Residual,
+		BusyTicks:          int(s.BusyTicks),
+		Capacity:           s.Capacity,
+		Injections:         int(s.Injections),
+		InjectedUnits:      s.InjectedUnits,
+		Reports:            int64(s.Reports),
+		Acked:              int64(s.StoreAcked),
+		AntiEntropyRounds:  int64(s.AntiEntropyRounds),
+		AntiEntropyRepairs: int64(s.AntiEntropyRepairs),
+		AntiEntropyBytes:   int64(s.AntiEntropyBytes),
+		StreamChunks:       s.StreamChunks,
+		StreamDeadlineMiss: s.StreamDeadlineMiss,
+		StreamRebuffers:    s.StreamRebuffers,
+		StreamBytes:        s.StreamBytes,
+	}
 }
 
 // RuntimeFactor is the paper's headline metric (§V-C): the slowest
@@ -77,6 +132,17 @@ type hostRecord struct {
 	antiBytes  int64
 }
 
+// streamRecord is the collector's per-streaming-client state: the last
+// cumulative TStreamReport from one load generator. Clients are keyed
+// by the synthetic identity their reports carry, so several dhtload
+// -stream processes aggregate without double counting.
+type streamRecord struct {
+	chunks    uint64
+	misses    uint64
+	rebuffers uint64
+	bytes     uint64
+}
+
 // Collector is the runtime's measurement sink: a small wire server that
 // hosts register with (THello), stream consume reports to
 // (TConsumeReport), and announce Sybil births to (TInject). Anyone may
@@ -93,12 +159,14 @@ type Collector struct {
 	cfg Config
 	ln  net.Listener
 
-	mu      sync.Mutex
-	hosts   map[ids.ID]*hostRecord
-	order   []ids.ID // hello order, for deterministic iteration
-	injects int
-	units   uint64
-	reports int64
+	mu       sync.Mutex
+	hosts    map[ids.ID]*hostRecord
+	order    []ids.ID // hello order, for deterministic iteration
+	streams  map[ids.ID]*streamRecord
+	strOrder []ids.ID
+	injects  int
+	units    uint64
+	reports  int64
 
 	tracer     *obs.Tracer
 	mConsumed  *obs.Counter
@@ -112,6 +180,10 @@ type Collector struct {
 	mAntiReps  *obs.Counter
 	mAntiBytes *obs.Counter
 	hRepair    *obs.Histogram
+	mStrChunks *obs.Counter
+	mStrMiss   *obs.Counter
+	mStrRebuf  *obs.Counter
+	mStrBytes  *obs.Counter
 	start      time.Time
 
 	conns     map[net.Conn]struct{}
@@ -129,13 +201,14 @@ func NewCollector(cfg Config, tr Transport, addr string, tracer *obs.Tracer) (*C
 		return nil, err
 	}
 	c := &Collector{
-		cfg:    cfg,
-		ln:     ln,
-		hosts:  make(map[ids.ID]*hostRecord),
-		tracer: tracer,
-		start:  time.Now(),
-		conns:  make(map[net.Conn]struct{}),
-		closed: make(chan struct{}),
+		cfg:     cfg,
+		ln:      ln,
+		hosts:   make(map[ids.ID]*hostRecord),
+		streams: make(map[ids.ID]*streamRecord),
+		tracer:  tracer,
+		start:   time.Now(),
+		conns:   make(map[net.Conn]struct{}),
+		closed:  make(chan struct{}),
 	}
 	if tracer != nil {
 		reg := tracer.Registry()
@@ -151,6 +224,10 @@ func NewCollector(cfg Config, tr Transport, addr string, tracer *obs.Tracer) (*C
 		c.mAntiBytes = reg.Counter("net.store.anti_bytes", "bytes", "value bytes moved by anti-entropy")
 		c.hRepair = reg.Histogram("net.store.repair_batch", "recs",
 			"records repaired per store report interval", obs.LogEdges(1<<20, 4))
+		c.mStrChunks = reg.Counter("net.stream.chunks", "chunks", "chunks delivered to streaming viewers")
+		c.mStrMiss = reg.Counter("net.stream.deadline_miss", "chunks", "chunk deadline misses")
+		c.mStrRebuf = reg.Counter("net.stream.rebuffers", "events", "viewer rebuffer events")
+		c.mStrBytes = reg.Counter("net.stream.bytes", "bytes", "value bytes delivered to viewers")
 		tracer.EmitMeta(obs.F{K: "source", V: "netchord-collector"})
 		tracer.EmitSchema()
 	}
@@ -219,6 +296,13 @@ func (c *Collector) progressLocked() Progress {
 				p.BusyTicks = busy
 			}
 		}
+	}
+	for _, id := range c.strOrder {
+		s := c.streams[id]
+		p.StreamChunks += s.chunks
+		p.StreamDeadlineMiss += s.misses
+		p.StreamRebuffers += s.rebuffers
+		p.StreamBytes += s.bytes
 	}
 	return p
 }
@@ -326,6 +410,28 @@ func (c *Collector) handle(req *wire.Msg) *wire.Msg {
 		c.mu.Unlock()
 		return &wire.Msg{Type: wire.TAck}
 
+	case wire.TStreamReport:
+		c.mu.Lock()
+		s := c.streams[req.From.ID]
+		if s == nil {
+			s = &streamRecord{}
+			c.streams[req.From.ID] = s
+			c.strOrder = append(c.strOrder, req.From.ID)
+		}
+		s.chunks = req.A
+		s.misses = req.B
+		s.rebuffers = req.C
+		s.bytes = req.D
+		c.emitLocked()
+		c.mu.Unlock()
+		return &wire.Msg{Type: wire.TAck}
+
+	case wire.TStats:
+		c.mu.Lock()
+		s := c.progressLocked().Stats()
+		c.mu.Unlock()
+		return &wire.Msg{Type: wire.TStatsOK, Value: wire.AppendStats(nil, &s)}
+
 	case wire.TInject:
 		c.mu.Lock()
 		c.injects++
@@ -368,6 +474,10 @@ func (c *Collector) emitLocked() {
 	c.mAntiRound.Set(p.AntiEntropyRounds)
 	c.mAntiReps.Set(p.AntiEntropyRepairs)
 	c.mAntiBytes.Set(p.AntiEntropyBytes)
+	c.mStrChunks.Set(int64(p.StreamChunks))
+	c.mStrMiss.Set(int64(p.StreamDeadlineMiss))
+	c.mStrRebuf.Set(int64(p.StreamRebuffers))
+	c.mStrBytes.Set(int64(p.StreamBytes))
 	c.tracer.EmitTick(int(time.Since(c.start) / c.cfg.TickEvery))
 }
 

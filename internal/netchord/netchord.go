@@ -121,6 +121,15 @@ type Config struct {
 	// so many ticks a node compares Merkle digests of its primary arc
 	// with its replicas and reconciles the differences. Default 8.
 	AntiEntropyEveryTicks int
+	// ReadWorkUnits couples the read path to the balancing strategies:
+	// every served TGet enqueues this many task units at the serving
+	// node, so read pressure (a viral object under the streaming
+	// workload, docs/STREAMING.md) registers as workload the paper's
+	// strategies can shed — a node drowning in reads stops looking
+	// "idle" to the Sybil triggers and starts looking overloaded to the
+	// invitation threshold. Default 0: reads are free, exactly the
+	// pre-streaming behavior.
+	ReadWorkUnits uint64
 }
 
 // WithDefaults fills unset fields with the defaults above.

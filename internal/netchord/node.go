@@ -1154,6 +1154,18 @@ func (n *Node) handle(req *wire.Msg) *wire.Msg {
 		if err != nil {
 			return errorMsg(CodeUnavailable, "store read: "+err.Error())
 		}
+		// Read-work coupling: a served read charges the owner work
+		// units, so read-heavy arcs surface in the workload signals the
+		// strategies act on. Reads during a leave are still answered
+		// (the data is there) but charge nothing — the leaver's queue
+		// has already been snapshotted for transfer.
+		if units := n.cfg.ReadWorkUnits; units > 0 && ok {
+			n.mu.Lock()
+			if !n.leaving {
+				n.addTaskLocked(req.Key, units)
+			}
+			n.mu.Unlock()
+		}
 		return &wire.Msg{Type: wire.TGetOK, Flag: ok, Value: v, A: ver}
 
 	case wire.TPut:

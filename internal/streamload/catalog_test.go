@@ -1,0 +1,129 @@
+package streamload
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"chordbalance/internal/ids"
+)
+
+func TestCatalogKeysDistinctAndDeterministic(t *testing.T) {
+	cat := &Catalog{Objects: 8, ObjectChunks: 32, ChunkBytes: 256, Salt: 7}
+	if err := cat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[ids.ID]bool)
+	for obj := 0; obj < cat.Objects; obj++ {
+		for c := 0; c < cat.ObjectChunks; c++ {
+			k := cat.ChunkKey(obj, c)
+			if seen[k] {
+				t.Fatalf("duplicate key for object %d chunk %d", obj, c)
+			}
+			seen[k] = true
+		}
+	}
+	other := &Catalog{Objects: 8, ObjectChunks: 32, ChunkBytes: 256, Salt: 7}
+	if cat.ChunkKey(3, 9) != other.ChunkKey(3, 9) {
+		t.Fatal("same-parameter catalogs disagree on keys")
+	}
+	salted := &Catalog{Objects: 8, ObjectChunks: 32, ChunkBytes: 256, Salt: 8}
+	if cat.ChunkKey(3, 9) == salted.ChunkKey(3, 9) {
+		t.Fatal("different salts produced the same key")
+	}
+}
+
+func TestCatalogHotArcContainsEveryKey(t *testing.T) {
+	arcLow := ids.MustHex("8000000000000000000000000000000000000000")
+	cat := &Catalog{Objects: 4, ObjectChunks: 64, ChunkBytes: 64, Salt: 3, HotBits: 4, ArcLow: arcLow}
+	span := ids.PowerOfTwo(ids.Bits - cat.HotBits)
+	for obj := 0; obj < cat.Objects; obj++ {
+		for c := 0; c < cat.ObjectChunks; c++ {
+			off := cat.ChunkKey(obj, c).Sub(arcLow)
+			if !off.Less(span) {
+				t.Fatalf("object %d chunk %d landed outside the hot arc", obj, c)
+			}
+		}
+	}
+	// The skew knob must actually move keys: an unskewed catalog puts
+	// some key outside the arc.
+	flat := &Catalog{Objects: 4, ObjectChunks: 64, ChunkBytes: 64, Salt: 3}
+	outside := false
+	for c := 0; c < flat.ObjectChunks && !outside; c++ {
+		outside = !flat.ChunkKey(0, c).Sub(arcLow).Less(span)
+	}
+	if !outside {
+		t.Fatal("uniform keys all fell in one sixteenth of the ring; hot mapping untestable")
+	}
+}
+
+func TestCatalogPayloadSizesAndVerify(t *testing.T) {
+	cat := &Catalog{Objects: 2, ObjectChunks: 5, ChunkBytes: 100, TailBytes: 37, Salt: 11}
+	if got := len(cat.ChunkPayload(0, 0)); got != 100 {
+		t.Fatalf("full chunk payload %d bytes, want 100", got)
+	}
+	if got := len(cat.ChunkPayload(0, 4)); got != 37 {
+		t.Fatalf("tail chunk payload %d bytes, want 37", got)
+	}
+	if want, got := int64(2*(4*100+37)), cat.TotalBytes(); got != want {
+		t.Fatalf("TotalBytes = %d, want %d", got, want)
+	}
+	if !cat.VerifyChunk(1, 2, cat.ChunkPayload(1, 2)) {
+		t.Fatal("payload failed to verify against itself")
+	}
+	bad := cat.ChunkPayload(1, 2)
+	bad[0] ^= 1
+	if cat.VerifyChunk(1, 2, bad) {
+		t.Fatal("corrupted payload verified")
+	}
+	if cat.VerifyChunk(1, 2, cat.ChunkPayload(1, 3)) {
+		t.Fatal("wrong chunk's payload verified")
+	}
+}
+
+func TestCatalogValidate(t *testing.T) {
+	bad := []Catalog{
+		{Objects: 0, ObjectChunks: 1, ChunkBytes: 1},
+		{Objects: 1, ObjectChunks: 0, ChunkBytes: 1},
+		{Objects: 1, ObjectChunks: 1, ChunkBytes: 0},
+		{Objects: 1, ObjectChunks: 1, ChunkBytes: 8, TailBytes: 9},
+		{Objects: 1, ObjectChunks: 1, ChunkBytes: 8, HotBits: ids.Bits},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid catalog passed validation", i)
+		}
+	}
+}
+
+// countPutter records puts and can fail a specific key.
+type countPutter struct {
+	mu   sync.Mutex
+	n    int
+	fail ids.ID
+}
+
+func (p *countPutter) Put(key ids.ID, value []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if key == p.fail {
+		return errors.New("injected put failure")
+	}
+	p.n++
+	return nil
+}
+
+func TestIngestStoresEveryChunk(t *testing.T) {
+	cat := &Catalog{Objects: 3, ObjectChunks: 7, ChunkBytes: 16, Salt: 2}
+	p := &countPutter{}
+	if err := Ingest(p, cat, 4); err != nil {
+		t.Fatal(err)
+	}
+	if p.n != cat.TotalChunks() {
+		t.Fatalf("ingested %d chunks, want %d", p.n, cat.TotalChunks())
+	}
+	bad := &countPutter{fail: cat.ChunkKey(1, 3)}
+	if err := Ingest(bad, cat, 4); err == nil {
+		t.Fatal("ingest swallowed a put failure")
+	}
+}

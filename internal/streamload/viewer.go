@@ -1,0 +1,272 @@
+package streamload
+
+import "fmt"
+
+// ViewerConfig shapes one playback session. Times are nanoseconds on
+// whatever clock the driver uses — wall time for the Engine, virtual
+// time for RunVirtual; the Viewer never reads a clock itself.
+type ViewerConfig struct {
+	// Chunks is the length of the object being watched.
+	Chunks int
+	// StartChunk is where playback joins: 0 for the beginning, higher
+	// for a mid-object join (a seek, or a live stream joined late).
+	// Chunks before StartChunk are never fetched.
+	StartChunk int
+	// ChunkDur is the playback duration of one chunk in nanoseconds
+	// (chunk bytes * 8 / bitrate). Playback consumes exactly one chunk
+	// per ChunkDur once started.
+	ChunkDur int64
+	// StartupChunks is the buffer needed before playback starts: the
+	// first StartupChunks chunks (from StartChunk) must all be
+	// delivered. Minimum 1.
+	StartupChunks int
+	// Window bounds prefetch: only chunks within Window of the playhead
+	// may be requested. 0 means unbounded. A window smaller than the
+	// startup buffer could never start playback, so it is raised to
+	// StartupChunks.
+	Window int
+	// MaxInFlight bounds pipelined concurrent fetches. Minimum 1.
+	MaxInFlight int
+}
+
+// ViewerStats is one session's outcome counters.
+type ViewerStats struct {
+	// Delivered counts chunks received (each chunk exactly once).
+	Delivered int
+	// DeadlineMiss counts chunks that arrived after the playhead's
+	// schedule needed them.
+	DeadlineMiss int
+	// Rebuffers counts stalls: the playhead reached a chunk boundary
+	// whose chunk had not been delivered.
+	Rebuffers int
+	// StallNs is total time spent stalled.
+	StallNs int64
+	// StartupNs is the time from session creation to playback start
+	// (the startup buffer filling); meaningful only once Started.
+	StartupNs int64
+	// Started reports whether playback ever began.
+	Started bool
+}
+
+// Viewer is the per-session playback state machine: it decides which
+// chunk to fetch next (sequential within a bounded window, pipelined up
+// to MaxInFlight, never the same chunk twice concurrently) and scores
+// deliveries against a playback clock. It is passive and purely
+// deterministic: all time enters through the now arguments, so the same
+// event sequence always produces the same stats — the property the
+// virtual driver's byte-identical runs rest on. Not safe for concurrent
+// use; each session owns one Viewer.
+type Viewer struct {
+	cfg       ViewerConfig
+	delivered []bool
+	requested []bool
+	notBefore []int64 // retry backoff per chunk, set by Fail
+	inFlight  int
+	remaining int // undelivered chunks in [StartChunk, Chunks)
+
+	created   int64
+	started   bool
+	base      int64 // playback origin: deadline(c) = base + (c-StartChunk)*ChunkDur
+	cur       int   // chunk the playhead is on (valid once started)
+	stalled   bool
+	stallFrom int64 // when the current stall began
+	st        ViewerStats
+}
+
+// NewViewer starts a session at time now. It panics on a config with no
+// valid rendering (non-positive Chunks or ChunkDur, StartChunk outside
+// the object) and normalizes the rest: StartupChunks and MaxInFlight
+// are raised to 1, Window to StartupChunks.
+func NewViewer(cfg ViewerConfig, now int64) *Viewer {
+	if cfg.Chunks < 1 {
+		panic(fmt.Sprintf("streamload: viewer needs at least 1 chunk, got %d", cfg.Chunks))
+	}
+	if cfg.ChunkDur < 1 {
+		panic(fmt.Sprintf("streamload: viewer needs positive chunk duration, got %d", cfg.ChunkDur))
+	}
+	if cfg.StartChunk < 0 || cfg.StartChunk >= cfg.Chunks {
+		panic(fmt.Sprintf("streamload: start chunk %d outside object of %d chunks", cfg.StartChunk, cfg.Chunks))
+	}
+	if cfg.StartupChunks < 1 {
+		cfg.StartupChunks = 1
+	}
+	if cfg.MaxInFlight < 1 {
+		cfg.MaxInFlight = 1
+	}
+	if cfg.Window > 0 && cfg.Window < cfg.StartupChunks {
+		cfg.Window = cfg.StartupChunks
+	}
+	return &Viewer{
+		cfg:       cfg,
+		delivered: make([]bool, cfg.Chunks),
+		requested: make([]bool, cfg.Chunks),
+		notBefore: make([]int64, cfg.Chunks),
+		remaining: cfg.Chunks - cfg.StartChunk,
+		created:   now,
+	}
+}
+
+// deadline is when the playhead's schedule consumes chunk c.
+func (v *Viewer) deadline(c int) int64 {
+	return v.base + int64(c-v.cfg.StartChunk)*v.cfg.ChunkDur
+}
+
+// advance replays the playback clock up to now: starting playback once
+// the startup buffer fills, walking the playhead across delivered
+// chunks, and charging rebuffers and stall time where the playhead
+// outran delivery. Counting is retroactive — a delivery that arrives
+// late is scored against the boundary the playhead actually hit, so
+// drivers need not tick the clock at every boundary.
+func (v *Viewer) advance(now int64) {
+	if !v.started {
+		end := v.cfg.StartChunk + v.cfg.StartupChunks
+		if end > v.cfg.Chunks {
+			end = v.cfg.Chunks
+		}
+		for i := v.cfg.StartChunk; i < end; i++ {
+			if !v.delivered[i] {
+				return
+			}
+		}
+		v.started = true
+		v.st.Started = true
+		v.st.StartupNs = now - v.created
+		v.base = now
+		v.cur = v.cfg.StartChunk
+	}
+	for {
+		if v.stalled {
+			if !v.delivered[v.cur] {
+				return
+			}
+			// The awaited chunk arrived (at some point up to now): the
+			// stall ends and every later deadline shifts by its length,
+			// so one slow chunk costs one rebuffer, not a cascade.
+			v.st.StallNs += now - v.stallFrom
+			v.base += now - v.stallFrom
+			v.stalled = false
+			continue
+		}
+		if v.cur >= v.cfg.Chunks-1 {
+			return // playhead on the last chunk: nothing left to reach
+		}
+		// Strictly after the boundary: a chunk delivered at the exact
+		// instant the playhead needs it is on time, never a stall.
+		boundary := v.deadline(v.cur + 1)
+		if now <= boundary {
+			return
+		}
+		v.cur++
+		if !v.delivered[v.cur] {
+			v.stalled = true
+			v.stallFrom = boundary
+			v.st.Rebuffers++
+		}
+	}
+}
+
+// Next returns the next chunk to fetch at time now, marking it in
+// flight, or ok=false when nothing is currently fetchable (pipeline
+// full, window exhausted, retries backing off, or all chunks
+// requested). A chunk is returned at most once until Fail releases it,
+// which is the duplicate-fetch suppression pipelined drivers rely on.
+func (v *Viewer) Next(now int64) (chunk int, ok bool) {
+	v.advance(now)
+	if v.inFlight >= v.cfg.MaxInFlight {
+		return 0, false
+	}
+	lo := v.cfg.StartChunk
+	if v.started && v.cur > lo {
+		lo = v.cur
+	}
+	hi := v.cfg.Chunks
+	if v.cfg.Window > 0 && lo+v.cfg.Window < hi {
+		hi = lo + v.cfg.Window
+	}
+	for i := lo; i < hi; i++ {
+		if !v.requested[i] && !v.delivered[i] && now >= v.notBefore[i] {
+			v.requested[i] = true
+			v.inFlight++
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Deliver records that chunk arrived at time now, scoring it against
+// the playback schedule. Chunks outside the session's range or already
+// delivered are ignored.
+func (v *Viewer) Deliver(now int64, chunk int) {
+	if chunk < v.cfg.StartChunk || chunk >= v.cfg.Chunks || v.delivered[chunk] {
+		return
+	}
+	// Replay the playhead up to now with the chunk still missing, so a
+	// stall this delivery is about to end gets counted first.
+	v.advance(now)
+	// A miss is a chunk the playhead beat: either it is the chunk the
+	// playhead is stalled waiting on right now, or it arrived past its
+	// schedule while playback was running. During a stall on an earlier
+	// chunk the clock is effectively frozen, so later chunks arriving
+	// then are not misses — their deadlines will shift with the stall.
+	if v.started && ((v.stalled && chunk == v.cur) || (!v.stalled && now > v.deadline(chunk))) {
+		v.st.DeadlineMiss++
+	}
+	if v.requested[chunk] {
+		v.inFlight--
+	}
+	v.requested[chunk] = true
+	v.delivered[chunk] = true
+	v.remaining--
+	v.st.Delivered++
+	v.advance(now)
+}
+
+// Fail releases an in-flight chunk after a fetch error so Next can
+// re-issue it, but not before now+backoff — the retry discipline that
+// keeps a dead owner from being hammered in a tight loop.
+func (v *Viewer) Fail(now int64, chunk int, backoff int64) {
+	if chunk < v.cfg.StartChunk || chunk >= v.cfg.Chunks || v.delivered[chunk] || !v.requested[chunk] {
+		return
+	}
+	v.requested[chunk] = false
+	v.inFlight--
+	v.notBefore[chunk] = now + backoff
+}
+
+// Done reports whether every chunk from StartChunk on has been
+// delivered.
+func (v *Viewer) Done() bool { return v.remaining == 0 }
+
+// InFlight returns the number of chunks currently being fetched.
+func (v *Viewer) InFlight() int { return v.inFlight }
+
+// NextWake returns the next time advance can change state without a
+// delivery — the upcoming playhead boundary, or the earliest retry
+// becoming eligible — and ok=false when only a delivery can move things
+// forward. Drivers use it to sleep exactly as long as is safe.
+func (v *Viewer) NextWake(now int64) (at int64, ok bool) {
+	if v.started && !v.stalled && v.cur < v.cfg.Chunks-1 {
+		// +1 because boundary crossing is strict: waking exactly at the
+		// boundary would change nothing and loop.
+		at, ok = v.deadline(v.cur+1)+1, true
+	}
+	for i := v.cfg.StartChunk; i < v.cfg.Chunks; i++ {
+		if !v.requested[i] && !v.delivered[i] && v.notBefore[i] > now {
+			if !ok || v.notBefore[i] < at {
+				at, ok = v.notBefore[i], true
+			}
+		}
+	}
+	return at, ok
+}
+
+// Stats advances the playback clock to now and snapshots the session
+// counters, folding any still-open stall into StallNs.
+func (v *Viewer) Stats(now int64) ViewerStats {
+	v.advance(now)
+	s := v.st
+	if v.stalled {
+		s.StallNs += now - v.stallFrom
+	}
+	return s
+}

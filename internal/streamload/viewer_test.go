@@ -1,0 +1,150 @@
+package streamload
+
+import "testing"
+
+// mustNext asserts Next returns the given chunk.
+func mustNext(t *testing.T, v *Viewer, now int64, want int) {
+	t.Helper()
+	got, ok := v.Next(now)
+	if !ok || got != want {
+		t.Fatalf("Next(%d) = (%d, %v), want (%d, true)", now, got, ok, want)
+	}
+}
+
+// mustIdle asserts Next has nothing to fetch.
+func mustIdle(t *testing.T, v *Viewer, now int64) {
+	t.Helper()
+	if got, ok := v.Next(now); ok {
+		t.Fatalf("Next(%d) = (%d, true), want nothing fetchable", now, got)
+	}
+}
+
+func TestViewerScoresLateChunkOnce(t *testing.T) {
+	v := NewViewer(ViewerConfig{Chunks: 4, ChunkDur: 100, StartupChunks: 2, MaxInFlight: 2}, 0)
+	mustNext(t, v, 0, 0)
+	mustNext(t, v, 0, 1)
+	mustIdle(t, v, 0) // pipeline full: no duplicates, no overshoot
+
+	v.Deliver(10, 0)
+	if v.Stats(10).Started {
+		t.Fatal("playback started before the startup buffer filled")
+	}
+	v.Deliver(20, 1)
+	st := v.Stats(20)
+	if !st.Started || st.StartupNs != 20 {
+		t.Fatalf("startup = (%v, %d), want (true, 20)", st.Started, st.StartupNs)
+	}
+
+	mustNext(t, v, 20, 2)
+	mustNext(t, v, 20, 3)
+	v.Deliver(50, 2)  // deadline 220: on time
+	v.Deliver(500, 3) // deadline 320: the playhead stalled on it at 320
+
+	if !v.Done() {
+		t.Fatal("all chunks delivered but not Done")
+	}
+	st = v.Stats(500)
+	want := ViewerStats{Delivered: 4, DeadlineMiss: 1, Rebuffers: 1, StallNs: 180, StartupNs: 20, Started: true}
+	if st != want {
+		t.Fatalf("stats = %+v, want %+v", st, want)
+	}
+}
+
+func TestViewerDeliveryAtExactDeadlineIsOnTime(t *testing.T) {
+	v := NewViewer(ViewerConfig{Chunks: 3, ChunkDur: 100, StartupChunks: 1, MaxInFlight: 3}, 0)
+	mustNext(t, v, 0, 0)
+	mustNext(t, v, 0, 1)
+	mustNext(t, v, 0, 2)
+	v.Deliver(0, 0)   // playback starts, base 0
+	v.Deliver(100, 1) // exactly at its deadline
+	v.Deliver(150, 2) // deadline 200: early
+	st := v.Stats(300)
+	if st.Rebuffers != 0 || st.DeadlineMiss != 0 || st.StallNs != 0 {
+		t.Fatalf("on-time playback scored %+v", st)
+	}
+}
+
+func TestViewerWindowLargerThanObject(t *testing.T) {
+	v := NewViewer(ViewerConfig{Chunks: 5, ChunkDur: 100, StartupChunks: 1, Window: 100, MaxInFlight: 16}, 0)
+	for want := 0; want < 5; want++ {
+		mustNext(t, v, 0, want)
+	}
+	mustIdle(t, v, 0) // window clamped to the object: nothing past the end
+	for c := 0; c < 5; c++ {
+		v.Deliver(int64(c+1), c)
+	}
+	if !v.Done() {
+		t.Fatal("short object with huge window never finished")
+	}
+}
+
+func TestViewerMidObjectJoin(t *testing.T) {
+	j := NewViewer(ViewerConfig{Chunks: 6, StartChunk: 3, ChunkDur: 100, StartupChunks: 2, MaxInFlight: 8}, 0)
+	mustNext(t, j, 0, 3)
+	mustNext(t, j, 0, 4)
+	mustNext(t, j, 0, 5)
+	mustIdle(t, j, 0) // chunks before the join point are never fetched
+	j.Deliver(5, 3)
+	j.Deliver(6, 4)
+	j.Deliver(7, 5)
+	if !j.Done() {
+		t.Fatal("mid-object join never completed")
+	}
+	if st := j.Stats(10); st.Delivered != 3 || !st.Started {
+		t.Fatalf("join session stats = %+v, want 3 delivered and started", st)
+	}
+}
+
+func TestViewerStartupClampNearObjectEnd(t *testing.T) {
+	// Joining at the last chunk with a startup buffer larger than what
+	// remains: the buffer clamps to the object end and playback starts.
+	v := NewViewer(ViewerConfig{Chunks: 4, StartChunk: 3, ChunkDur: 100, StartupChunks: 10, MaxInFlight: 2}, 0)
+	mustNext(t, v, 0, 3)
+	mustIdle(t, v, 0)
+	v.Deliver(5, 3)
+	if !v.Done() {
+		t.Fatal("single-chunk tail session never completed")
+	}
+	if st := v.Stats(5); !st.Started || st.Delivered != 1 {
+		t.Fatalf("stats = %+v, want started with 1 delivered", st)
+	}
+}
+
+func TestViewerFailBacksOffThenRetries(t *testing.T) {
+	v := NewViewer(ViewerConfig{Chunks: 2, ChunkDur: 100, StartupChunks: 1, Window: 1, MaxInFlight: 1}, 0)
+	mustNext(t, v, 0, 0)
+	mustIdle(t, v, 0)
+	v.Fail(10, 0, 100)
+	mustIdle(t, v, 50) // backing off until 110
+	if at, ok := v.NextWake(50); !ok || at != 110 {
+		t.Fatalf("NextWake(50) = (%d, %v), want (110, true)", at, ok)
+	}
+	mustNext(t, v, 110, 0) // retry eligible
+	v.Deliver(120, 0)
+	// Window 1 keeps chunk 1 unfetchable until the playhead reaches it.
+	mustIdle(t, v, 120)
+	mustNext(t, v, 300, 1) // playhead crossed at 220, stalling on chunk 1
+	v.Deliver(310, 1)
+	st := v.Stats(310)
+	if st.Rebuffers != 1 || st.DeadlineMiss != 1 {
+		t.Fatalf("stats = %+v, want 1 rebuffer and 1 miss from the window stall", st)
+	}
+	if !v.Done() {
+		t.Fatal("session never completed after retry")
+	}
+}
+
+func TestViewerDuplicateDeliverIgnored(t *testing.T) {
+	v := NewViewer(ViewerConfig{Chunks: 2, ChunkDur: 100, StartupChunks: 1, MaxInFlight: 2}, 0)
+	mustNext(t, v, 0, 0)
+	mustNext(t, v, 0, 1)
+	v.Deliver(10, 0)
+	v.Deliver(11, 0) // duplicate
+	v.Deliver(12, 7) // out of range
+	if st := v.Stats(12); st.Delivered != 1 {
+		t.Fatalf("delivered = %d after duplicate/out-of-range, want 1", st.Delivered)
+	}
+	if v.InFlight() != 1 {
+		t.Fatalf("in-flight = %d, want 1 (chunk 1 still out)", v.InFlight())
+	}
+}

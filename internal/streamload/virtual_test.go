@@ -1,0 +1,145 @@
+package streamload
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// virtCfg is a workload with every stochastic feature on: Zipf skew,
+// mid-object joins, latency jitter, loss-driven retries.
+func virtCfg(seed uint64) VirtualConfig {
+	return VirtualConfig{
+		Config: Config{
+			Catalog:       &Catalog{Objects: 16, ObjectChunks: 24, ChunkBytes: 512, TailBytes: 100, Salt: 5},
+			Viewers:       8,
+			Seed:          seed,
+			ZipfS:         0.9,
+			ChunkDur:      2 * time.Millisecond,
+			StartupChunks: 2,
+			Window:        8,
+			MaxInFlight:   4,
+			MidJoinProb:   0.25,
+			TargetChunks:  2000,
+			SLO:           4 * time.Millisecond,
+		},
+		BaseLatency:   time.Millisecond,
+		JitterLatency: 2 * time.Millisecond,
+		LossProb:      0.02,
+	}
+}
+
+func TestVirtualSameSeedBitIdentical(t *testing.T) {
+	a, err := RunVirtual(virtCfg(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunVirtual(virtCfg(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed virtual runs diverged:\n%+v\n%+v", a, b)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("same-seed JSON differs:\n%s\n%s", ja, jb)
+	}
+	c, err := RunVirtual(virtCfg(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical runs; the seed is not flowing")
+	}
+	if a.Chunks < 2000 {
+		t.Fatalf("delivered %d chunks, want >= target 2000", a.Chunks)
+	}
+	if a.FetchErrors == 0 {
+		t.Fatal("2% loss produced zero fetch errors; the retry path went unexercised")
+	}
+	if a.Sessions == 0 || a.FetchP99us <= 0 {
+		t.Fatalf("implausible result: %+v", a)
+	}
+}
+
+func TestVirtualFastNetworkNeverRebuffers(t *testing.T) {
+	// Latency well under the chunk duration with pipelining: after the
+	// startup buffer, delivery always beats the playhead.
+	res, err := RunVirtual(VirtualConfig{
+		Config: Config{
+			Catalog:       &Catalog{Objects: 4, ObjectChunks: 32, ChunkBytes: 256, Salt: 1},
+			Viewers:       4,
+			Seed:          7,
+			ChunkDur:      4 * time.Millisecond,
+			StartupChunks: 2,
+			Window:        8,
+			MaxInFlight:   4,
+		},
+		BaseLatency: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions != 4 {
+		t.Fatalf("sessions = %d, want one per viewer", res.Sessions)
+	}
+	if want := uint64(4 * 32); res.Chunks != want {
+		t.Fatalf("chunks = %d, want %d", res.Chunks, want)
+	}
+	if res.Rebuffers != 0 || res.DeadlineMiss != 0 || res.StallNs != 0 {
+		t.Fatalf("fast network still stalled: %+v", res)
+	}
+}
+
+func TestVirtualSlowNetworkRebuffers(t *testing.T) {
+	// One fetch at a time, each slower than a chunk's playback: the
+	// playhead must outrun delivery and stall on (nearly) every chunk.
+	res, err := RunVirtual(VirtualConfig{
+		Config: Config{
+			Catalog:       &Catalog{Objects: 2, ObjectChunks: 16, ChunkBytes: 256, Salt: 2},
+			Viewers:       2,
+			Seed:          9,
+			ChunkDur:      time.Millisecond,
+			StartupChunks: 1,
+			Window:        2,
+			MaxInFlight:   1,
+		},
+		BaseLatency: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rebuffers == 0 || res.DeadlineMiss == 0 || res.StallNs == 0 {
+		t.Fatalf("slow serial network never stalled: %+v", res)
+	}
+	if res.RebufferRate <= 0 || res.RebufferRate > 1 {
+		t.Fatalf("rebuffer rate %v outside (0, 1]", res.RebufferRate)
+	}
+}
+
+func TestVirtualHeavyLossStillCompletes(t *testing.T) {
+	res, err := RunVirtual(VirtualConfig{
+		Config: Config{
+			Catalog:      &Catalog{Objects: 2, ObjectChunks: 8, ChunkBytes: 64, Salt: 3},
+			Viewers:      2,
+			Seed:         11,
+			ChunkDur:     time.Millisecond,
+			MaxInFlight:  2,
+			RetryBackoff: 500 * time.Microsecond,
+		},
+		BaseLatency: 200 * time.Microsecond,
+		LossProb:    0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions != 2 || res.Chunks != 16 {
+		t.Fatalf("lossy run incomplete: %+v", res)
+	}
+	if res.FetchErrors == 0 {
+		t.Fatal("50% loss produced zero errors")
+	}
+}

@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Stats is the collector's full cluster view as it travels in a
+// TStatsOK reply. TProgressOK predates the storage and streaming
+// layers and its four numeric slots cannot grow, so the complete
+// statistics ride as one fixed-layout blob in the Value field:
+//
+//	offset  size  field
+//	0       1     stats layout version (StatsVersion)
+//	1       16*8  the uint64 fields below, big endian, in struct order
+//
+// The layout is versioned independently of the frame format: adding a
+// field appends eight bytes and bumps StatsVersion, and DecodeStats
+// rejects versions it does not know, so a mixed-version cluster fails
+// loudly instead of misreading counters.
+type Stats struct {
+	// Hosts is how many hosts have said hello.
+	Hosts uint64
+	// Consumed is the summed cumulative task units consumed.
+	Consumed uint64
+	// Residual is the summed residual task units.
+	Residual uint64
+	// BusyTicks is the busy interval of the slowest host.
+	BusyTicks uint64
+	// Capacity is the summed per-tick consume capacity.
+	Capacity uint64
+	// Injections counts Sybil births reported.
+	Injections uint64
+	// InjectedUnits sums the task units Sybils acquired at birth.
+	InjectedUnits uint64
+	// Reports counts consume reports received.
+	Reports uint64
+	// StoreAcked is the summed durably acknowledged owner writes.
+	StoreAcked uint64
+	// AntiEntropyRounds is the summed anti-entropy passes started.
+	AntiEntropyRounds uint64
+	// AntiEntropyRepairs is the summed records repaired by anti-entropy.
+	AntiEntropyRepairs uint64
+	// AntiEntropyBytes is the summed value bytes anti-entropy moved.
+	AntiEntropyBytes uint64
+	// StreamChunks is the summed chunks delivered to streaming viewers.
+	StreamChunks uint64
+	// StreamDeadlineMiss is the summed chunk deadline misses.
+	StreamDeadlineMiss uint64
+	// StreamRebuffers is the summed viewer rebuffer events.
+	StreamRebuffers uint64
+	// StreamBytes is the summed value bytes delivered to viewers.
+	StreamBytes uint64
+}
+
+// StatsVersion is the current Stats blob layout version.
+const StatsVersion = 1
+
+// statsFields is the number of uint64 fields in the version-1 layout.
+const statsFields = 16
+
+// StatsLen is the encoded length of a version-1 Stats blob.
+const StatsLen = 1 + statsFields*8
+
+// fieldList returns pointers to the blob's fields in layout order.
+func (s *Stats) fieldList() [statsFields]*uint64 {
+	return [statsFields]*uint64{
+		&s.Hosts, &s.Consumed, &s.Residual, &s.BusyTicks,
+		&s.Capacity, &s.Injections, &s.InjectedUnits, &s.Reports,
+		&s.StoreAcked, &s.AntiEntropyRounds, &s.AntiEntropyRepairs, &s.AntiEntropyBytes,
+		&s.StreamChunks, &s.StreamDeadlineMiss, &s.StreamRebuffers, &s.StreamBytes,
+	}
+}
+
+// AppendStats encodes s, appending the versioned blob to dst.
+func AppendStats(dst []byte, s *Stats) []byte {
+	dst = append(dst, StatsVersion)
+	for _, f := range s.fieldList() {
+		dst = binary.BigEndian.AppendUint64(dst, *f)
+	}
+	return dst
+}
+
+// DecodeStats parses a blob produced by AppendStats. Like the frame
+// decoder it never panics: a wrong version or length is an error.
+func DecodeStats(b []byte) (Stats, error) {
+	var s Stats
+	if len(b) < 1 {
+		return s, fmt.Errorf("%w: empty stats blob", ErrTruncated)
+	}
+	if b[0] != StatsVersion {
+		return s, fmt.Errorf("%w: stats layout %d", ErrBadVersion, b[0])
+	}
+	if len(b) != StatsLen {
+		return s, fmt.Errorf("%w: stats blob %d bytes, want %d", ErrTruncated, len(b), StatsLen)
+	}
+	off := 1
+	for _, f := range s.fieldList() {
+		*f = binary.BigEndian.Uint64(b[off : off+8])
+		off += 8
+	}
+	return s, nil
+}

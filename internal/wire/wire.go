@@ -187,6 +187,19 @@ const (
 	// collector: A = acknowledged writes, B = anti-entropy rounds,
 	// C = anti-entropy bytes moved, D = anti-entropy repair nanoseconds.
 	TStoreReport
+	// TStreamReport reports a streaming client From's cumulative
+	// read-path counters to the collector: A = chunks delivered,
+	// B = chunk deadline misses, C = rebuffer events, D = value bytes
+	// delivered. From carries the client's synthetic identity (a
+	// streaming load generator occupies no ring position).
+	TStreamReport
+	// TStats asks the collector for the full cluster statistics blob —
+	// everything TProgressOK's four slots cannot carry (storage and
+	// streaming counters included).
+	TStats
+	// TStatsOK answers with Value = a packed Stats blob (AppendStats/
+	// DecodeStats define the layout).
+	TStatsOK
 	// TAck is the generic success reply; A is an optional per-request
 	// detail slot (0 when unused — see TReplicate).
 	TAck
@@ -217,8 +230,9 @@ var typeNames = [typeCount]string{
 	TSyncDigest: "sync_digest", TSyncDigestOK: "sync_digest_ok",
 	TSyncKeys: "sync_keys", TSyncKeysOK: "sync_keys_ok",
 	TSyncFetch: "sync_fetch", TSyncFetchOK: "sync_fetch_ok",
-	TStoreReport: "store_report",
-	TAck:         "ack", TError: "error",
+	TStoreReport: "store_report", TStreamReport: "stream_report",
+	TStats: "stats", TStatsOK: "stats_ok",
+	TAck: "ack", TError: "error",
 }
 
 // String names the type as used in metrics and docs.
@@ -348,6 +362,9 @@ var fieldsOf = [typeCount]uint16{
 	TSyncFetch:       fMetas,
 	TSyncFetchOK:     fRecs,
 	TStoreReport:     fFrom | fA | fB | fC | fD,
+	TStreamReport:    fFrom | fA | fB | fC | fD,
+	TStats:           0,
+	TStatsOK:         fValue,
 	TAck:             fA,
 	TError:           fText | fA,
 }
