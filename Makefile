@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint doccheck mdcheck trace-check test test-race cover bench bench-micro bench-gate bench-curve shard-check sweep figures fuzz chaos soak stream-soak clean
+.PHONY: all build lint doccheck mdcheck trace-check test test-race cover bench bench-micro bench-gate bench-curve shard-check sweep figures fuzz chaos soak stream-soak sybilwar clean
 
 # The BENCH_<pr> suffix for perf reports; bump per perf-focused PR.
 BENCH_PR ?= 8
@@ -126,6 +126,17 @@ soak:
 # rate, byte-exact delivery, and zero acked-chunk loss after the heal.
 stream-soak:
 	$(GO) test -tags soak -run TestSoakStream -v -timeout 10m ./internal/netchord/
+
+# Adversary smoke (docs/ADVERSARY.md): the sybilwar referees under the
+# race detector — the hostile-engine golden matrix at 1/2/4 shards, the
+# eclipse-vs-defense dose ladder, the sweep's serial/parallel identity,
+# the full adversary unit suite, and the live-cluster half (puzzle join
+# gate + eclipse suppression over real sockets).
+sybilwar:
+	$(GO) test -race -run 'Sybilwar|Adversary|Eclipse|Puzzle|Detector|Attacker|Density|FalseEvict' \
+	  ./internal/adversary/ ./internal/sim/ ./internal/experiments/
+	$(GO) test -race -run 'TestJoinPuzzleGate|TestEclipseSuppressedByDefense' \
+	  -timeout 10m ./internal/netchord/
 
 # Fault-matrix smoke (docs/FAULTS.md): 3 seeds x {crash bursts, 10%
 # message loss, partition+heal} on both the engine and the protocol,

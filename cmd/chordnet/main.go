@@ -24,10 +24,12 @@ import (
 	"strconv"
 	"strings"
 
+	"chordbalance/internal/adversary"
 	"chordbalance/internal/chord"
 	"chordbalance/internal/faults"
 	"chordbalance/internal/ids"
 	"chordbalance/internal/keys"
+	"chordbalance/internal/xrand"
 )
 
 func main() {
@@ -48,6 +50,12 @@ type session struct {
 	gen   *keys.Generator
 	first ids.ID
 	out   io.Writer
+
+	// Adversary state (docs/ADVERSARY.md): the installed eclipse
+	// attacker, its RNG stream, and which live ring identities are its.
+	att     *adversary.Attacker
+	attRng  *xrand.Rand
+	hostile map[ids.ID]bool
 }
 
 func run(in io.Reader, out io.Writer, interactive bool) error {
@@ -96,6 +104,10 @@ func (s *session) dispatch(cmd string, args []string) error {
   chaos [T [R]]      run T chaos ticks of the installed plan (default 20),
                      stabilizing each crash wave within R rounds (default 200)
   partition FRAC     force a two-sided partition at FRAC of the ID space
+  attack [k=v ...]   launch an eclipse adversary (budget, start, width, seed);
+                     'attack off' withdraws it, bare 'attack' shows eclipse status
+  defend [k=v ...]   run one density-detection pass (thr, window), evicting
+                     flagged identities: hostile ones die, honest ones re-key
   stats              message and fault-transport counters
   quit               leave the shell
 `)
@@ -224,6 +236,10 @@ func (s *session) dispatch(cmd string, args []string) error {
 		return nil
 	case "plan":
 		return s.planCmd(args)
+	case "attack":
+		return s.attackCmd(args)
+	case "defend":
+		return s.defendCmd(args)
 	case "chaos":
 		ticks, err := atoiArg(args, 0, 20)
 		if err != nil || ticks < 1 {
@@ -343,6 +359,188 @@ func (s *session) planCmd(args []string) error {
 	}
 	fmt.Fprintln(s.out, "fault plan installed")
 	return nil
+}
+
+// attackCmd launches, shows, or withdraws an eclipse adversary on the
+// overlay (docs/ADVERSARY.md). The shell has no tick clock, so the
+// attacker mints its whole budget at once — each hostile identity is a
+// normal protocol join at a clustered ID — and the eclipse report reads
+// owner capture (replicas=1): the fraction of the target arc whose
+// primary owner is hostile.
+func (s *session) attackCmd(args []string) error {
+	if len(args) == 0 {
+		if s.att == nil {
+			fmt.Fprintln(s.out, "no attack installed")
+			return nil
+		}
+		fmt.Fprintf(s.out, "live=%d minted=%d evicted=%d eclipse=%.3f\n",
+			s.att.Live(), s.att.MintCount(), s.att.EvictCount(), s.eclipse())
+		return nil
+	}
+	if len(args) == 1 && args[0] == "off" {
+		for id := range s.hostile {
+			s.d.Kill(id)
+		}
+		s.att, s.attRng, s.hostile = nil, nil, nil
+		s.healRing()
+		fmt.Fprintln(s.out, "attack withdrawn")
+		return nil
+	}
+	cfg := adversary.AttackConfig{Budget: 8, TargetStart: 0.2, TargetWidth: 1.0 / 16}
+	seed := uint64(1)
+	for _, kv := range args {
+		k, v, found := strings.Cut(kv, "=")
+		if !found {
+			return fmt.Errorf("bad attack setting %q (want key=value)", kv)
+		}
+		switch k {
+		case "budget":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("bad budget value %q", v)
+			}
+			cfg.Budget = n
+		case "start", "width":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fmt.Errorf("bad %s value %q", k, v)
+			}
+			if k == "start" {
+				cfg.TargetStart = f
+			} else {
+				cfg.TargetWidth = f
+			}
+		case "seed":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad seed value %q", v)
+			}
+			seed = n
+		default:
+			return fmt.Errorf("unknown attack key %q (budget, start, width, seed)", k)
+		}
+	}
+	if s.att != nil {
+		return fmt.Errorf("attack already installed: 'attack off' first")
+	}
+	// Mint the whole budget in one burst: no clock means nothing paces
+	// the adversary, so give it exactly the work its budget needs.
+	cfg.WorkRate = cfg.Budget
+	att, err := adversary.NewAttacker(cfg)
+	if err != nil {
+		return err
+	}
+	s.att, s.attRng, s.hostile = att, xrand.New(seed), make(map[ids.ID]bool)
+	boot := s.d.AliveIDs()
+	if len(boot) == 0 {
+		return fmt.Errorf("no live nodes to bootstrap from")
+	}
+	att.Accrue()
+	for att.CanMint(1) {
+		placed := false
+		for try := 0; try < 16 && !placed; try++ {
+			id := att.MintID(s.attRng)
+			if err := s.d.Join(id, boot[0]); err != nil {
+				continue // occupied or unlucky ID: draw again
+			}
+			s.hostile[id] = true
+			att.Minted(1)
+			s.d.RunMaintenance()
+			placed = true
+		}
+		if !placed {
+			break // arc too crowded to place the rest of the budget
+		}
+	}
+	s.healRing()
+	fmt.Fprintf(s.out, "attack up: %d hostile identities, eclipse=%.3f\n",
+		att.Live(), s.eclipse())
+	return nil
+}
+
+// defendCmd runs one density-detection pass over the live ring order
+// and evicts every flagged identity: hostile ones are killed outright
+// (the defense's success), honest ones are forced to re-key — leave and
+// rejoin under a fresh identifier — and counted as false evictions (the
+// defense's collateral; honest Sybil balancers are dense by design).
+func (s *session) defendCmd(args []string) error {
+	cfg := adversary.DefenseConfig{Threshold: 4}
+	for _, kv := range args {
+		k, v, found := strings.Cut(kv, "=")
+		if !found {
+			return fmt.Errorf("bad defend setting %q (want key=value)", kv)
+		}
+		switch k {
+		case "thr":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fmt.Errorf("bad thr value %q", v)
+			}
+			cfg.Threshold = f
+		case "window":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("bad window value %q", v)
+			}
+			cfg.Window = n
+		default:
+			return fmt.Errorf("unknown defend key %q (thr, window)", k)
+		}
+	}
+	det, err := adversary.NewDetector(cfg)
+	if err != nil {
+		return err
+	}
+	ring := s.d.AliveIDs()
+	flagged := det.Flagged(len(ring), func(i int) ids.ID { return ring[i] })
+	var hostileEv, honestEv int
+	for _, i := range flagged {
+		id := ring[i]
+		if s.hostile[id] {
+			s.d.Kill(id)
+			delete(s.hostile, id)
+			if s.att != nil {
+				s.att.Evicted()
+			}
+			hostileEv++
+			continue
+		}
+		// Honest collateral: re-key rather than remove — the machine
+		// behind the identity is innocent, only its placement dies.
+		if err := s.d.Leave(id); err != nil {
+			s.d.Kill(id)
+		}
+		if live := s.d.AliveIDs(); len(live) > 0 {
+			if err := s.d.Join(s.gen.Next(), live[0]); err == nil {
+				s.d.RunMaintenance()
+			}
+		}
+		honestEv++
+	}
+	s.healRing()
+	rate := 0.0
+	if hostileEv+honestEv > 0 {
+		rate = float64(honestEv) / float64(hostileEv+honestEv)
+	}
+	fmt.Fprintf(s.out, "flagged=%d evicted-hostile=%d rekeyed-honest=%d false-eviction-rate=%.3f eclipse=%.3f\n",
+		len(flagged), hostileEv, honestEv, rate, s.eclipse())
+	return nil
+}
+
+// eclipse measures owner capture of the attack's target arc: the
+// fraction whose primary owner is hostile (replicas=1 — the shell's
+// overlay stores replicas too, but owner capture is the readable
+// headline at interactive scale).
+func (s *session) eclipse() float64 {
+	if s.att == nil {
+		return 0
+	}
+	lo, hi := s.att.Target()
+	ring := s.d.AliveIDs()
+	return adversary.EclipsedFraction(len(ring),
+		func(i int) ids.ID { return ring[i] },
+		func(i int) bool { return s.hostile[ring[i]] },
+		lo, hi, 1)
 }
 
 // healRing runs maintenance until convergence (bounded) and returns the

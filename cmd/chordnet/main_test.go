@@ -192,3 +192,56 @@ func TestChaosWithoutPlanErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestAttackAndDefend(t *testing.T) {
+	out := script(t,
+		"create 12",
+		"attack budget=6 start=0.2 width=0.0625 seed=3",
+		"attack",
+		"defend thr=4 window=4",
+		"attack",
+		"attack off",
+		"quit")
+	if !strings.Contains(out, "attack up: 6 hostile identities") {
+		t.Errorf("attack launch missing:\n%s", out)
+	}
+	if !strings.Contains(out, "live=6") {
+		t.Errorf("attack status missing:\n%s", out)
+	}
+	if !strings.Contains(out, "evicted-hostile=") || !strings.Contains(out, "false-eviction-rate=") {
+		t.Errorf("defend report missing:\n%s", out)
+	}
+	if !strings.Contains(out, "attack withdrawn") {
+		t.Errorf("attack off ack missing:\n%s", out)
+	}
+	// Six identities crammed into 1/16 of a 12-node ring must trip a
+	// threshold-4 scan: at least one hostile eviction.
+	if strings.Contains(out, "evicted-hostile=0 ") {
+		t.Errorf("defend pass never evicted a hostile identity:\n%s", out)
+	}
+}
+
+func TestDefendHonestRingQuiet(t *testing.T) {
+	out := script(t,
+		"create 10",
+		"defend thr=8 window=4",
+		"quit")
+	if !strings.Contains(out, "flagged=0") {
+		t.Errorf("honest ring flagged at threshold 8:\n%s", out)
+	}
+}
+
+func TestAttackBadArgs(t *testing.T) {
+	out := script(t,
+		"create 4",
+		"attack bogus=1",
+		"attack budget=x",
+		"defend thr=x",
+		"attack",
+		"quit")
+	for _, want := range []string{"unknown attack key", "bad budget value", "bad thr value", "no attack installed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -198,6 +198,13 @@ func run(args []string, out io.Writer) error {
 			}
 			return table(experiments.ChaosReport(cells))
 		}},
+		{"sybilwar", "eclipse attack vs puzzle + density defenses (hostile Sybils)", func(o experiments.Options) error {
+			cells, err := experiments.Sybilwar(o)
+			if err != nil {
+				return err
+			}
+			return table(experiments.SybilwarReport(cells))
+		}},
 		{"arcs", "§III arc-length analysis vs the exponential model", func(o experiments.Options) error {
 			t, err := experiments.ArcTable(o)
 			if err != nil {

@@ -1,0 +1,277 @@
+// Package adversary models hostile Sybil behavior and its defenses for
+// both runtimes. The source paper uses the Sybil attack *cooperatively*
+// — a host mints extra identities to absorb load — and leaves open what
+// happens when the same mechanism is hostile. This package supplies the
+// three missing pieces:
+//
+//   - an eclipse Attacker: a deterministic, seeded adversary that
+//     targets one arc of the keyspace and mints clustered Sybil IDs
+//     inside it until every replica of the arc's keys is hostile;
+//   - puzzle-cost identity admission (SybilControl-style): every join or
+//     Sybil mint — honest and hostile alike — pays a configurable
+//     computational price, solved for real on the networked runtime and
+//     charged as abstract work units in the simulator;
+//   - per-arc ID-density anomaly detection (per the 2025 IPFS
+//     active-Sybil defense): a Detector that walks the ring order array
+//     and flags windows of consecutive IDs packed improbably tighter
+//     than uniform placement predicts.
+//
+// The package is runtime-agnostic by design: it imports neither
+// internal/sim nor internal/netchord; each of those wires these types in
+// as tick phases or live local rules. Everything here is a pure function
+// of its inputs plus the caller-supplied randomness source, so both
+// runtimes keep their determinism contracts.
+package adversary
+
+import (
+	"fmt"
+	"math"
+
+	"chordbalance/internal/ids"
+)
+
+// AttackConfig describes one eclipse adversary. The zero value is
+// provably inert: Zero() reports true, no Attacker is constructed, and
+// no attack code path runs or consumes randomness.
+type AttackConfig struct {
+	// Budget caps the adversary's concurrently live hostile identities.
+	// 0 disables the attack entirely.
+	Budget int
+	// MintEvery is the mint-attempt cadence in ticks (default 1: try
+	// every tick).
+	MintEvery int
+	// TargetStart is the start of the targeted arc, as a fraction of the
+	// ring in [0, 1).
+	TargetStart float64
+	// TargetWidth is the targeted arc's width as a fraction of the ring
+	// (default 1/32). The attacker only mints IDs inside
+	// [TargetStart, TargetStart+TargetWidth).
+	TargetWidth float64
+	// WorkRate is the abstract work the adversary can spend per tick on
+	// identity creation (default 8). Each mint costs 1 plus the
+	// defender's puzzle cost, so raising PuzzleBits throttles the mint
+	// rate this budget supports — the attack/defense trade-off the
+	// sybilwar sweep measures.
+	WorkRate int
+	// NoReMint disables the churn exploit: normally an evicted hostile
+	// identity frees budget and the adversary re-mints a fresh clustered
+	// ID (riding the same churn the balancing strategies exploit); with
+	// NoReMint set, every eviction permanently burns budget.
+	NoReMint bool
+}
+
+// Zero reports whether the config disables the attack entirely.
+func (c AttackConfig) Zero() bool { return c.Budget == 0 }
+
+// Validate reports configuration errors an attack run would choke on.
+func (c AttackConfig) Validate() error {
+	switch {
+	case c.Budget < 0:
+		return fmt.Errorf("adversary: Budget must be >= 0, got %d", c.Budget)
+	case c.MintEvery < 0:
+		return fmt.Errorf("adversary: MintEvery must be >= 0, got %d", c.MintEvery)
+	case c.TargetStart < 0 || c.TargetStart >= 1:
+		return fmt.Errorf("adversary: TargetStart %v outside [0,1)", c.TargetStart)
+	case c.TargetWidth < 0 || c.TargetWidth > 1:
+		return fmt.Errorf("adversary: TargetWidth %v outside [0,1]", c.TargetWidth)
+	case c.WorkRate < 0:
+		return fmt.Errorf("adversary: WorkRate must be >= 0, got %d", c.WorkRate)
+	}
+	return nil
+}
+
+func (c AttackConfig) withDefaults() AttackConfig {
+	if c.MintEvery == 0 {
+		c.MintEvery = 1
+	}
+	if c.TargetWidth == 0 {
+		c.TargetWidth = 1.0 / 32
+	}
+	if c.WorkRate == 0 {
+		c.WorkRate = 8
+	}
+	return c
+}
+
+// DefenseConfig describes the Sybil defenses: identity-admission
+// puzzles and ID-density anomaly detection. The zero value is provably
+// inert: Zero() reports true, no cost is charged, and no scan runs.
+type DefenseConfig struct {
+	// PuzzleBits is the admission puzzle difficulty: a joining identity
+	// must present a nonce whose SHA-1 digest with its ID has this many
+	// leading zero bits. Expected cost doubles per bit (PuzzleCost).
+	// 0 disables the puzzle.
+	PuzzleBits int
+	// Window is the density-scan window in consecutive ring positions
+	// (default 8). Larger windows smooth noise but need a bigger hostile
+	// cluster before they fire.
+	Window int
+	// Threshold is the density ratio at which a window is flagged: the
+	// window's IDs must be packed at least Threshold times tighter than
+	// uniform placement predicts. <= 0 disables the scan. Honest
+	// Sybil-balancers are dense by design, so low thresholds buy eclipse
+	// suppression with false evictions — the trade-off the sybilwar
+	// sweep measures.
+	Threshold float64
+	// ScanEvery is the scan cadence in ticks (simulator) or maintenance
+	// rounds (netchord); default 10.
+	ScanEvery int
+}
+
+// Zero reports whether the config disables every defense.
+func (c DefenseConfig) Zero() bool { return c.PuzzleBits == 0 && c.Threshold <= 0 }
+
+// DetectionOn reports whether the density scan is enabled.
+func (c DefenseConfig) DetectionOn() bool { return c.Threshold > 0 }
+
+// Validate reports configuration errors a defended run would choke on.
+func (c DefenseConfig) Validate() error {
+	switch {
+	case c.PuzzleBits < 0 || c.PuzzleBits > MaxPuzzleBits:
+		return fmt.Errorf("adversary: PuzzleBits %d outside [0,%d]", c.PuzzleBits, MaxPuzzleBits)
+	case c.Window < 0 || c.Window == 1:
+		return fmt.Errorf("adversary: Window must be 0 (default) or >= 2, got %d", c.Window)
+	case c.Threshold > 0 && c.Threshold < 1:
+		return fmt.Errorf("adversary: Threshold %v is a density multiple and must be >= 1 (or <= 0 for off)", c.Threshold)
+	case c.ScanEvery < 0:
+		return fmt.Errorf("adversary: ScanEvery must be >= 0, got %d", c.ScanEvery)
+	}
+	return nil
+}
+
+func (c DefenseConfig) withDefaults() DefenseConfig {
+	if c.Window == 0 {
+		c.Window = 8
+	}
+	if c.ScanEvery == 0 {
+		c.ScanEvery = 10
+	}
+	return c
+}
+
+// WithDefaults returns the config with unset knobs at their defaults.
+// Runtimes call it once at construction so cadence checks can read the
+// effective values.
+func (c DefenseConfig) WithDefaults() DefenseConfig { return c.withDefaults() }
+
+// Attacker is a seeded eclipse adversary: it proposes clustered IDs
+// inside its target arc, pays the defender's admission price out of a
+// per-tick work budget, and re-mints after evictions to exploit churn.
+// It is passive bookkeeping — the owning runtime decides when to call
+// Accrue/MintID/Minted/Evicted — so both engines stay in control of
+// their own tick loops and RNG streams.
+type Attacker struct {
+	cfg    AttackConfig
+	lo, hi ids.ID
+
+	work    int
+	live    int
+	minted  int
+	evicted int
+}
+
+// NewAttacker validates the config, applies defaults, and builds the
+// adversary with zero accumulated work.
+func NewAttacker(cfg AttackConfig) (*Attacker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	return &Attacker{
+		cfg: cfg,
+		lo:  IDAtFraction(cfg.TargetStart),
+		hi:  IDAtFraction(cfg.TargetStart + cfg.TargetWidth),
+	}, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (a *Attacker) Config() AttackConfig { return a.cfg }
+
+// Target returns the targeted arc as [lo, hi) in ring order.
+func (a *Attacker) Target() (lo, hi ids.ID) { return a.lo, a.hi }
+
+// InTarget reports whether id lies inside the targeted arc [lo, hi).
+func (a *Attacker) InTarget(id ids.ID) bool {
+	if a.lo == a.hi { // width rounded to the full ring
+		return true
+	}
+	return ids.BetweenLeftIncl(id, a.lo, a.hi)
+}
+
+// Accrue adds one tick's work budget. Call exactly once per tick.
+func (a *Attacker) Accrue() { a.work += a.cfg.WorkRate }
+
+// CanMint reports whether the adversary can afford — and has budget
+// for — one more identity at the given admission cost.
+func (a *Attacker) CanMint(cost int) bool {
+	budget := a.cfg.Budget - a.live
+	if a.cfg.NoReMint {
+		budget -= a.evicted
+	}
+	return budget > 0 && a.work >= cost
+}
+
+// MintID draws a candidate identity uniformly inside the target arc.
+// The caller places it (rejecting occupied IDs by drawing again) and
+// commits with Minted.
+func (a *Attacker) MintID(src ids.Source) ids.ID {
+	id, err := ids.UniformInRange(src, a.lo.Pred(), a.hi)
+	if err != nil {
+		// Arc too narrow to have an interior — degenerate configs only.
+		return a.lo
+	}
+	return id
+}
+
+// Minted commits one successful placement, spending cost work units.
+func (a *Attacker) Minted(cost int) {
+	a.work -= cost
+	a.live++
+	a.minted++
+}
+
+// Evicted records one hostile identity removed by the defense (or by
+// churn). Unless NoReMint is set the freed budget lets the adversary
+// mint a replacement — the churn exploit.
+func (a *Attacker) Evicted() {
+	if a.live == 0 {
+		panic("adversary: eviction with no live identity")
+	}
+	a.live--
+	a.evicted++
+}
+
+// Live returns the adversary's currently placed identity count.
+func (a *Attacker) Live() int { return a.live }
+
+// MintCount returns the total identities minted over the run.
+func (a *Attacker) MintCount() int { return a.minted }
+
+// EvictCount returns the total hostile identities evicted over the run.
+func (a *Attacker) EvictCount() int { return a.evicted }
+
+// WorkBalance returns the unspent work budget, for accounting.
+func (a *Attacker) WorkBalance() int { return a.work }
+
+// IDAtFraction returns the ring position at the given fraction of the
+// identifier circle; fractions outside [0, 1) wrap. It is the bridge
+// between human-facing arc knobs ("target the arc starting at 0.2") and
+// 160-bit IDs.
+func IDAtFraction(f float64) ids.ID {
+	f -= math.Floor(f)
+	scaled := f * (1 << 32)
+	hi := uint32(scaled)
+	lo := uint32((scaled - math.Floor(scaled)) * (1 << 32))
+	// The fraction maps to the ID's *top* 64 bits (FromBytes would
+	// right-align a short slice, which is the opposite end of the ring).
+	var id ids.ID
+	id[0] = byte(hi >> 24)
+	id[1] = byte(hi >> 16)
+	id[2] = byte(hi >> 8)
+	id[3] = byte(hi)
+	id[4] = byte(lo >> 24)
+	id[5] = byte(lo >> 16)
+	id[6] = byte(lo >> 8)
+	id[7] = byte(lo)
+	return id
+}

@@ -1,0 +1,254 @@
+package netchord
+
+// The live half of the sybilwar co-simulation (docs/ADVERSARY.md): an
+// AttackHost drives an adversary.Attacker against a real cluster over
+// real sockets. Where the simulator charges abstract work units, the
+// attacker here pays the actual admission price — its mints go through
+// the same Node.Join path as every honest identity, solving the real
+// SHA-1 puzzle when PuzzleBits is set — and the density defense reaches
+// it over the wire as TEvict notices, which it answers the only way an
+// adversary would: free the budget and mint a fresh clustered ID.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"chordbalance/internal/adversary"
+	"chordbalance/internal/ids"
+	"chordbalance/internal/xrand"
+)
+
+// AttackStats snapshots the attack host's accounting.
+type AttackStats struct {
+	// Minted counts hostile identities successfully placed on the ring;
+	// Live is how many are placed right now.
+	Minted, Live int
+	// Evicted counts hostile identities the defense removed (each one
+	// frees budget for a re-mint unless NoReMint is set).
+	Evicted int
+	// Blocked counts mint attempts that failed admission — a refused or
+	// unreachable join, an occupied ID — without spending budget.
+	Blocked int
+	// WorkBalance is the unspent work budget.
+	WorkBalance int
+}
+
+// AttackHost is one adversary machine on the networked runtime: a mint
+// loop paced like an honest host's tick loop, a budget of hostile
+// identities clustered inside the attacker's target arc, and the
+// churn-exploiting re-mint response to eviction. It deliberately does
+// NOT run the honest Host's consume/report/decide machinery — hostile
+// identities squat on their arcs, absorbing key ownership while doing
+// no work, which is exactly what makes an eclipse a blackhole.
+type AttackHost struct {
+	cfg      Config
+	tr       Transport
+	nf       *NetFaults
+	joinAddr string
+
+	mu      sync.Mutex
+	att     *adversary.Attacker
+	rng     *xrand.Rand
+	nodes   []*Node
+	tick    int
+	blocked int
+	down    bool
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewAttackHost validates the attack config and builds a stopped
+// attacker that will join hostile identities through joinAddr. Call
+// Start to begin minting. nf may be nil (no faults).
+func NewAttackHost(cfg Config, tr Transport, nf *NetFaults, ac adversary.AttackConfig, seed uint64, joinAddr string) (*AttackHost, error) {
+	att, err := adversary.NewAttacker(ac)
+	if err != nil {
+		return nil, fmt.Errorf("netchord: attack host: %w", err)
+	}
+	if joinAddr == "" {
+		return nil, fmt.Errorf("netchord: attack host: empty join address")
+	}
+	return &AttackHost{
+		cfg:      cfg.WithDefaults(),
+		tr:       tr,
+		nf:       nf,
+		joinAddr: joinAddr,
+		att:      att,
+		rng:      xrand.New(seed ^ 0x7c159e3779b94a05),
+		closed:   make(chan struct{}),
+	}, nil
+}
+
+// Start launches the mint loop.
+func (a *AttackHost) Start() {
+	a.wg.Add(1)
+	go a.loop()
+}
+
+// Close stops the mint loop and shuts down every hostile node.
+func (a *AttackHost) Close() {
+	a.closeOnce.Do(func() { close(a.closed) })
+	a.mu.Lock()
+	a.down = true
+	a.mu.Unlock()
+	a.wg.Wait()
+	a.mu.Lock()
+	nodes := a.nodes
+	a.nodes = nil
+	a.mu.Unlock()
+	for _, n := range nodes {
+		n.Close()
+	}
+}
+
+// Nodes returns the currently placed hostile nodes.
+func (a *AttackHost) Nodes() []*Node {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]*Node(nil), a.nodes...)
+}
+
+// Target returns the attacked arc [lo, hi).
+func (a *AttackHost) Target() (lo, hi ids.ID) { return a.att.Target() }
+
+// Stats snapshots the attacker's accounting.
+func (a *AttackHost) Stats() AttackStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AttackStats{
+		Minted:      a.att.MintCount(),
+		Live:        a.att.Live(),
+		Evicted:     a.att.EvictCount(),
+		Blocked:     a.blocked,
+		WorkBalance: a.att.WorkBalance(),
+	}
+}
+
+// loop is the attacker's heartbeat: accrue work every tick, attempt one
+// mint every MintEvery ticks while budget and work allow.
+func (a *AttackHost) loop() {
+	defer a.wg.Done()
+	ticker := time.NewTicker(a.cfg.TickEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.closed:
+			return
+		case <-ticker.C:
+			a.step()
+		}
+	}
+}
+
+// step runs one tick: accrue, then mint if the cadence, the identity
+// budget, and the work balance all allow. The admission cost is 1 plus
+// the ring's puzzle cost — the same price every honest join pays — and
+// is only spent on success: a refused join (bad luck on an occupied ID,
+// an unreachable successor) is blocked, not bought.
+func (a *AttackHost) step() {
+	cost := 1 + adversary.PuzzleCost(a.cfg.PuzzleBits)
+	a.mu.Lock()
+	a.att.Accrue()
+	a.tick++
+	mint := a.tick%a.att.Config().MintEvery == 0 && a.att.CanMint(cost) && !a.down
+	var id ids.ID
+	if mint {
+		id = a.att.MintID(a.rng)
+	}
+	a.mu.Unlock()
+	if !mint {
+		return
+	}
+	n, err := NewNode(a.cfg, a.tr, a.nf, id, "")
+	if err != nil {
+		a.noteBlocked()
+		return
+	}
+	n.ev = a
+	// Join solves the real admission puzzle on the shared honest path:
+	// the attacker's CPU pays exactly what a defender's PuzzleBits
+	// demands, per identity.
+	if err := n.Join(a.joinAddr); err != nil {
+		n.Close()
+		a.noteBlocked()
+		return
+	}
+	n.Start()
+	a.mu.Lock()
+	if a.down {
+		a.mu.Unlock()
+		n.Close()
+		return
+	}
+	a.nodes = append(a.nodes, n)
+	a.att.Minted(cost)
+	a.mu.Unlock()
+}
+
+// noteBlocked records a failed mint attempt.
+func (a *AttackHost) noteBlocked() {
+	a.mu.Lock()
+	a.blocked++
+	a.mu.Unlock()
+}
+
+// considerEvict is the adversary's response to a density eviction
+// notice: comply with the departure — the runtime's honest majority
+// would stop routing to the identity anyway — but treat it purely as
+// freed budget, letting the next mint cadence place a replacement
+// (adversary.Attacker's churn exploit). With NoReMint set the freed
+// budget is burned instead and the attack decays.
+func (a *AttackHost) considerEvict(n *Node) {
+	a.mu.Lock()
+	idx := -1
+	for i, h := range a.nodes {
+		if h == n {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || a.down {
+		a.mu.Unlock()
+		return // stale notice or shutdown race
+	}
+	a.nodes = append(a.nodes[:idx], a.nodes[idx+1:]...)
+	a.att.Evicted()
+	a.wg.Add(1)
+	a.mu.Unlock()
+	go func() {
+		defer a.wg.Done()
+		_ = n.Leave()
+	}()
+}
+
+// MeasureEclipse is the live runtime's eclipse oracle: it merges the
+// honest and hostile node sets into a ring order array and returns the
+// fraction of the arc [lo, hi) whose full replica set is hostile
+// (adversary.EclipsedFraction). It reads true membership from the test
+// harness's vantage point, not any node's partial view — an oracle for
+// experiments and tests, not a protocol facility.
+func MeasureEclipse(honest, hostile []*Node, lo, hi ids.ID, replicas int) float64 {
+	type member struct {
+		id      ids.ID
+		hostile bool
+	}
+	members := make([]member, 0, len(honest)+len(hostile))
+	for _, n := range honest {
+		members = append(members, member{n.ID(), false})
+	}
+	for _, n := range hostile {
+		members = append(members, member{n.ID(), true})
+	}
+	if len(members) == 0 {
+		return 0
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].id.Less(members[j].id) })
+	return adversary.EclipsedFraction(len(members),
+		func(i int) ids.ID { return members[i].id },
+		func(i int) bool { return members[i].hostile },
+		lo, hi, replicas)
+}

@@ -93,6 +93,11 @@ type HostStats struct {
 	InvitesSent, InvitesAccepted int64
 	// Helped counts invitations this host accepted as the helper.
 	Helped int64
+	// Evictions counts identities this host retired in response to
+	// density-defense TEvict notices (docs/ADVERSARY.md). On an honest
+	// host every one of these is defense collateral: the balancing
+	// strategies mint dense IDs by design.
+	Evictions int
 }
 
 // Host is one physical machine in the networked runtime: a primary
@@ -126,8 +131,10 @@ type Host struct {
 	everBusy  bool
 	tick      int
 	helping   bool // an accepted invitation's injection is in flight
+	evicting  bool // a TEvict-induced retirement is in flight
 	injects   int
 	churns    int
+	evicts    int
 	down      bool
 
 	invitesSent, invitesAccepted, helped int64
@@ -178,6 +185,7 @@ func NewHost(cfg Config, tr Transport, nf *NetFaults, index int, strat Strategy,
 		return nil, err
 	}
 	n.host = h
+	n.ev = h
 	if joinAddr == "" {
 		n.Create()
 	} else if err := n.Join(joinAddr); err != nil {
@@ -273,6 +281,7 @@ func (h *Host) Stats() HostStats {
 		InvitesSent:     h.invitesSent,
 		InvitesAccepted: h.invitesAccepted,
 		Helped:          h.helped,
+		Evictions:       h.evicts,
 	}
 }
 
@@ -411,6 +420,15 @@ func (h *Host) decideChurn() {
 	if !h.rng.Bool(h.cfg.ChurnProb) {
 		return
 	}
+	h.churnPrimary()
+}
+
+// churnPrimary executes one leave/rejoin cycle of the primary under a
+// fresh identifier: the body of the induced-churn rule, shared with the
+// density defense (considerEvict), which retires a flagged primary by
+// forcing exactly this cycle — eviction is churn the network imposes
+// rather than the strategy chooses.
+func (h *Host) churnPrimary() {
 	h.mu.Lock()
 	primary := h.primary
 	h.mu.Unlock()
@@ -433,6 +451,7 @@ func (h *Host) decideChurn() {
 			continue
 		}
 		n.host = h
+		n.ev = h
 		if err := n.Join(via.Addr); err != nil {
 			n.Close()
 			continue
@@ -449,6 +468,7 @@ func (h *Host) decideChurn() {
 			return
 		}
 		n.host = h
+		n.ev = h
 		n.Create()
 		next = n
 	}
@@ -614,6 +634,57 @@ func (h *Host) considerInvite(req *wire.Msg) bool {
 	return true
 }
 
+// considerEvict is the honest host's response to a density eviction
+// notice naming one of its identities, called from the node's request
+// handler. It answers immediately and does the retirement on its own
+// goroutine (the same discipline as considerInvite): a flagged Sybil
+// leaves gracefully, a flagged primary re-keys through one induced
+// churn cycle — the host stays alive either way, only the improbably
+// placed identity dies. One retirement at a time: a cluster triggers a
+// burst of notices from every scanning neighbor, and retiring one
+// identity per burst already moves the flagged window.
+func (h *Host) considerEvict(n *Node) {
+	h.mu.Lock()
+	if h.evicting || h.down {
+		h.mu.Unlock()
+		return
+	}
+	isPrimary := h.primary == n
+	if !isPrimary {
+		idx := -1
+		for i, s := range h.sybils {
+			if s == n {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			h.mu.Unlock()
+			return // stale notice: the identity is already gone
+		}
+		h.sybils = append(h.sybils[:idx], h.sybils[idx+1:]...)
+	}
+	h.evicting = true
+	h.evicts++
+	// Add inside the critical section that checked down: pairs with the
+	// down-before-Wait ordering in Close to keep the WaitGroup race-free.
+	h.wg.Add(1)
+	h.mu.Unlock()
+	go func() {
+		defer h.wg.Done()
+		defer func() {
+			h.mu.Lock()
+			h.evicting = false
+			h.mu.Unlock()
+		}()
+		if isPrimary {
+			h.churnPrimary()
+		} else {
+			_ = n.Leave()
+		}
+	}()
+}
+
 // idle reports whether the host's residual workload is at or below the
 // Sybil threshold (the "under-utilized" test used by every strategy).
 func (h *Host) idle() bool { return h.Workload() <= h.cfg.SybilThreshold }
@@ -633,6 +704,7 @@ func (h *Host) injectSybil(id ids.ID, via string) (*Node, error) {
 		return nil, err
 	}
 	n.host = h
+	n.ev = h
 	if err := n.Join(via); err != nil {
 		n.Close()
 		return nil, err

@@ -130,6 +130,28 @@ type Config struct {
 	// invitation threshold. Default 0: reads are free, exactly the
 	// pre-streaming behavior.
 	ReadWorkUnits uint64
+	// PuzzleBits turns on puzzle-cost identity admission
+	// (docs/ADVERSARY.md): every TJoin must carry a nonce solving the
+	// adversary package's leading-zeros puzzle over the joiner's ID at
+	// this difficulty, or the successor refuses admission. Honest nodes
+	// (including balancing strategies minting Sybils) solve it
+	// transparently on the join path; the knob's cost is exactly that
+	// work. Default 0: admission is free.
+	PuzzleBits int
+	// DensityThreshold turns on the per-arc ID-density scan
+	// (docs/ADVERSARY.md): during maintenance a node inspects its
+	// successor-list view and sends TEvict to every identity inside a
+	// window packed at least this many times tighter than uniform
+	// placement predicts. Honest Sybil balancers are dense by design, so
+	// low thresholds evict them too — HostStats.Evictions counts the
+	// collateral. Default 0: no scanning.
+	DensityThreshold float64
+	// DensityWindow is the scan's window width in consecutive view
+	// entries. Default 4 (half the default successor list, so a clean
+	// majority of the view anchors the ring-size estimate).
+	DensityWindow int
+	// DensityEveryTicks is the scan cadence. Default 16.
+	DensityEveryTicks int
 }
 
 // WithDefaults fills unset fields with the defaults above.
@@ -181,6 +203,12 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.AntiEntropyEveryTicks == 0 {
 		c.AntiEntropyEveryTicks = 8
+	}
+	if c.DensityWindow == 0 {
+		c.DensityWindow = 4
+	}
+	if c.DensityEveryTicks == 0 {
+		c.DensityEveryTicks = 16
 	}
 	return c
 }

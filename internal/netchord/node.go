@@ -10,10 +10,21 @@ import (
 	"sync/atomic"
 	"time"
 
+	"chordbalance/internal/adversary"
 	"chordbalance/internal/ids"
 	"chordbalance/internal/store"
 	"chordbalance/internal/wire"
 )
+
+// evictor reacts to a density-defense eviction notice (wire.TEvict)
+// addressed to one of its nodes. The Host implementation retires the
+// identity — re-keying a primary through induced churn, retiring a
+// Sybil gracefully — while the AttackHost implementation feeds the
+// notice into the attacker's re-mint loop. Set alongside the node's
+// owner before Start, like the host pointer.
+type evictor interface {
+	considerEvict(n *Node)
+}
 
 // joinGift is the data copy and task handoff computed for one joiner,
 // kept until the joiner's first notify confirms receipt so a retried
@@ -79,7 +90,8 @@ type Node struct {
 	cfg  Config
 	tr   Transport
 	nf   *NetFaults
-	host *Host // nil for standalone nodes
+	host *Host   // nil for standalone nodes
+	ev   evictor // eviction-notice owner; nil ignores TEvict
 	ref  wire.NodeRef
 
 	// st is the node's durable storage engine: an append-only segment
@@ -144,6 +156,7 @@ type Node struct {
 	antiPushed  atomic.Int64
 	antiPulled  atomic.Int64
 	antiBytes   atomic.Int64
+	evictsSent  atomic.Int64
 }
 
 // NewNode opens a listener on addr (or an auto-assigned one when addr
@@ -219,7 +232,10 @@ func (n *Node) Join(via string) error {
 	if succ.ID == n.ref.ID && succ.Addr != n.ref.Addr {
 		return fmt.Errorf("netchord: join: id %s already on the ring", n.ref.ID.Short())
 	}
-	reply, err := n.pool.call(succ, &wire.Msg{Type: wire.TJoin, From: n.ref})
+	// Admission cost: with puzzles on, every identity — honest joiner,
+	// strategy-minted Sybil, or attacker — pays the same work here.
+	nonce := adversary.SolvePuzzle(n.ref.ID, n.cfg.PuzzleBits)
+	reply, err := n.pool.call(succ, &wire.Msg{Type: wire.TJoin, From: n.ref, A: nonce})
 	if err != nil {
 		return fmt.Errorf("netchord: join handshake: %w", err)
 	}
@@ -417,6 +433,9 @@ type NodeStats struct {
 	// AntiEntropyPushed and AntiEntropyPulled count records repaired in
 	// each direction; AntiEntropyBytes counts value bytes moved.
 	AntiEntropyRounds, AntiEntropyPushed, AntiEntropyPulled, AntiEntropyBytes int64
+	// EvictsSent counts density-scan eviction notices this node sent;
+	// notices received are Served[wire.TEvict].
+	EvictsSent int64
 	// Store is the storage engine's counters.
 	Store store.Stats
 	// RPC is the client pool's counters.
@@ -435,6 +454,7 @@ func (n *Node) Stats() NodeStats {
 		AntiEntropyPushed: n.antiPushed.Load(),
 		AntiEntropyPulled: n.antiPulled.Load(),
 		AntiEntropyBytes:  n.antiBytes.Load(),
+		EvictsSent:        n.evictsSent.Load(),
 		Store:             n.st.Stats(),
 		RPC:               n.pool.stats(),
 	}
@@ -835,7 +855,9 @@ func (n *Node) pushReplicas(key ids.ID, ver uint64, value []byte) (uint64, error
 // exactly the per-round work of the simulator's StabilizeAll but on
 // live connections. Every AntiEntropyEveryTicks ticks it also runs one
 // Merkle anti-entropy pass against its replicas and offers the store a
-// compaction opportunity.
+// compaction opportunity; with DensityThreshold set, every
+// DensityEveryTicks ticks it also runs one local density scan
+// (docs/ADVERSARY.md).
 func (n *Node) maintenanceLoop() {
 	defer n.wg.Done()
 	ticker := time.NewTicker(n.cfg.Ticks(n.cfg.StabilizeEveryTicks))
@@ -843,6 +865,10 @@ func (n *Node) maintenanceLoop() {
 	every := n.cfg.AntiEntropyEveryTicks / n.cfg.StabilizeEveryTicks
 	if every < 1 {
 		every = 1
+	}
+	densityEvery := n.cfg.DensityEveryTicks / n.cfg.StabilizeEveryTicks
+	if densityEvery < 1 {
+		densityEvery = 1
 	}
 	round := 0
 	for {
@@ -860,8 +886,58 @@ func (n *Node) maintenanceLoop() {
 					n.replicaErrs.Add(1)
 				}
 			}
+			if n.cfg.DensityThreshold > 0 && round%densityEvery == 0 {
+				n.densityScanOnce()
+			}
 			n.probeLost()
 			n.restoreGifts()
+		}
+	}
+}
+
+// densityScanOnce runs the per-arc ID-density defense over the node's
+// local view — itself plus its successor list, which IS ring order
+// starting at the node. Unlike the simulator's global scan the live
+// rule has no ring order array, so the uniform expectation comes from
+// adversary.EstimateRingSize over the same view, and every identity
+// inside a window at least DensityThreshold times denser than that
+// expectation is sent an advisory wire.TEvict (single cheap attempt, no
+// retries — the next scan re-fires if the cluster is still there). The
+// node never evicts itself: if it sits inside a flagged cluster its
+// honest neighbors' scans will say so.
+func (n *Node) densityScanOnce() {
+	w := n.cfg.DensityWindow
+	n.mu.Lock()
+	view := make([]wire.NodeRef, 0, len(n.succ)+1)
+	view = append(view, n.ref)
+	view = append(view, n.succ...)
+	n.mu.Unlock()
+	// The estimate needs an honest majority of gaps outside any one
+	// window; with fewer entries than that the view is all window and
+	// there is no uniform remainder to compare against.
+	if len(view) < w+2 {
+		return
+	}
+	ringIDs := make([]ids.ID, len(view))
+	for i, r := range view {
+		ringIDs[i] = r.ID
+	}
+	est := adversary.EstimateRingSize(ringIDs)
+	flagged := make([]bool, len(view))
+	for i := 0; i+w <= len(view); i++ {
+		if adversary.ViewDensityRatio(ringIDs, i, w, est) < n.cfg.DensityThreshold {
+			continue
+		}
+		for k := 0; k < w; k++ {
+			flagged[i+k] = true
+		}
+	}
+	for i, f := range flagged {
+		if !f || view[i].ID == n.ref.ID {
+			continue
+		}
+		if err := n.pool.tryOnce(view[i], &wire.Msg{Type: wire.TEvict, From: n.ref}); err == nil {
+			n.evictsSent.Add(1)
 		}
 	}
 }
@@ -1293,6 +1369,21 @@ func (n *Node) handle(req *wire.Msg) *wire.Msg {
 		}
 		return &wire.Msg{Type: wire.TInviteOK, Flag: n.host.considerInvite(req)}
 
+	case wire.TEvict:
+		if req.From.Addr == "" {
+			return errorMsg(CodeBadRequest, "evict without sender ref")
+		}
+		n.mu.Lock()
+		ev, leaving := n.ev, n.leaving
+		n.mu.Unlock()
+		// Advisory by design: an ownerless (or already-leaving) node just
+		// acknowledges. The evictor dispatches its own goroutine, so the
+		// serve path never blocks on an induced churn cycle.
+		if ev != nil && !leaving {
+			ev.considerEvict(n)
+		}
+		return &wire.Msg{Type: wire.TAck}
+
 	default:
 		return errorMsg(CodeBadRequest, "unexpected message "+req.Type.String())
 	}
@@ -1308,6 +1399,9 @@ func (n *Node) handleJoin(req *wire.Msg) *wire.Msg {
 	j := req.From
 	if j.Addr == "" || j.ID == n.ref.ID {
 		return errorMsg(CodeBadRequest, "bad join ref")
+	}
+	if !adversary.VerifyPuzzle(j.ID, req.A, n.cfg.PuzzleBits) {
+		return errorMsg(CodeBadRequest, "join puzzle unsolved")
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()

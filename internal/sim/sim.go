@@ -14,6 +14,7 @@ import (
 	"io"
 	"math"
 
+	"chordbalance/internal/adversary"
 	"chordbalance/internal/faults"
 	"chordbalance/internal/ids"
 	"chordbalance/internal/keys"
@@ -97,6 +98,17 @@ type Config struct {
 	// path consumes randomness, so fault-free runs are byte-identical to
 	// pre-fault-layer builds.
 	Faults faults.Plan
+	// Attack configures a hostile eclipse adversary that mints clustered
+	// Sybil identities inside a target arc (docs/ADVERSARY.md). Like
+	// Faults, the zero config is provably inert: no adversary state is
+	// constructed and no attack code path runs or consumes randomness,
+	// so attack-free runs are byte-identical to pre-adversary builds.
+	Attack adversary.AttackConfig
+	// Defense configures the Sybil defenses: puzzle-cost identity
+	// admission (charged against each admitted identity's consume
+	// budget, honest and hostile alike) and per-arc ID-density anomaly
+	// detection with eviction. The zero config is provably inert.
+	Defense adversary.DefenseConfig
 	// Replicas is the per-key replication degree assumed for crash-stop
 	// departures: with replication, keys on a crashed host survive on
 	// successors (charged as repair traffic); without, they are lost and
@@ -226,6 +238,12 @@ func (c Config) Validate() error {
 	if err := c.Faults.Validate(); err != nil {
 		return fmt.Errorf("sim: %w", err)
 	}
+	if err := c.Attack.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if err := c.Defense.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
 	return nil
 }
 
@@ -286,6 +304,15 @@ const (
 	// EventResubmit is a batch of crash-lost keys re-entering the ring
 	// after the detection+reinsert delay; Moved counts the keys.
 	EventResubmit
+	// EventHostileMint is an adversary identity joining the ring inside
+	// its target arc; Moved counts the keys it captured on arrival.
+	EventHostileMint
+	// EventEvict is a density-flagged identity removed by the defense;
+	// Moved counts the keys handed back to its successor.
+	EventEvict
+	// EventRekey is an honest non-Sybil identity the defense flagged and
+	// forced to rejoin at a fresh ID — eviction as induced churn.
+	EventRekey
 )
 
 // String names the event kind for logs and CSV.
@@ -303,6 +330,12 @@ func (k EventKind) String() string {
 		return "crash"
 	case EventResubmit:
 		return "resubmit"
+	case EventHostileMint:
+		return "hostile-mint"
+	case EventEvict:
+		return "evict"
+	case EventRekey:
+		return "rekey"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -347,6 +380,9 @@ type Result struct {
 	// Faults summarizes crash-stop churn and key-loss accounting; all-zero
 	// when the run had a zero fault plan.
 	Faults FaultStats
+	// Adversary summarizes the attack/defense co-simulation; zero when
+	// both the attack and defense configs were zero.
+	Adversary AdversaryStats
 	// FinalAliveHosts and FinalVNodes describe the network at the end.
 	FinalAliveHosts int
 	FinalVNodes     int
@@ -395,6 +431,13 @@ type hostState struct {
 	// crashMark is the last tick this host was drawn as a crash victim;
 	// it replaces the per-tick map the burst pass used to allocate.
 	crashMark int
+	// puzzleDebt is unpaid identity-admission work (Defense.PuzzleBits):
+	// each join, Sybil mint, or forced rekey charges the puzzle cost
+	// here, and consumeHost pays it down out of the host's per-tick work
+	// budget before any task is consumed. Host-local: charged only in
+	// serial phases, paid only by the host's own consume slot, so the
+	// sharded engine needs no coordination.
+	puzzleDebt int
 }
 
 func (h *hostState) Index() int    { return h.acct.Index() }
@@ -470,6 +513,11 @@ type Simulation struct {
 	// host, alive and waiting alike — reads sequential bytes instead of
 	// chasing two pointers per host. Updated at every SetAlive site.
 	aliveBit []bool
+
+	// adv holds the adversary/defense co-simulation state; nil when both
+	// the attack and defense configs are zero, which keeps every hostile
+	// code path provably inert (the same pattern as finj).
+	adv *advState
 
 	// obsm holds the registered trace-metric handles; nil when tracing
 	// is disabled, which is the only flag the hot loop ever checks.
@@ -660,6 +708,9 @@ func New(cfg Config) (*Simulation, error) {
 			s.aliveBit[i] = true
 		}
 	}
+	if err := s.initAdversary(); err != nil {
+		return nil, err // unreachable: cfg.Validate already vetted both configs
+	}
 	// Place live hosts' primary virtual nodes at SHA-1 identifiers,
 	// followed by any static virtual servers, as one bulk ring.Build:
 	// O(V log V) instead of the O(V^2) repeated incremental Inserts
@@ -780,6 +831,9 @@ func (s *Simulation) Run() *Result {
 	res := &Result{IdealTicks: s.ideal}
 	if snapshotAt[0] {
 		res.Snapshots = append(res.Snapshots, s.snapshot(0))
+		if s.adv != nil {
+			s.sampleEclipse(0)
+		}
 	}
 	if s.obsm != nil {
 		s.obsm.emitStart(s) // meta + schema + the tick-0 record
@@ -814,8 +868,14 @@ func (s *Simulation) Run() *Result {
 		if s.finj != nil {
 			s.crashStep()
 		}
+		if s.adv != nil {
+			s.adversaryStep()
+		}
 		if s.tick%s.params.DecisionEvery == 0 && s.ring.TotalKeys() > 0 {
 			s.cfg.Strategy.Decide(s)
+		}
+		if s.adv != nil {
+			s.defenseStep()
 		}
 		// Successor-list maintenance: every live virtual node pings its
 		// successor list once per tick (§V-A "Maintenance"). Charged only
@@ -830,6 +890,9 @@ func (s *Simulation) Run() *Result {
 		}
 		if snapshotAt[s.tick] {
 			res.Snapshots = append(res.Snapshots, s.snapshot(s.tick))
+			if s.adv != nil {
+				s.sampleEclipse(s.tick)
+			}
 		}
 		if cfg.CheckInvariants {
 			if err := s.ring.CheckInvariants(); err != nil {
@@ -849,6 +912,9 @@ func (s *Simulation) Run() *Result {
 	res.HostsByStrength = make(map[int]int)
 	for _, h := range s.hosts[:s.cfg.Nodes] {
 		res.HostsByStrength[h.acct.Strength()]++
+	}
+	if s.adv != nil {
+		s.finishAdversary(res)
 	}
 	if s.obsm != nil {
 		s.obsm.emitDone(res)
@@ -928,10 +994,24 @@ func (s *Simulation) consumeSharded(hosts []*hostState) int {
 // It touches only host-local state (the ring total is deferred), so
 // shards may call it concurrently on disjoint hosts.
 func (s *Simulation) consumeHost(h *hostState, epoch uint64) int {
+	debt := 0
+	if h.puzzleDebt != 0 {
+		// Identity-admission puzzles come out of the same work budget as
+		// tasks: a host still solving its puzzle contributes nothing to
+		// the job this tick. Checked before the idle fast path — a host
+		// with no keys still burns ticks paying its admission cost.
+		b := h.acct.WorkPerTick(s.cfg.WorkByStrength)
+		if h.puzzleDebt >= b {
+			h.puzzleDebt -= b
+			return 0
+		}
+		debt = h.puzzleDebt
+		h.puzzleDebt = 0
+	}
 	if h.wlEpoch == epoch && h.wl == 0 {
 		return 0 // provably idle: warm cache says no residual work
 	}
-	budget := h.acct.WorkPerTick(s.cfg.WorkByStrength)
+	budget := h.acct.WorkPerTick(s.cfg.WorkByStrength) - debt
 	done := 0
 	if len(h.vnodes) == 1 {
 		if v := h.vnodes[0]; v.rn.Workload() > 0 {
@@ -1069,6 +1149,7 @@ func (s *Simulation) churn() {
 		s.recordEvent(EventJoin, h.Index(), v.ID(), v.rn.Workload())
 		s.msgs.Joins++
 		s.chargeLookup()
+		s.chargePuzzle(h)
 	}
 }
 
@@ -1183,7 +1264,7 @@ func (s *Simulation) EachHost(fn func(h strategy.Host, primary strategy.VNode)) 
 
 // VNodesOf implements strategy.World.
 func (s *Simulation) VNodesOf(h strategy.Host) []strategy.VNode {
-	host := s.hosts[h.Index()]
+	host := h.(*hostState)
 	out := make([]strategy.VNode, len(host.vnodes))
 	for i, v := range host.vnodes {
 		out[i] = v
@@ -1215,7 +1296,7 @@ func (s *Simulation) walk(v strategy.VNode, k, dir int) []strategy.VNode {
 
 // CreateSybil implements strategy.World.
 func (s *Simulation) CreateSybil(h strategy.Host, id ids.ID) (int, bool) {
-	host := s.hosts[h.Index()]
+	host := h.(*hostState)
 	if !host.acct.CanCreateSybil() {
 		return 0, false
 	}
@@ -1233,13 +1314,14 @@ func (s *Simulation) CreateSybil(h strategy.Host, id ids.ID) (int, bool) {
 	host.acct.CreatedSybil()
 	s.msgs.SybilsCreated++
 	s.chargeLookup()
+	s.chargePuzzle(host)
 	s.recordEvent(EventSybilCreate, host.Index(), v.ID(), v.rn.Workload())
 	return v.rn.Workload(), true
 }
 
 // DropSybils implements strategy.World.
 func (s *Simulation) DropSybils(h strategy.Host) {
-	host := s.hosts[h.Index()]
+	host := h.(*hostState)
 	kept := host.vnodes[:0]
 	dropped := false
 	for _, v := range host.vnodes {

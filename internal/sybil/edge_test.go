@@ -1,0 +1,135 @@
+package sybil
+
+// Edge-case tests for degenerate strength distributions: the adversary
+// subsystem reuses this package (standalone hosts back hostile virtual
+// nodes), and the boundaries — all-equal strengths, a single-host ring,
+// a zero-budget mint cap — were previously uncovered.
+
+import (
+	"testing"
+
+	"chordbalance/internal/xrand"
+)
+
+// TestAllEqualStrengths pins the homogeneous boundary: every host at
+// the same strength, where the heterogeneous bookkeeping must collapse
+// to the paper's homogeneous model exactly.
+func TestAllEqualStrengths(t *testing.T) {
+	p := NewPool(PoolConfig{Hosts: 8, WaitingHosts: 8, MaxSybils: 5}, nil)
+	for i := 0; i < p.Len(); i++ {
+		h := p.Host(i)
+		if h.Strength() != 1 {
+			t.Fatalf("host %d strength %d, want 1", i, h.Strength())
+		}
+		if h.MaxSybils() != 5 {
+			t.Fatalf("host %d cap %d, want 5", i, h.MaxSybils())
+		}
+		// Work is strength-independent in the homogeneous model whichever
+		// measurement rule is active.
+		if h.WorkPerTick(false) != 1 || h.WorkPerTick(true) != 1 {
+			t.Fatalf("host %d work %d/%d, want 1/1", i, h.WorkPerTick(false), h.WorkPerTick(true))
+		}
+	}
+	if got := p.TotalStrength(true); got != 8 {
+		t.Errorf("TotalStrength(byStrength) = %d, want 8 (alive hosts only)", got)
+	}
+	if got := p.TotalStrength(false); got != 8 {
+		t.Errorf("TotalStrength(flat) = %d, want 8", got)
+	}
+
+	// A heterogeneous draw can also come out all-equal (MaxSybils 1
+	// forces it); strength and cap must both collapse to 1.
+	het := NewPool(PoolConfig{Hosts: 4, WaitingHosts: 0, Heterogeneous: true, MaxSybils: 1}, xrand.New(3))
+	for i := 0; i < het.Len(); i++ {
+		h := het.Host(i)
+		if h.Strength() != 1 || h.MaxSybils() != 1 {
+			t.Fatalf("degenerate heterogeneous host %d: strength %d cap %d, want 1/1",
+				i, h.Strength(), h.MaxSybils())
+		}
+	}
+}
+
+// TestSingleHostRing pins the smallest possible network: one live host,
+// no waiting pool. Every aggregate must behave, and the lone host must
+// still be able to mint up to its cap.
+func TestSingleHostRing(t *testing.T) {
+	p := NewPool(PoolConfig{Hosts: 1, WaitingHosts: 0, MaxSybils: 2}, nil)
+	if p.Len() != 1 || p.AliveCount() != 1 {
+		t.Fatalf("len=%d alive=%d, want 1/1", p.Len(), p.AliveCount())
+	}
+	if got := len(p.Waiting()); got != 0 {
+		t.Fatalf("waiting pool has %d hosts, want 0", got)
+	}
+	h := p.Host(0)
+	for i := 0; i < 2; i++ {
+		if !h.CanCreateSybil() {
+			t.Fatalf("mint %d refused below the cap", i)
+		}
+		h.CreatedSybil()
+	}
+	if h.CanCreateSybil() {
+		t.Fatal("mint allowed past the cap")
+	}
+	// Leaving a single-host network resets its Sybils like any other
+	// departure; the ring-must-not-empty rule lives in the engine, not
+	// here.
+	h.SetAlive(false)
+	if h.SybilCount() != 0 {
+		t.Errorf("departure kept %d Sybils", h.SybilCount())
+	}
+	if got := p.TotalStrength(true); got != 0 {
+		t.Errorf("empty network TotalStrength = %d, want 0", got)
+	}
+	if got := len(p.Alive()); got != 0 {
+		t.Errorf("empty network Alive() has %d hosts", got)
+	}
+}
+
+// TestZeroBudgetMint pins the cap-0 boundary the adversary depends on:
+// a standalone host with no Sybil budget must never report mint
+// capacity, so strategies that probe CanCreateSybil leave it alone.
+func TestZeroBudgetMint(t *testing.T) {
+	h := NewStandalone(100, 1, 0)
+	if h.Index() != 100 || !h.Alive() {
+		t.Fatalf("standalone host index=%d alive=%v, want 100/true", h.Index(), h.Alive())
+	}
+	if h.CanCreateSybil() {
+		t.Fatal("zero-budget host reported mint capacity")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("CreatedSybil past a zero cap did not panic")
+		}
+	}()
+	h.CreatedSybil()
+}
+
+// TestStandaloneValidation pins NewStandalone's constructor contract.
+func TestStandaloneValidation(t *testing.T) {
+	h := NewStandalone(3, 2, 4)
+	if h.Strength() != 2 || h.MaxSybils() != 4 {
+		t.Fatalf("standalone strength %d cap %d, want 2/4", h.Strength(), h.MaxSybils())
+	}
+	if !h.CanCreateSybil() {
+		t.Fatal("standalone host under cap refused a mint")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative strength did not panic")
+		}
+	}()
+	NewStandalone(0, -1, 0)
+}
+
+// TestDroppedSybilUnderflow pins the accounting guard the defense's
+// eviction path relies on: dropping a Sybil a host does not have is a
+// programming error, not silent corruption.
+func TestDroppedSybilUnderflow(t *testing.T) {
+	h := NewStandalone(0, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("DroppedSybil underflow did not panic")
+		}
+	}()
+	h.DroppedSybil()
+}

@@ -81,6 +81,21 @@ func (h *Host) WorkPerTick(byStrength bool) int {
 	return 1
 }
 
+// NewStandalone builds a host outside any Pool, for callers that manage
+// identity accounting themselves — the simulator's adversary backs its
+// hostile virtual nodes with one. The host starts alive; a cap of 0
+// means it can never mint a (tracked) Sybil, which keeps standalone
+// hosts out of strategies' CanCreateSybil reach. Panics on a negative
+// strength or cap, matching NewPool's contract that accounting state is
+// valid by construction.
+func NewStandalone(index, strength, maxSybil int) *Host {
+	if strength < 0 || maxSybil < 0 {
+		panic(fmt.Sprintf("sybil: standalone host %d with negative strength %d or cap %d",
+			index, strength, maxSybil))
+	}
+	return &Host{index: index, strength: strength, maxSybil: maxSybil, alive: true}
+}
+
 // PoolConfig describes how to build a host population.
 type PoolConfig struct {
 	// Hosts is the number of machines initially in the network.

@@ -40,8 +40,10 @@ import (
 // Version is the current wire-format version; bump it when the frame
 // header or any payload layout changes incompatibly. Version 2 replaced
 // the unversioned KV bulk transfers of version 1 with versioned Rec
-// records and added the anti-entropy digest exchange (TSync*).
-const Version = 2
+// records and added the anti-entropy digest exchange (TSync*). Version
+// 3 added the admission-puzzle nonce to TJoin and the TEvict density
+// eviction notice (docs/ADVERSARY.md).
+const Version = 3
 
 // Frame geometry and hard bounds. The caps are generous for the runtime's
 // actual traffic but small enough that a hostile peer cannot force large
@@ -114,7 +116,10 @@ const (
 	TSuccListOK
 	// TNotify tells the callee that From may be its predecessor.
 	TNotify
-	// TJoin asks the callee (the joiner's successor) to admit From.
+	// TJoin asks the callee (the joiner's successor) to admit From. A
+	// carries the admission-puzzle nonce (adversary.SolvePuzzle over
+	// From's ID; 0 when the ring runs puzzle-free — see Config
+	// PuzzleBits in netchord).
 	TJoin
 	// TJoinOK answers with the callee's successor List plus the data
 	// (Recs) and work (Tasks) the joiner now owns.
@@ -200,6 +205,12 @@ const (
 	// TStatsOK answers with Value = a packed Stats blob (AppendStats/
 	// DecodeStats define the layout).
 	TStatsOK
+	// TEvict tells the callee that From's density scan flagged its ID as
+	// part of a statistically improbable cluster and it should leave the
+	// ring (docs/ADVERSARY.md). Advisory and acknowledged with TAck: a
+	// hostile callee ignores it, so the sender's defense is refusing to
+	// route around an identity that stays, not trusting compliance.
+	TEvict
 	// TAck is the generic success reply; A is an optional per-request
 	// detail slot (0 when unused — see TReplicate).
 	TAck
@@ -232,7 +243,8 @@ var typeNames = [typeCount]string{
 	TSyncFetch: "sync_fetch", TSyncFetchOK: "sync_fetch_ok",
 	TStoreReport: "store_report", TStreamReport: "stream_report",
 	TStats: "stats", TStatsOK: "stats_ok",
-	TAck: "ack", TError: "error",
+	TEvict: "evict",
+	TAck:   "ack", TError: "error",
 }
 
 // String names the type as used in metrics and docs.
@@ -338,7 +350,7 @@ var fieldsOf = [typeCount]uint16{
 	TGetSuccList:     0,
 	TSuccListOK:      fList,
 	TNotify:          fFrom,
-	TJoin:            fFrom,
+	TJoin:            fFrom | fA,
 	TJoinOK:          fList | fRecs | fTasks,
 	TGet:             fKey,
 	TGetOK:           fValue | fFlag | fA,
@@ -365,6 +377,7 @@ var fieldsOf = [typeCount]uint16{
 	TStreamReport:    fFrom | fA | fB | fC | fD,
 	TStats:           0,
 	TStatsOK:         fValue,
+	TEvict:           fFrom,
 	TAck:             fA,
 	TError:           fText | fA,
 }
